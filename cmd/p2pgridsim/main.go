@@ -1,0 +1,221 @@
+// Command p2pgridsim regenerates the tables and figures of "Dual-Phase
+// Just-in-Time Workflow Scheduling in P2P Grid Systems" (Di & Wang, ICPP
+// 2010) as text tables/series.
+//
+// Usage:
+//
+//	p2pgridsim -experiment <name> [-scale paper|small|tiny] [-seed N]
+//
+// Experiments:
+//
+//	table1        print Table I (experimental setting)
+//	fig3          the worked two-workflow example (RPMs, scheduling orders)
+//	fig4-6        static comparison of the eight algorithms (three figures)
+//	fcfs          Section IV.B second-phase-vs-FCFS ablation
+//	fcfs-rep      the same ablation replicated over 3 seeds (mean ± std)
+//	fig7-8        load factor sweep (ACT and AE tables)
+//	fig9-10       CCR sweep (ACT and AE tables)
+//	fig11         scalability sweep (gossip space bound, AE, ACT)
+//	fig12-14      churn sweep (throughput/ACT/AE series per dynamic factor)
+//	reschedule    churn with the failed-task rescheduling extension
+//	oracle        DSMF information ablation (gossip vs oracle views)
+//	planners      full-ahead planner shootout (HEFT/HEFT-ins/LAHEFT/CPOP/SMF)
+//	churn-model   graceful vs maximal-loss churn semantics ablation
+//	families      DSMF on structured workflow families
+//	report        markdown reproduction report with live shape checks
+//	all           everything above in sequence
+//
+// With -artifacts DIR, series experiments additionally write
+// <figure>.csv/.dat/.gp files (gnuplot redraws the paper-style plots).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		name  = flag.String("experiment", "fig4-6", "experiment to run (see package doc)")
+		scale = flag.String("scale", "small", "paper|small|tiny")
+		seed  = flag.Int64("seed", 2010, "root random seed")
+		maxLF = flag.Int("maxlf", 8, "largest load factor for fig7-8")
+		arts  = flag.String("artifacts", "", "directory for CSV/DAT/gnuplot artifacts (series experiments)")
+	)
+	flag.Parse()
+	artifactsDir = *arts
+
+	sc, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	if err := dispatch(*name, sc, *seed, *maxLF); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// artifactsDir, when set, receives <figure>.csv/.dat/.gp files for every
+// series experiment.
+var artifactsDir string
+
+func exportSeries(sets ...experiments.SeriesSet) error {
+	if artifactsDir == "" {
+		return nil
+	}
+	for i, set := range sets {
+		name := fmt.Sprintf("series%d", i)
+		if len(set.Title) > 7 {
+			name = strings.ToLower(strings.ReplaceAll(strings.Fields(set.Title)[1], ":", ""))
+			name = "fig" + strings.TrimSuffix(name, ".")
+		}
+		files, err := set.WriteArtifacts(artifactsDir, name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %v\n", files)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p2pgridsim:", err)
+	os.Exit(1)
+}
+
+func dispatch(name string, sc experiments.Scale, seed int64, maxLF int) error {
+	switch name {
+	case "table1":
+		fmt.Println(experiments.TableI().Format())
+	case "fig3":
+		fmt.Println(experiments.Fig3Report())
+	case "fig4-6":
+		return runStatic(sc, seed)
+	case "fcfs":
+		table, _, err := experiments.FCFSAblation(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Format())
+	case "fcfs-rep":
+		table, err := experiments.ReplicatedFCFSAblation(sc, seed, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Format())
+	case "fig7-8":
+		act, ae, err := experiments.LoadFactorSweep(sc, seed, maxLF)
+		if err != nil {
+			return err
+		}
+		fmt.Println(act.Format())
+		fmt.Println(ae.Format())
+	case "fig9-10":
+		act, ae, err := experiments.CCRSweep(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(act.Format())
+		fmt.Println(ae.Format())
+	case "fig11":
+		return runScalability(sc, seed)
+	case "fig12-14":
+		return runChurn(sc, seed, false)
+	case "reschedule":
+		return runChurn(sc, seed, true)
+	case "oracle":
+		table, err := experiments.OracleAblation(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Format())
+	case "planners":
+		table, err := experiments.PlannerShootout(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Format())
+	case "churn-model":
+		table, err := experiments.ChurnModelAblation(sc, seed, 0.2)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Format())
+	case "report":
+		out, err := experiments.Report(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	case "families":
+		table, err := experiments.FamilyComparison(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Format())
+	case "all":
+		for _, n := range []string{"table1", "fig3", "fig4-6", "fcfs", "fig7-8", "fig9-10", "fig11", "fig12-14", "reschedule", "oracle", "planners", "churn-model", "families"} {
+			fmt.Printf("==== %s ====\n", n)
+			if err := dispatch(n, sc, seed, maxLF); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+func runStatic(sc experiments.Scale, seed int64) error {
+	results, err := experiments.StaticComparison(sc, seed)
+	if err != nil {
+		return err
+	}
+	f4 := experiments.Fig4Throughput(results)
+	f5 := experiments.Fig5FinishTime(results)
+	f6 := experiments.Fig6Efficiency(results)
+	fmt.Println(f4.Format())
+	fmt.Println(f5.Format())
+	fmt.Println(f6.Format())
+	fmt.Println(experiments.SummaryTable("Converged final state", results).Format())
+	return exportSeries(f4, f5, f6)
+}
+
+func runScalability(sc experiments.Scale, seed int64) error {
+	sizes := experiments.ScalabilitySizes(sc)
+	points, err := experiments.ScalabilitySweep(sc, seed, sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.ScalabilityTable(points).Format())
+	return nil
+}
+
+func runChurn(sc experiments.Scale, seed int64, reschedule bool) error {
+	dfs := []float64{0, 0.1, 0.2, 0.3, 0.4}
+	results, err := experiments.ChurnSweep(sc, seed, dfs, reschedule)
+	if err != nil {
+		return err
+	}
+	f12 := experiments.Fig12Throughput(results)
+	f13 := experiments.Fig13FinishTime(results)
+	f14 := experiments.Fig14Efficiency(results)
+	fmt.Println(f12.Format())
+	fmt.Println(f13.Format())
+	fmt.Println(f14.Format())
+	if err := exportSeries(f12, f13, f14); err != nil {
+		return err
+	}
+	title := "Churn final state"
+	if reschedule {
+		title += " (with rescheduling extension)"
+	}
+	fmt.Println(experiments.SummaryTable(title, results).Format())
+	return nil
+}

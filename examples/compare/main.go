@@ -1,0 +1,28 @@
+// Compare: run all eight scheduling algorithms of the paper's evaluation on
+// one identical workload and print the converged comparison table (the
+// summary behind Figs. 4-6, at a laptop-friendly scale).
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := experiments.Scale{
+		Name: "example", Nodes: 100, LoadFactor: 2,
+		HorizonHours: 24, SnapshotHours: 2,
+	}
+	fmt.Printf("comparing 8 algorithms: %d nodes, %d workflows/node, %gh horizon\n\n",
+		scale.Nodes, scale.LoadFactor, scale.HorizonHours)
+	results, err := experiments.StaticComparison(scale, 2010)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.SummaryTable("Converged final state", results).Format())
+	fmt.Println(experiments.Fig4Throughput(results).Format())
+}

@@ -1,0 +1,22 @@
+// Package core implements the paper's primary contribution: the dual-phase
+// just-in-time workflow scheduling framework and its Dynamic Shortest
+// Makespan First (DSMF) heuristic (Section III).
+//
+// The framework splits into reusable pieces so every competitor heuristic
+// of Section IV runs on identical machinery:
+//
+//   - Candidates/FinishTime implement the finish-time estimation of
+//     Eqs. 4-6 over the gossip-learned resource view and Formula 9's
+//     "finish-earliest" node selection.
+//   - Analyze computes every active workflow's rest path makespans (Eq. 7)
+//     and remaining makespan ms(f) (Eq. 8) from the aggregation-gossip
+//     averages.
+//   - ListPhase1 is Algorithm 1 with a pluggable task ordering (DSMF,
+//     decentralized HEFT, and DSDF differ only in that ordering).
+//   - MatrixPhase1 is the decentralized min-min/max-min/sufferage first
+//     phase adapted from Maheswaran et al.
+//   - Planner is the full-ahead (static) scheduler used by the HEFT and
+//     SMF baselines.
+//   - NewDSMF assembles the paper's algorithm; FCFS provides the baseline
+//     second phase.
+package core

@@ -1,0 +1,128 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// ftFixture builds a grid and a two-task workflow for FT property tests.
+func ftFixture(t *testing.T, seed int64) (*grid.Grid, *grid.TaskInstance) {
+	t.Helper()
+	engine := sim.NewEngine()
+	g, err := grid.New(engine, grid.Config{Nodes: 10, Seed: seed}, core.NewDSMF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dag.NewBuilder("ft")
+	x := b.AddTask("x", 3000, 40)
+	y := b.AddTask("y", 3000, 40)
+	b.AddEdge(x, y, 300)
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := g.Submit(1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, wf.Tasks[0]
+}
+
+// Property: FT is non-decreasing in the candidate's advertised load.
+func TestQuickFinishTimeMonotoneInLoad(t *testing.T) {
+	g, task := ftFixture(t, 11)
+	f := func(rawLoad uint32, rawCap uint8) bool {
+		capacity := float64(rawCap%16) + 1
+		l1 := float64(rawLoad % 100000)
+		l2 := l1 + 5000
+		c1 := core.Candidate{Node: 3, CapacityMIPS: capacity, TotalLoadMI: l1}
+		c2 := core.Candidate{Node: 3, CapacityMIPS: capacity, TotalLoadMI: l2}
+		return core.FinishTime(g, task, c1) <= core.FinishTime(g, task, c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FT is non-increasing in the candidate's capacity (same node,
+// same load): a faster machine never finishes later.
+func TestQuickFinishTimeMonotoneInCapacity(t *testing.T) {
+	g, task := ftFixture(t, 13)
+	f := func(rawLoad uint32, rawCap uint8) bool {
+		load := float64(rawLoad % 100000)
+		cap1 := float64(rawCap%15) + 1
+		cap2 := cap1 + 1
+		c1 := core.Candidate{Node: 4, CapacityMIPS: cap1, TotalLoadMI: load}
+		c2 := core.Candidate{Node: 4, CapacityMIPS: cap2, TotalLoadMI: load}
+		return core.FinishTime(g, task, c1) >= core.FinishTime(g, task, c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BestNode always returns the index achieving the minimal FT,
+// regardless of candidate order.
+func TestQuickBestNodeIsArgmin(t *testing.T) {
+	g, task := ftFixture(t, 17)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		cands := make([]core.Candidate, n)
+		for i := range cands {
+			cands[i] = core.Candidate{
+				Node:         rng.Intn(10),
+				CapacityMIPS: float64(1 + rng.Intn(16)),
+				TotalLoadMI:  rng.Float64() * 50000,
+			}
+		}
+		idx, ft := core.BestNode(g, task, cands)
+		if idx < 0 {
+			return false
+		}
+		for i := range cands {
+			if core.FinishTime(g, task, cands[i]) < ft {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the matrix row's best/second bookkeeping is consistent: BestFT
+// <= SecondFT and BestIdx points at a candidate achieving BestFT.
+func TestQuickMatrixRowConsistent(t *testing.T) {
+	g, task := ftFixture(t, 19)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		cands := make([]core.Candidate, n)
+		for i := range cands {
+			cands[i] = core.Candidate{
+				Node:         rng.Intn(10),
+				CapacityMIPS: float64(1 + rng.Intn(16)),
+				TotalLoadMI:  rng.Float64() * 50000,
+			}
+		}
+		rows := core.RowsForTest(g, task, cands)
+		if rows.BestFT > rows.SecondFT {
+			return false
+		}
+		if rows.BestIdx < 0 || rows.BestIdx >= n {
+			return false
+		}
+		return core.FinishTime(g, task, cands[rows.BestIdx]) == rows.BestFT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,9 @@
+package core
+
+import "repro/internal/grid"
+
+// RowsForTest exposes computeRow for property tests in the core_test
+// package.
+func RowsForTest(g *grid.Grid, t *grid.TaskInstance, cands []Candidate) MatrixRow {
+	return computeRow(g, RankedTask{Task: t}, cands)
+}

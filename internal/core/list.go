@@ -1,0 +1,51 @@
+package core
+
+import "repro/internal/grid"
+
+// ListPhase1 is Algorithm 1 with a pluggable priority: analyze workflows,
+// order the schedule points, then map each task to its finish-earliest
+// candidate (Formula 9), updating the local resource view after every
+// placement. DSMF, decentralized HEFT and DSDF are all ListPhase1 instances
+// differing only in Order.
+type ListPhase1 struct {
+	Label string
+	// Order permutes the dispatchable tasks into dispatch priority order.
+	Order func(views []WorkflowView) []RankedTask
+}
+
+// Name implements grid.Phase1Scheduler.
+func (s ListPhase1) Name() string { return s.Label }
+
+// Schedule implements grid.Phase1Scheduler.
+func (s ListPhase1) Schedule(g *grid.Grid, home *grid.Node, now float64) {
+	views := Analyze(g, home)
+	if len(views) == 0 {
+		return
+	}
+	cands := Candidates(g, home)
+	if len(cands) == 0 {
+		return // Algorithm 1 line 9: no known resources, wait a cycle
+	}
+	for _, rt := range s.Order(views) {
+		if rt.Task.State != grid.TaskSchedulePoint {
+			// A failure earlier in this pass may have reverted a shared
+			// precedent and demoted this task back to blocked.
+			continue
+		}
+		// Retry down the candidate list when a stale gossip record points
+		// at a departed node (the migration is refused, not fatal).
+		for len(cands) > 0 {
+			idx, _ := BestNode(g, rt.Task, cands)
+			if idx < 0 {
+				return
+			}
+			if dispatchTo(g, home, rt.Task, cands, idx, rt.RPM, rt.Makespan) {
+				break
+			}
+			cands = removeCandidate(cands, idx)
+		}
+		if len(cands) == 0 {
+			return // nobody reachable; wait for the next cycle
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/grid"
+)
+
+// MatrixRow is one not-yet-placed task's finish-time profile across the
+// candidate set: the best candidate, its FT, and the second-best FT (the
+// ingredient of the sufferage value).
+type MatrixRow struct {
+	Task     *grid.TaskInstance
+	RPM      float64
+	Makespan float64
+	BestIdx  int
+	BestFT   float64
+	SecondFT float64
+}
+
+// Sufferage returns how much the task suffers if denied its best node.
+func (r MatrixRow) Sufferage() float64 {
+	if math.IsInf(r.SecondFT, 1) {
+		return 0 // single candidate: no alternative to compare against
+	}
+	return r.SecondFT - r.BestFT
+}
+
+// MatrixPhase1 is the decentralized min-min / max-min / sufferage first
+// phase (Maheswaran et al., adapted to workflows as in Section IV.A):
+// build the FT matrix over (schedule point x candidate), repeatedly pick
+// one row by the family rule, place the task on its best node, update that
+// node's load, and recompute - the classic O(T^2 x C) loop.
+type MatrixPhase1 struct {
+	Label string
+	// Pick returns the index of the chosen row.
+	Pick func(rows []MatrixRow) int
+}
+
+// Name implements grid.Phase1Scheduler.
+func (s MatrixPhase1) Name() string { return s.Label }
+
+// Schedule implements grid.Phase1Scheduler.
+func (s MatrixPhase1) Schedule(g *grid.Grid, home *grid.Node, now float64) {
+	views := Analyze(g, home)
+	if len(views) == 0 {
+		return
+	}
+	cands := Candidates(g, home)
+	if len(cands) == 0 {
+		return
+	}
+	pending := Flatten(views)
+	for len(pending) > 0 {
+		// A failed dispatch may revert a shared precedent and demote other
+		// pending tasks back to blocked; drop them from this pass.
+		alive := pending[:0]
+		for _, rt := range pending {
+			if rt.Task.State == grid.TaskSchedulePoint {
+				alive = append(alive, rt)
+			}
+		}
+		pending = alive
+		if len(pending) == 0 {
+			return
+		}
+		rows := make([]MatrixRow, len(pending))
+		for i, rt := range pending {
+			rows[i] = computeRow(g, rt, cands)
+		}
+		pick := s.Pick(rows)
+		if pick < 0 || pick >= len(rows) {
+			return
+		}
+		row := rows[pick]
+		if row.BestIdx < 0 {
+			return
+		}
+		row.Task.SufferageAtDispatch = row.Sufferage()
+		if !dispatchTo(g, home, row.Task, cands, row.BestIdx, row.RPM, row.Makespan) {
+			// Stale record: drop the vanished candidate, keep the task
+			// pending, and rebuild the matrix.
+			cands = removeCandidate(cands, row.BestIdx)
+			if len(cands) == 0 {
+				return
+			}
+			continue
+		}
+		pending = append(pending[:pick], pending[pick+1:]...)
+	}
+}
+
+func computeRow(g *grid.Grid, rt RankedTask, cands []Candidate) MatrixRow {
+	row := MatrixRow{
+		Task: rt.Task, RPM: rt.RPM, Makespan: rt.Makespan,
+		BestIdx: -1, BestFT: math.Inf(1), SecondFT: math.Inf(1),
+	}
+	for i := range cands {
+		ft := FinishTime(g, rt.Task, cands[i])
+		switch {
+		case ft < row.BestFT:
+			row.SecondFT = row.BestFT
+			row.BestFT = ft
+			row.BestIdx = i
+		case ft < row.SecondFT:
+			row.SecondFT = ft
+		}
+	}
+	return row
+}
+
+// PickMinMin selects the row whose best FT is smallest (ties: first row).
+func PickMinMin(rows []MatrixRow) int {
+	best := 0
+	for i := 1; i < len(rows); i++ {
+		if rows[i].BestFT < rows[best].BestFT {
+			best = i
+		}
+	}
+	return best
+}
+
+// PickMaxMin selects the row whose best FT is largest.
+func PickMaxMin(rows []MatrixRow) int {
+	best := 0
+	for i := 1; i < len(rows); i++ {
+		if rows[i].BestFT > rows[best].BestFT {
+			best = i
+		}
+	}
+	return best
+}
+
+// PickSufferage selects the row with the largest sufferage.
+func PickSufferage(rows []MatrixRow) int {
+	best := 0
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Sufferage() > rows[best].Sufferage() {
+			best = i
+		}
+	}
+	return best
+}

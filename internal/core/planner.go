@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/grid"
+)
+
+// Planner is the full-ahead (static) scheduling machinery shared by the
+// HEFT and SMF baselines. It runs once before execution starts with global
+// information: every alive node's capacity and the true network, exactly
+// the "centralized scheduler" premise of traditional Grids. Within one
+// workflow, tasks are ranked by RPM (HEFT's upward rank - "it uses a
+// recursive procedure to compute the rank for each task, which is similar
+// to the way we compute RPM") and each is placed on the node minimizing its
+// estimated finish time given the nodes' accumulating availability.
+//
+// OrderWorkflows is the only degree of freedom: HEFT keeps submission
+// order; SMF sorts by expected makespan ascending ("SMF gives higher
+// priority to the workflows with shorter makespans").
+type Planner struct {
+	Label          string
+	OrderWorkflows func(g *grid.Grid, wfs []*grid.WorkflowInstance) []*grid.WorkflowInstance
+
+	// Insertion enables insertion-based placement (the policy of the
+	// original HEFT paper): a task may slide into an idle gap between two
+	// already-planned tasks instead of queueing at the end. The default
+	// non-insertion policy keeps one availability time per node.
+	Insertion bool
+
+	avail map[int]float64       // node -> CPU availability (non-insertion)
+	sched map[int]*nodeSchedule // node -> busy intervals (insertion)
+}
+
+// nodeSchedule tracks a node's planned busy intervals for insertion-based
+// placement, kept sorted by start time.
+type nodeSchedule struct {
+	starts, ends []float64
+}
+
+// earliestSlot returns the earliest start >= ready with an idle gap of at
+// least dur.
+func (s *nodeSchedule) earliestSlot(ready, dur float64) float64 {
+	cur := ready
+	for i := range s.starts {
+		if s.ends[i] <= cur {
+			continue
+		}
+		if s.starts[i]-cur >= dur {
+			return cur
+		}
+		if s.ends[i] > cur {
+			cur = s.ends[i]
+		}
+	}
+	return cur
+}
+
+// insert records a busy interval [start, start+dur), keeping order.
+func (s *nodeSchedule) insert(start, dur float64) {
+	i := 0
+	for i < len(s.starts) && s.starts[i] < start {
+		i++
+	}
+	s.starts = append(s.starts, 0)
+	s.ends = append(s.ends, 0)
+	copy(s.starts[i+1:], s.starts[i:])
+	copy(s.ends[i+1:], s.ends[i:])
+	s.starts[i] = start
+	s.ends[i] = start + dur
+}
+
+// Name implements grid.FullAheadPlanner.
+func (p *Planner) Name() string { return p.Label }
+
+// PlanAll implements grid.FullAheadPlanner.
+func (p *Planner) PlanAll(g *grid.Grid, wfs []*grid.WorkflowInstance) {
+	if p.avail == nil {
+		p.avail = make(map[int]float64, len(g.Nodes))
+	}
+	if p.Insertion && p.sched == nil {
+		p.sched = make(map[int]*nodeSchedule, len(g.Nodes))
+	}
+	order := wfs
+	if p.OrderWorkflows != nil {
+		order = p.OrderWorkflows(g, wfs)
+	}
+	for _, wf := range order {
+		p.planOne(g, wf)
+	}
+}
+
+// planOne assigns every real task of wf to a node, list-scheduling by
+// descending RPM with earliest-finish-time placement.
+func (p *Planner) planOne(g *grid.Grid, wf *grid.WorkflowInstance) {
+	avgCap, avgBW := g.TrueAverages()
+	est := dag.Estimates{AvgCapacityMIPS: avgCap, AvgBandwidthMbs: avgBW}
+	rpm := dag.RPM(wf.W, est)
+
+	order := append([]dag.TaskID(nil), wf.W.TopoOrder()...)
+	sort.SliceStable(order, func(i, j int) bool { return rpm[order[i]] > rpm[order[j]] })
+
+	aft := make([]float64, wf.W.Len()) // planned absolute finish times
+	placed := make([]int, wf.W.Len())  // planned nodes
+	for i := range placed {
+		placed[i] = -1
+	}
+	plan := make(map[int]int)
+
+	for _, id := range order {
+		task := wf.W.Task(id)
+		if task.Virtual {
+			// Zero-cost bookkeeping task: finishes at its precedents' max
+			// AFT on the home node.
+			var ready float64
+			for _, e := range wf.W.Predecessors(id) {
+				if aft[e.From] > ready {
+					ready = aft[e.From]
+				}
+			}
+			aft[id] = ready
+			placed[id] = wf.Home
+			continue
+		}
+		bestNode, bestEFT := -1, math.Inf(1)
+		for _, nd := range g.Nodes {
+			if !nd.Alive {
+				continue
+			}
+			// Data-ready time on nd: precedents' outputs plus the task
+			// image from the home node, true network costs (global info).
+			var startFloor float64
+			for _, e := range wf.W.Predecessors(id) {
+				src := placed[e.From]
+				if src < 0 {
+					src = wf.Home
+				}
+				if v := aft[e.From] + g.Net.TransferTime(src, nd.ID, e.DataMb); v > startFloor {
+					startFloor = v
+				}
+			}
+			if v := g.Net.TransferTime(wf.Home, nd.ID, task.ImageMb); v > startFloor {
+				startFloor = v
+			}
+			dur := task.Load / nd.Capacity
+			var eft float64
+			if p.Insertion {
+				sc := p.sched[nd.ID]
+				if sc == nil {
+					sc = &nodeSchedule{}
+					p.sched[nd.ID] = sc
+				}
+				eft = sc.earliestSlot(startFloor, dur) + dur
+			} else {
+				eft = math.Max(p.avail[nd.ID], startFloor) + dur
+			}
+			if eft < bestEFT {
+				bestNode, bestEFT = nd.ID, eft
+			}
+		}
+		if bestNode < 0 {
+			return // no alive nodes: leave the plan partial; dispatch fails
+		}
+		placed[id] = bestNode
+		aft[id] = bestEFT
+		if p.Insertion {
+			dur := task.Load / g.Nodes[bestNode].Capacity
+			p.sched[bestNode].insert(bestEFT-dur, dur)
+		} else {
+			p.avail[bestNode] = bestEFT
+		}
+		plan[int(id)] = bestNode
+	}
+	wf.PlannedNodes = plan
+}
+
+// NewHEFTInsertion builds the insertion-based HEFT variant (the original
+// paper's placement policy), for the planner-policy ablation.
+func NewHEFTInsertion() grid.Algorithm {
+	return grid.Algorithm{
+		Label:   "HEFT-ins",
+		Planner: &Planner{Label: "HEFT-ins", Insertion: true},
+		Phase2:  FCFS{},
+	}
+}
+
+// NewHEFT builds the full-ahead HEFT baseline: submission-order planning,
+// FCFS second phase.
+func NewHEFT() grid.Algorithm {
+	return grid.Algorithm{
+		Label:   "HEFT",
+		Planner: &Planner{Label: "HEFT"},
+		Phase2:  FCFS{},
+	}
+}
+
+// NewSMF builds the full-ahead Shortest Makespan First baseline: workflows
+// planned in ascending expected-makespan order, FCFS second phase.
+func NewSMF() grid.Algorithm {
+	return grid.Algorithm{
+		Label: "SMF",
+		Planner: &Planner{
+			Label: "SMF",
+			OrderWorkflows: func(g *grid.Grid, wfs []*grid.WorkflowInstance) []*grid.WorkflowInstance {
+				avgCap, avgBW := g.TrueAverages()
+				est := dag.Estimates{AvgCapacityMIPS: avgCap, AvgBandwidthMbs: avgBW}
+				out := append([]*grid.WorkflowInstance(nil), wfs...)
+				ms := make(map[*grid.WorkflowInstance]float64, len(out))
+				for _, wf := range out {
+					ms[wf] = dag.ExpectedFinishTime(wf.W, est)
+				}
+				sort.SliceStable(out, func(i, j int) bool { return ms[out[i]] < ms[out[j]] })
+				return out
+			},
+		},
+		Phase2: FCFS{},
+	}
+}

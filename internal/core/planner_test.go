@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func plannerGrid(t *testing.T, algo grid.Algorithm, seed int64) (*sim.Engine, *grid.Grid) {
+	t.Helper()
+	engine := sim.NewEngine()
+	g, err := grid.New(engine, grid.Config{Nodes: 8, Seed: seed}, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine, g
+}
+
+func TestPlannerCoversEveryRealTask(t *testing.T) {
+	_, g := plannerGrid(t, core.NewHEFT(), 3)
+	subs, err := workload.Generate(workload.Config{Nodes: 4, LoadFactor: 2, Gen: dag.DefaultGenConfig(), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subs {
+		if _, err := g.Submit(s.Home, s.Workflow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Start()
+	for _, wf := range g.Workflows {
+		if wf.PlannedNodes == nil {
+			t.Fatalf("workflow %s unplanned after Start", wf.W.Name)
+		}
+		for id := 0; id < wf.W.Len(); id++ {
+			task := wf.W.Task(dag.TaskID(id))
+			if task.Virtual {
+				continue
+			}
+			node, ok := wf.PlannedNodes[id]
+			if !ok {
+				t.Fatalf("task %s missing from plan", task.Name)
+			}
+			if node < 0 || node >= len(g.Nodes) {
+				t.Fatalf("task %s planned on invalid node %d", task.Name, node)
+			}
+		}
+	}
+}
+
+func TestPlannerSpreadsAccumulatingLoad(t *testing.T) {
+	// Planning many identical heavy single-task workflows must not pile
+	// them all on one node: the availability vector accumulates.
+	_, g := plannerGrid(t, core.NewHEFT(), 5)
+	for i := 0; i < 16; i++ {
+		b := dag.NewBuilder("solo")
+		b.AddTask("t", 8000, 10)
+		w, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Submit(0, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Start()
+	used := map[int]int{}
+	for _, wf := range g.Workflows {
+		for _, node := range wf.PlannedNodes {
+			used[node]++
+		}
+	}
+	if len(used) < 3 {
+		t.Fatalf("16 heavy tasks planned on only %d distinct nodes: %v", len(used), used)
+	}
+}
+
+func TestPlannerDeterministic(t *testing.T) {
+	plan := func() map[int]int {
+		_, g := plannerGrid(t, core.NewSMF(), 7)
+		subs, err := workload.Generate(workload.Config{Nodes: 3, LoadFactor: 2, Gen: dag.DefaultGenConfig(), Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range subs {
+			if _, err := g.Submit(s.Home, s.Workflow); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g.Start()
+		merged := map[int]int{}
+		for wi, wf := range g.Workflows {
+			for id, node := range wf.PlannedNodes {
+				merged[wi*1000+id] = node
+			}
+		}
+		return merged
+	}
+	a, b := plan(), plan()
+	if len(a) != len(b) {
+		t.Fatal("plan sizes differ across identical runs")
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("plan diverged at key %d: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+func TestLateSubmissionPlannedImmediately(t *testing.T) {
+	engine, g := plannerGrid(t, core.NewHEFT(), 9)
+	g.Start()
+	engine.RunUntil(1000)
+	b := dag.NewBuilder("late")
+	x := b.AddTask("x", 500, 10)
+	y := b.AddTask("y", 500, 10)
+	b.AddEdge(x, y, 10)
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := g.Submit(2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.PlannedNodes == nil {
+		t.Fatal("post-Start submission must be planned on the spot")
+	}
+	engine.RunUntil(24 * 3600)
+	if wf.State != grid.WorkflowCompleted {
+		t.Fatalf("late workflow state %v", wf.State)
+	}
+}

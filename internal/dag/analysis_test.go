@@ -1,0 +1,185 @@
+package dag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// est1 makes eet == Load and ett == DataMb for easy hand-checking.
+var est1 = Estimates{AvgCapacityMIPS: 1, AvgBandwidthMbs: 1}
+
+func TestRPMDiamondHandComputed(t *testing.T) {
+	w := diamond(t)
+	rpm := RPM(w, est1)
+	// exit: 40. a: 20 + (7+40) = 67. b: 30 + (8+40) = 78.
+	// entry: 10 + max(5+67, 6+78) = 10 + 84 = 94.
+	want := []float64{94, 67, 78, 40}
+	for id, v := range want {
+		if math.Abs(rpm[id]-v) > 1e-12 {
+			t.Errorf("RPM(%d) = %v, want %v", id, rpm[id], v)
+		}
+	}
+}
+
+func TestRPMScalesWithEstimates(t *testing.T) {
+	w := diamond(t)
+	// Doubling capacity and bandwidth halves every RPM.
+	rpmFast := RPM(w, Estimates{AvgCapacityMIPS: 2, AvgBandwidthMbs: 2})
+	rpmSlow := RPM(w, est1)
+	for id := range rpmFast {
+		if math.Abs(rpmFast[id]*2-rpmSlow[id]) > 1e-9 {
+			t.Fatalf("RPM(%d) did not scale: %v vs %v", id, rpmFast[id], rpmSlow[id])
+		}
+	}
+}
+
+func TestExpectedFinishTimeEqualsEntryRPM(t *testing.T) {
+	w := diamond(t)
+	if got, want := ExpectedFinishTime(w, est1), RPM(w, est1)[w.Entry()]; got != want {
+		t.Fatalf("eft = %v, want %v", got, want)
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	w := diamond(t)
+	path, eft := CriticalPath(w, est1)
+	if eft != 94 {
+		t.Fatalf("eft = %v, want 94", eft)
+	}
+	want := []TaskID{0, 2, 3} // entry -> b -> exit (the longer branch)
+	if len(path) != len(want) {
+		t.Fatalf("path %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+}
+
+func TestCriticalPathSumsToEFT(t *testing.T) {
+	rng := stats.NewRand(77, 1)
+	for trial := 0; trial < 50; trial++ {
+		w, err := Generate("cp", DefaultGenConfig(), rng)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		path, eft := CriticalPath(w, est1)
+		// Sum eet along path plus ett of each consecutive edge.
+		var sum float64
+		for i, id := range path {
+			sum += est1.EET(w.Task(id))
+			if i+1 < len(path) {
+				found := false
+				for _, e := range w.Successors(id) {
+					if e.To == path[i+1] {
+						sum += est1.ETT(e)
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("critical path hop %d->%d is not an edge", id, path[i+1])
+				}
+			}
+		}
+		if math.Abs(sum-eft) > 1e-9*math.Max(1, eft) {
+			t.Fatalf("critical path sum %v != eft %v", sum, eft)
+		}
+		if path[0] != w.Entry() || path[len(path)-1] != w.Exit() {
+			t.Fatal("critical path must run entry->exit")
+		}
+	}
+}
+
+func TestZeroCapacityGivesInfiniteEstimates(t *testing.T) {
+	e := Estimates{}
+	if !math.IsInf(e.EET(Task{Load: 5}), 1) {
+		t.Fatal("EET with zero capacity must be +Inf")
+	}
+	if !math.IsInf(e.ETT(Edge{DataMb: 5}), 1) {
+		t.Fatal("ETT with zero bandwidth must be +Inf")
+	}
+	if e.EET(Task{Load: 0}) != 0 || e.ETT(Edge{DataMb: 0}) != 0 {
+		t.Fatal("zero-cost task/edge must estimate 0 even with zero averages")
+	}
+}
+
+func TestVirtualTasksAreFreeInRPM(t *testing.T) {
+	b := NewBuilder("multi")
+	a := b.AddTask("a", 10, 1)
+	c := b.AddTask("b", 20, 1)
+	_ = a
+	_ = c
+	w, err := b.Build() // two isolated tasks -> virtual entry+exit
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpm := RPM(w, est1)
+	// Virtual entry RPM = max over the two branches = 20 (+0 costs).
+	if rpm[w.Entry()] != 20 {
+		t.Fatalf("virtual entry RPM = %v, want 20", rpm[w.Entry()])
+	}
+	if rpm[w.Exit()] != 0 {
+		t.Fatalf("virtual exit RPM = %v, want 0", rpm[w.Exit()])
+	}
+}
+
+// Property: the linear-time reverse-topological RPM matches the exponential
+// brute-force path enumeration on small random workflows.
+func TestQuickRPMMatchesBruteForce(t *testing.T) {
+	cfg := GenConfig{
+		Tasks:   stats.Range{Min: 2, Max: 12},
+		FanOut:  stats.Range{Min: 1, Max: 3},
+		LoadMI:  stats.Range{Min: 100, Max: 10000},
+		ImageMb: stats.Range{Min: 10, Max: 100},
+		DataMb:  stats.Range{Min: 10, Max: 1000},
+	}
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed, 2)
+		w, err := Generate("bf", cfg, rng)
+		if err != nil {
+			return false
+		}
+		est := Estimates{AvgCapacityMIPS: 6.2, AvgBandwidthMbs: 5.05}
+		rpm := RPM(w, est)
+		for id := 0; id < w.Len(); id++ {
+			want := bruteForceRPM(w, est, TaskID(id))
+			if math.Abs(rpm[id]-want) > 1e-9*math.Max(1, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RPM is monotone along edges: RPM(u) >= eet(u) + ett(u->v) + ...
+// in particular RPM(u) > RPM(v) whenever u->v and eet(u) > 0.
+func TestQuickRPMMonotoneAlongEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed, 3)
+		w, err := Generate("mono", DefaultGenConfig(), rng)
+		if err != nil {
+			return false
+		}
+		rpm := RPM(w, est1)
+		for id := 0; id < w.Len(); id++ {
+			for _, e := range w.Successors(TaskID(id)) {
+				lower := est1.EET(w.Task(TaskID(id))) + est1.ETT(e) + rpm[e.To]
+				if rpm[id] < lower-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// This file provides structured workflow families modelled on the
+// scientific applications that motivate the paper's introduction. Unlike
+// Generate's uniformly random DAGs, these constructors produce the
+// characteristic shapes of real workflow suites (pipelines, fork-joins,
+// Montage mosaics, Epigenomics lanes), parameterized by the same Table I
+// weight ranges.
+
+// Weights samples task and edge weights for family constructors.
+type Weights struct {
+	LoadMI  stats.Range
+	ImageMb stats.Range
+	DataMb  stats.Range
+	Rng     *rand.Rand
+}
+
+// DefaultWeights returns Table I weights driven by the given generator.
+func DefaultWeights(rng *rand.Rand) Weights {
+	return Weights{
+		LoadMI:  stats.Range{Min: 100, Max: 10000},
+		ImageMb: stats.Range{Min: 10, Max: 100},
+		DataMb:  stats.Range{Min: 10, Max: 1000},
+		Rng:     rng,
+	}
+}
+
+func (w Weights) load() float64  { return w.LoadMI.Sample(w.Rng) }
+func (w Weights) image() float64 { return w.ImageMb.Sample(w.Rng) }
+func (w Weights) data() float64  { return w.DataMb.Sample(w.Rng) }
+
+// Pipeline builds a linear chain of n tasks, the simplest workflow shape
+// (sequential data-processing stages).
+func Pipeline(name string, n int, w Weights) (*Workflow, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dag: pipeline needs at least 1 stage, got %d", n)
+	}
+	b := NewBuilder(name)
+	prev := b.AddTask(fmt.Sprintf("%s/stage0", name), w.load(), w.image())
+	for i := 1; i < n; i++ {
+		cur := b.AddTask(fmt.Sprintf("%s/stage%d", name, i), w.load(), w.image())
+		b.AddEdge(prev, cur, w.data())
+		prev = cur
+	}
+	return b.Build()
+}
+
+// ForkJoin builds stages of width parallel tasks with full barriers between
+// consecutive stages (classic bulk-synchronous structure: split, process in
+// parallel, merge, repeat).
+func ForkJoin(name string, width, joinStages int, w Weights) (*Workflow, error) {
+	if width < 1 || joinStages < 1 {
+		return nil, fmt.Errorf("dag: fork-join needs positive width/stages, got %d/%d", width, joinStages)
+	}
+	b := NewBuilder(name)
+	src := b.AddTask(name+"/split", w.load(), w.image())
+	prevJoin := src
+	for s := 0; s < joinStages; s++ {
+		join := TaskID(-1)
+		branch := make([]TaskID, width)
+		for i := 0; i < width; i++ {
+			branch[i] = b.AddTask(fmt.Sprintf("%s/s%d-b%d", name, s, i), w.load(), w.image())
+			b.AddEdge(prevJoin, branch[i], w.data())
+		}
+		join = b.AddTask(fmt.Sprintf("%s/join%d", name, s), w.load(), w.image())
+		for i := 0; i < width; i++ {
+			b.AddEdge(branch[i], join, w.data())
+		}
+		prevJoin = join
+	}
+	return b.Build()
+}
+
+// Montage builds the astronomy mosaic workflow shape: per-image
+// reprojection, pairwise overlap fitting, a global background model,
+// per-image background correction, and the final co-addition.
+func Montage(name string, images int, w Weights) (*Workflow, error) {
+	if images < 2 {
+		return nil, fmt.Errorf("dag: montage needs at least 2 images, got %d", images)
+	}
+	b := NewBuilder(name)
+	proj := make([]TaskID, images)
+	for i := range proj {
+		proj[i] = b.AddTask(fmt.Sprintf("%s/mProject%d", name, i), w.load(), w.image())
+	}
+	fit := make([]TaskID, 0, images-1)
+	for i := 0; i+1 < images; i++ {
+		f := b.AddTask(fmt.Sprintf("%s/mDiffFit%d", name, i), w.load()/2, w.image())
+		b.AddEdge(proj[i], f, w.data())
+		b.AddEdge(proj[i+1], f, w.data())
+		fit = append(fit, f)
+	}
+	model := b.AddTask(name+"/mBgModel", w.load(), w.image())
+	for _, f := range fit {
+		b.AddEdge(f, model, w.data()/4)
+	}
+	correct := make([]TaskID, images)
+	for i := range correct {
+		correct[i] = b.AddTask(fmt.Sprintf("%s/mBackground%d", name, i), w.load()/2, w.image())
+		b.AddEdge(proj[i], correct[i], w.data())
+		b.AddEdge(model, correct[i], w.data()/8)
+	}
+	mosaic := b.AddTask(name+"/mAdd", w.load()*2, w.image())
+	for _, c := range correct {
+		b.AddEdge(c, mosaic, w.data())
+	}
+	return b.Build()
+}
+
+// Epigenomics builds the genome-sequencing workflow shape: independent
+// lanes of a fixed 4-stage pipeline (filter, map, merge-prep, map-merge)
+// that converge into a global merge and final indexing.
+func Epigenomics(name string, lanes int, w Weights) (*Workflow, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("dag: epigenomics needs at least 1 lane, got %d", lanes)
+	}
+	b := NewBuilder(name)
+	split := b.AddTask(name+"/fastqSplit", w.load()/2, w.image())
+	laneEnds := make([]TaskID, lanes)
+	stages := []string{"filterContams", "sol2sanger", "fastq2bfq", "map"}
+	for l := 0; l < lanes; l++ {
+		prev := split
+		for _, st := range stages {
+			cur := b.AddTask(fmt.Sprintf("%s/%s%d", name, st, l), w.load(), w.image())
+			b.AddEdge(prev, cur, w.data())
+			prev = cur
+		}
+		laneEnds[l] = prev
+	}
+	merge := b.AddTask(name+"/mapMerge", w.load(), w.image())
+	for _, e := range laneEnds {
+		b.AddEdge(e, merge, w.data())
+	}
+	index := b.AddTask(name+"/maqIndex", w.load()/2, w.image())
+	b.AddEdge(merge, index, w.data())
+	return b.Build()
+}
+
+// FamilyByName builds a family workflow by its name, sized by the scale
+// parameter: pipeline(scale stages), forkjoin(scale wide, 2 stages),
+// montage(scale images), epigenomics(scale lanes).
+func FamilyByName(family, name string, scale int, w Weights) (*Workflow, error) {
+	switch family {
+	case "pipeline":
+		return Pipeline(name, scale, w)
+	case "forkjoin":
+		return ForkJoin(name, scale, 2, w)
+	case "montage":
+		return Montage(name, scale, w)
+	case "epigenomics":
+		return Epigenomics(name, scale, w)
+	default:
+		return nil, fmt.Errorf("dag: unknown workflow family %q", family)
+	}
+}
+
+// Families lists the available family names.
+func Families() []string {
+	return []string{"pipeline", "forkjoin", "montage", "epigenomics"}
+}

@@ -1,0 +1,144 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func weights(seed int64) Weights {
+	return DefaultWeights(stats.NewRand(seed, 0xFA))
+}
+
+func TestPipelineShape(t *testing.T) {
+	w, err := Pipeline("p", 5, weights(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 5 {
+		t.Fatalf("pipeline Len %d, want 5 (no virtual tasks)", w.Len())
+	}
+	if w.Edges() != 4 {
+		t.Fatalf("pipeline edges %d, want 4", w.Edges())
+	}
+	// Every interior task has exactly one predecessor and one successor.
+	for id := 0; id < w.Len(); id++ {
+		in, out := len(w.Predecessors(TaskID(id))), len(w.Successors(TaskID(id)))
+		if in > 1 || out > 1 {
+			t.Fatalf("task %d has in=%d out=%d, want chain", id, in, out)
+		}
+	}
+	if _, err := Pipeline("bad", 0, weights(1)); err == nil {
+		t.Fatal("zero-stage pipeline accepted")
+	}
+}
+
+func TestForkJoinShape(t *testing.T) {
+	w, err := ForkJoin("fj", 4, 3, weights(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// split + 3*(4 branches + 1 join) = 16 tasks, single entry/exit.
+	if w.Len() != 16 {
+		t.Fatalf("forkjoin Len %d, want 16", w.Len())
+	}
+	if w.Task(w.Entry()).Virtual || w.Task(w.Exit()).Virtual {
+		t.Fatal("fork-join should have natural unique entry/exit")
+	}
+	// The split fans out to exactly `width` branches.
+	if got := len(w.Successors(w.Entry())); got != 4 {
+		t.Fatalf("split fan-out %d, want 4", got)
+	}
+	if _, err := ForkJoin("bad", 0, 1, weights(2)); err == nil {
+		t.Fatal("zero-width fork-join accepted")
+	}
+}
+
+func TestMontageShape(t *testing.T) {
+	images := 5
+	w, err := Montage("m", images, weights(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 projections (multi-entry -> virtual entry added), 4 fits, 1 model,
+	// 5 corrections, 1 mosaic = 16 real + 1 virtual entry.
+	real := 0
+	for id := 0; id < w.Len(); id++ {
+		if !w.Task(TaskID(id)).Virtual {
+			real++
+		}
+	}
+	if real != 16 {
+		t.Fatalf("montage real tasks %d, want 16", real)
+	}
+	// The mosaic is the unique exit and joins all corrections.
+	exit := w.Task(w.Exit())
+	if exit.Virtual || !strings.Contains(exit.Name, "mAdd") {
+		t.Fatalf("exit task %q, want mAdd", exit.Name)
+	}
+	if got := len(w.Predecessors(w.Exit())); got != images {
+		t.Fatalf("mosaic joins %d corrections, want %d", got, images)
+	}
+	if _, err := Montage("bad", 1, weights(3)); err == nil {
+		t.Fatal("single-image montage accepted")
+	}
+}
+
+func TestEpigenomicsShape(t *testing.T) {
+	lanes := 3
+	w, err := Epigenomics("e", lanes, weights(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// split + 3 lanes x 4 stages + merge + index = 15, natural entry/exit.
+	if w.Len() != 15 {
+		t.Fatalf("epigenomics Len %d, want 15", w.Len())
+	}
+	if got := len(w.Successors(w.Entry())); got != lanes {
+		t.Fatalf("split fans to %d lanes, want %d", got, lanes)
+	}
+	if got := len(w.Predecessors(TaskID(w.Len() - 2))); got != lanes {
+		t.Fatalf("merge joins %d lanes, want %d", got, lanes)
+	}
+	if _, err := Epigenomics("bad", 0, weights(4)); err == nil {
+		t.Fatal("zero-lane epigenomics accepted")
+	}
+}
+
+func TestFamilyByName(t *testing.T) {
+	for _, fam := range Families() {
+		w, err := FamilyByName(fam, "t", 3, weights(5))
+		if err != nil {
+			t.Fatalf("family %s: %v", fam, err)
+		}
+		if w.Len() < 3 {
+			t.Fatalf("family %s produced %d tasks", fam, w.Len())
+		}
+		// Every family must produce a valid critical path.
+		if eft := ExpectedFinishTime(w, Estimates{AvgCapacityMIPS: 6, AvgBandwidthMbs: 5}); eft <= 0 {
+			t.Fatalf("family %s eft %v", fam, eft)
+		}
+	}
+	if _, err := FamilyByName("nonsense", "t", 3, weights(5)); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestFamilyWeightsWithinRanges(t *testing.T) {
+	ws := weights(6)
+	w, err := Montage("mw", 4, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < w.Len(); id++ {
+		task := w.Task(TaskID(id))
+		if task.Virtual {
+			continue
+		}
+		// Loads scale by family factors up to 2x and down to /2.
+		if task.Load < ws.LoadMI.Min/2-1e-9 || task.Load > ws.LoadMI.Max*2+1e-9 {
+			t.Fatalf("task %s load %v outside scaled Table I range", task.Name, task.Load)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON interchange format for workflows, so generated DAGs can be saved,
+// inspected, and re-loaded by external tools (and by cmd/wfgen). Virtual
+// normalization tasks are not serialized: Build() re-normalizes on load, so
+// the round trip is canonical.
+
+type jsonTask struct {
+	Name    string  `json:"name"`
+	LoadMI  float64 `json:"load_mi"`
+	ImageMb float64 `json:"image_mb"`
+}
+
+type jsonEdge struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	DataMb float64 `json:"data_mb"`
+}
+
+type jsonWorkflow struct {
+	Name  string     `json:"name"`
+	Tasks []jsonTask `json:"tasks"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+// MarshalJSON encodes the workflow's real tasks and edges. Task indices in
+// the encoded edges refer to positions in the encoded task list.
+func (w *Workflow) MarshalJSON() ([]byte, error) {
+	jw := jsonWorkflow{Name: w.Name}
+	// Map real task ids to compact indices.
+	index := make(map[TaskID]int, len(w.tasks))
+	for _, t := range w.tasks {
+		if t.Virtual {
+			continue
+		}
+		index[t.ID] = len(jw.Tasks)
+		jw.Tasks = append(jw.Tasks, jsonTask{Name: t.Name, LoadMI: t.Load, ImageMb: t.ImageMb})
+	}
+	for _, es := range w.succ {
+		for _, e := range es {
+			fi, fok := index[e.From]
+			ti, tok := index[e.To]
+			if !fok || !tok {
+				continue // edges to virtual tasks are normalization artifacts
+			}
+			jw.Edges = append(jw.Edges, jsonEdge{From: fi, To: ti, DataMb: e.DataMb})
+		}
+	}
+	return json.Marshal(jw)
+}
+
+// UnmarshalWorkflow decodes a workflow produced by MarshalJSON, running the
+// standard validation and normalization.
+func UnmarshalWorkflow(data []byte) (*Workflow, error) {
+	var jw jsonWorkflow
+	if err := json.Unmarshal(data, &jw); err != nil {
+		return nil, fmt.Errorf("dag: decode workflow: %w", err)
+	}
+	if len(jw.Tasks) == 0 {
+		return nil, fmt.Errorf("dag: workflow %q has no tasks", jw.Name)
+	}
+	b := NewBuilder(jw.Name)
+	ids := make([]TaskID, len(jw.Tasks))
+	for i, t := range jw.Tasks {
+		ids[i] = b.AddTask(t.Name, t.LoadMI, t.ImageMb)
+	}
+	for _, e := range jw.Edges {
+		if e.From < 0 || e.From >= len(ids) || e.To < 0 || e.To >= len(ids) {
+			return nil, fmt.Errorf("dag: edge %d->%d out of range", e.From, e.To)
+		}
+		b.AddEdge(ids[e.From], ids[e.To], e.DataMb)
+	}
+	return b.Build()
+}

@@ -1,0 +1,113 @@
+package dag
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestJSONRoundTripPreservesStructure(t *testing.T) {
+	rng := stats.NewRand(11, 0x11)
+	orig, err := Generate("rt", DefaultGenConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := UnmarshalWorkflow(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Len() != orig.Len() || back.Edges() != orig.Edges() {
+		t.Fatalf("round trip changed shape: %d/%d tasks, %d/%d edges",
+			back.Len(), orig.Len(), back.Edges(), orig.Edges())
+	}
+	if back.TotalLoad() != orig.TotalLoad() {
+		t.Fatalf("round trip changed load: %v vs %v", back.TotalLoad(), orig.TotalLoad())
+	}
+	est := Estimates{AvgCapacityMIPS: 6.2, AvgBandwidthMbs: 5.05}
+	if a, b := ExpectedFinishTime(orig, est), ExpectedFinishTime(back, est); a != b {
+		t.Fatalf("round trip changed eft: %v vs %v", a, b)
+	}
+}
+
+func TestJSONVirtualTasksNotSerialized(t *testing.T) {
+	// Two isolated tasks force a virtual entry and exit.
+	b := NewBuilder("virt")
+	b.AddTask("a", 10, 1)
+	b.AddTask("b", 20, 1)
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Tasks []struct {
+			Name string `json:"name"`
+		} `json:"tasks"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Tasks) != 2 {
+		t.Fatalf("serialized %d tasks, want 2 real tasks only", len(decoded.Tasks))
+	}
+	back, err := UnmarshalWorkflow(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != w.Len() {
+		t.Fatalf("re-normalization mismatch: %d vs %d", back.Len(), w.Len())
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalWorkflow([]byte("{")); err == nil {
+		t.Fatal("syntactic garbage accepted")
+	}
+	if _, err := UnmarshalWorkflow([]byte(`{"name":"x","tasks":[],"edges":[]}`)); err == nil {
+		t.Fatal("empty workflow accepted")
+	}
+	bad := `{"name":"x","tasks":[{"name":"a","load_mi":1}],"edges":[{"from":0,"to":9,"data_mb":1}]}`
+	if _, err := UnmarshalWorkflow([]byte(bad)); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	cyc := `{"name":"x","tasks":[{"name":"a","load_mi":1},{"name":"b","load_mi":1}],` +
+		`"edges":[{"from":0,"to":1,"data_mb":1},{"from":1,"to":0,"data_mb":1}]}`
+	if _, err := UnmarshalWorkflow([]byte(cyc)); err == nil {
+		t.Fatal("cyclic workflow accepted")
+	}
+}
+
+// Property: round-tripping any generated workflow preserves its RPM vector
+// over real tasks.
+func TestQuickJSONRoundTripPreservesRPM(t *testing.T) {
+	est := Estimates{AvgCapacityMIPS: 2, AvgBandwidthMbs: 3}
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed, 0x12)
+		w, err := Generate("q", DefaultGenConfig(), rng)
+		if err != nil {
+			return false
+		}
+		data, err := json.Marshal(w)
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalWorkflow(data)
+		if err != nil {
+			return false
+		}
+		// Compare entry RPM (the workflow makespan) - structure-invariant.
+		return ExpectedFinishTime(w, est) == ExpectedFinishTime(back, est)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package dag
+
+// Shape summarizes a workflow's structure: depth (longest hop count from
+// entry to exit), maximum width (largest antichain by level), and the
+// parallelism degree (real tasks / depth). These feed wfgen's summary and
+// the workload characterization tests.
+type Shape struct {
+	RealTasks   int
+	Edges       int
+	Depth       int     // number of levels (entry level = 1)
+	MaxWidth    int     // most tasks on one level
+	Parallelism float64 // RealTasks / Depth
+	CPLength    int     // tasks on the unit-weight critical path
+}
+
+// ShapeOf computes structural statistics. Levels are assigned by longest
+// path from the entry (virtual tasks excluded from counts but traversed).
+func ShapeOf(w *Workflow) Shape {
+	level := make([]int, w.Len())
+	for _, id := range w.TopoOrder() {
+		for _, e := range w.Successors(id) {
+			bump := 1
+			if w.Task(id).Virtual {
+				bump = 0 // virtual entry does not add a level
+			}
+			if level[id]+bump > level[e.To] {
+				level[e.To] = level[id] + bump
+			}
+		}
+	}
+	s := Shape{Edges: w.Edges()}
+	width := map[int]int{}
+	maxLevel := 0
+	for id := 0; id < w.Len(); id++ {
+		t := w.Task(TaskID(id))
+		if t.Virtual {
+			continue
+		}
+		s.RealTasks++
+		width[level[id]]++
+		if level[id] > maxLevel {
+			maxLevel = level[id]
+		}
+	}
+	s.Depth = maxLevel + 1
+	if w.Task(w.Entry()).Virtual {
+		s.Depth-- // levels started at 1 for real tasks under a virtual entry
+		if s.Depth < 1 && s.RealTasks > 0 {
+			s.Depth = 1
+		}
+	}
+	for _, c := range width {
+		if c > s.MaxWidth {
+			s.MaxWidth = c
+		}
+	}
+	if s.Depth > 0 {
+		s.Parallelism = float64(s.RealTasks) / float64(s.Depth)
+	}
+	// Unit-weight critical path: longest chain in hops.
+	unit := Estimates{AvgCapacityMIPS: 1, AvgBandwidthMbs: 1}
+	path, _ := CriticalPath(w, unit)
+	for _, id := range path {
+		if !w.Task(id).Virtual {
+			s.CPLength++
+		}
+	}
+	return s
+}

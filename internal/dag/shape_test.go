@@ -1,0 +1,82 @@
+package dag
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestShapeOfPipeline(t *testing.T) {
+	w, err := Pipeline("p", 6, DefaultWeights(stats.NewRand(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ShapeOf(w)
+	if s.RealTasks != 6 || s.Depth != 6 || s.MaxWidth != 1 {
+		t.Fatalf("pipeline shape %+v", s)
+	}
+	if s.Parallelism != 1 {
+		t.Fatalf("pipeline parallelism %v, want 1", s.Parallelism)
+	}
+	if s.CPLength != 6 {
+		t.Fatalf("pipeline CP length %d, want 6", s.CPLength)
+	}
+}
+
+func TestShapeOfForkJoin(t *testing.T) {
+	w, err := ForkJoin("fj", 5, 1, DefaultWeights(stats.NewRand(2, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ShapeOf(w)
+	// split -> 5 branches -> join: depth 3, width 5, 7 tasks.
+	if s.RealTasks != 7 || s.Depth != 3 || s.MaxWidth != 5 {
+		t.Fatalf("forkjoin shape %+v", s)
+	}
+	if s.CPLength != 3 {
+		t.Fatalf("forkjoin CP length %d, want 3", s.CPLength)
+	}
+}
+
+func TestShapeOfSingleTask(t *testing.T) {
+	b := NewBuilder("one")
+	b.AddTask("t", 10, 1)
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ShapeOf(w)
+	if s.RealTasks != 1 || s.Depth != 1 || s.MaxWidth != 1 || s.CPLength != 1 {
+		t.Fatalf("single-task shape %+v", s)
+	}
+}
+
+func TestShapeOfVirtualEntryNotCounted(t *testing.T) {
+	// Two isolated tasks: virtual entry+exit, both real tasks on level 1.
+	b := NewBuilder("iso")
+	b.AddTask("a", 10, 1)
+	b.AddTask("b", 10, 1)
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ShapeOf(w)
+	if s.RealTasks != 2 || s.MaxWidth != 2 || s.Depth != 1 {
+		t.Fatalf("isolated-pair shape %+v", s)
+	}
+}
+
+func TestShapeParallelismOrdering(t *testing.T) {
+	ws := DefaultWeights(stats.NewRand(3, 1))
+	chain, err := Pipeline("c", 8, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := ForkJoin("w", 8, 1, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ShapeOf(wide).Parallelism <= ShapeOf(chain).Parallelism {
+		t.Fatal("fork-join must be more parallel than a chain")
+	}
+}

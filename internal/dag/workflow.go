@@ -1,0 +1,243 @@
+// Package dag models scientific workflows as directed acyclic graphs, the
+// paper's Section II. Vertices are tasks weighted by computational load
+// (million instructions); edges carry the dependent data (Mb) a successor
+// must collect before it can run. The package provides construction and
+// validation, the paper's normalization to a unique zero-cost entry and exit
+// task, topological analysis, the rest-path-makespan (RPM) recursion of
+// Eq. 7, the critical-path expected finish time of Eq. 1, and a random
+// workflow generator following Table I.
+package dag
+
+import "fmt"
+
+// TaskID indexes a task inside one workflow.
+type TaskID int
+
+// Task is a workflow vertex.
+type Task struct {
+	ID      TaskID
+	Name    string
+	Load    float64 // computational amount in MI (million instructions)
+	ImageMb float64 // task image shipped from home node to the resource node
+	Virtual bool    // zero-cost entry/exit added by normalization
+}
+
+// Edge is a data dependency: To cannot start before From's output
+// (DataMb megabits) has been transmitted to To's execution node.
+type Edge struct {
+	From, To TaskID
+	DataMb   float64
+}
+
+// Workflow is an immutable DAG with a unique entry and exit task. Build one
+// with a Builder (or the generator); the constructor validates acyclicity
+// and normalizes multiple entries/exits with virtual zero-cost tasks exactly
+// as Section II.A prescribes.
+type Workflow struct {
+	Name  string
+	tasks []Task
+	succ  [][]Edge // indexed by From
+	pred  [][]Edge // indexed by To
+	entry TaskID
+	exit  TaskID
+	topo  []TaskID // cached topological order
+}
+
+// Len returns the number of tasks (including virtual ones).
+func (w *Workflow) Len() int { return len(w.tasks) }
+
+// Task returns the task with the given id.
+func (w *Workflow) Task(id TaskID) Task { return w.tasks[id] }
+
+// Entry returns the unique entry task id.
+func (w *Workflow) Entry() TaskID { return w.entry }
+
+// Exit returns the unique exit task id.
+func (w *Workflow) Exit() TaskID { return w.exit }
+
+// Successors returns the outgoing edges of t. The slice must not be mutated.
+func (w *Workflow) Successors(t TaskID) []Edge { return w.succ[t] }
+
+// Predecessors returns the incoming edges of t. The slice must not be
+// mutated.
+func (w *Workflow) Predecessors(t TaskID) []Edge { return w.pred[t] }
+
+// TopoOrder returns a topological order (entry first, exit last).
+func (w *Workflow) TopoOrder() []TaskID { return w.topo }
+
+// Edges returns the total number of edges, the theta(f) of the paper's
+// complexity analysis.
+func (w *Workflow) Edges() int {
+	n := 0
+	for _, es := range w.succ {
+		n += len(es)
+	}
+	return n
+}
+
+// TotalLoad returns the sum of task loads in MI.
+func (w *Workflow) TotalLoad() float64 {
+	var sum float64
+	for _, t := range w.tasks {
+		sum += t.Load
+	}
+	return sum
+}
+
+// Builder accumulates tasks and edges and validates them into a Workflow.
+type Builder struct {
+	name  string
+	tasks []Task
+	edges []Edge
+}
+
+// NewBuilder starts a workflow definition.
+func NewBuilder(name string) *Builder { return &Builder{name: name} }
+
+// AddTask appends a task and returns its id. Negative loads are rejected at
+// Build time.
+func (b *Builder) AddTask(name string, loadMI, imageMb float64) TaskID {
+	id := TaskID(len(b.tasks))
+	b.tasks = append(b.tasks, Task{ID: id, Name: name, Load: loadMI, ImageMb: imageMb})
+	return id
+}
+
+// AddEdge declares that to depends on from with the given data volume.
+func (b *Builder) AddEdge(from, to TaskID, dataMb float64) {
+	b.edges = append(b.edges, Edge{From: from, To: to, DataMb: dataMb})
+}
+
+// Build validates the graph and returns the normalized workflow.
+func (b *Builder) Build() (*Workflow, error) {
+	n := len(b.tasks)
+	if n == 0 {
+		return nil, fmt.Errorf("dag: workflow %q has no tasks", b.name)
+	}
+	for _, t := range b.tasks {
+		if t.Load < 0 {
+			return nil, fmt.Errorf("dag: task %q has negative load %v", t.Name, t.Load)
+		}
+		if t.ImageMb < 0 {
+			return nil, fmt.Errorf("dag: task %q has negative image size %v", t.Name, t.ImageMb)
+		}
+	}
+	w := &Workflow{
+		Name:  b.name,
+		tasks: append([]Task(nil), b.tasks...),
+		succ:  make([][]Edge, n),
+		pred:  make([][]Edge, n),
+	}
+	seen := make(map[[2]TaskID]bool, len(b.edges))
+	for _, e := range b.edges {
+		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
+			return nil, fmt.Errorf("dag: edge %d->%d out of range in %q", e.From, e.To, b.name)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("dag: self-loop on task %d in %q", e.From, b.name)
+		}
+		if e.DataMb < 0 {
+			return nil, fmt.Errorf("dag: negative data size on edge %d->%d", e.From, e.To)
+		}
+		key := [2]TaskID{e.From, e.To}
+		if seen[key] {
+			return nil, fmt.Errorf("dag: duplicate edge %d->%d in %q", e.From, e.To, b.name)
+		}
+		seen[key] = true
+		w.succ[e.From] = append(w.succ[e.From], e)
+		w.pred[e.To] = append(w.pred[e.To], e)
+	}
+	if err := w.normalize(); err != nil {
+		return nil, err
+	}
+	topo, err := w.topoSort()
+	if err != nil {
+		return nil, err
+	}
+	w.topo = topo
+	return w, nil
+}
+
+// normalize guarantees a unique entry and exit by adding zero-cost virtual
+// tasks when several exist ("another newly added zero-cost task which
+// connects all the original entry tasks can serve as the unique entry").
+func (w *Workflow) normalize() error {
+	var entries, exits []TaskID
+	for _, t := range w.tasks {
+		if len(w.pred[t.ID]) == 0 {
+			entries = append(entries, t.ID)
+		}
+		if len(w.succ[t.ID]) == 0 {
+			exits = append(exits, t.ID)
+		}
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("dag: workflow %q has no entry task (cycle)", w.Name)
+	}
+	if len(exits) == 0 {
+		return fmt.Errorf("dag: workflow %q has no exit task (cycle)", w.Name)
+	}
+	if len(entries) == 1 {
+		w.entry = entries[0]
+	} else {
+		id := w.addVirtual("entry*")
+		for _, e := range entries {
+			edge := Edge{From: id, To: e, DataMb: 0}
+			w.succ[id] = append(w.succ[id], edge)
+			w.pred[e] = append(w.pred[e], edge)
+		}
+		w.entry = id
+	}
+	if len(exits) == 1 {
+		w.exit = exits[0]
+	} else {
+		id := w.addVirtual("exit*")
+		for _, e := range exits {
+			edge := Edge{From: e, To: id, DataMb: 0}
+			w.succ[e] = append(w.succ[e], edge)
+			w.pred[id] = append(w.pred[id], edge)
+		}
+		w.exit = id
+	}
+	return nil
+}
+
+func (w *Workflow) addVirtual(name string) TaskID {
+	id := TaskID(len(w.tasks))
+	w.tasks = append(w.tasks, Task{ID: id, Name: name, Virtual: true})
+	w.succ = append(w.succ, nil)
+	w.pred = append(w.pred, nil)
+	return id
+}
+
+// topoSort returns a Kahn topological order or an error naming a cycle.
+func (w *Workflow) topoSort() ([]TaskID, error) {
+	n := len(w.tasks)
+	indeg := make([]int, n)
+	for _, es := range w.succ {
+		for _, e := range es {
+			indeg[e.To]++
+		}
+	}
+	queue := make([]TaskID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, TaskID(i))
+		}
+	}
+	order := make([]TaskID, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, e := range w.succ[u] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("dag: workflow %q contains a cycle", w.Name)
+	}
+	return order, nil
+}

@@ -1,0 +1,5 @@
+package experiments
+
+import "repro/internal/sim"
+
+func defaultEngine() *sim.Engine { return sim.NewEngine() }

@@ -1,0 +1,232 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section IV). Each figure has a runner producing the same
+// series/rows the paper plots; the CLI prints them and the benchmark
+// harness exercises them at reduced scale. Independent simulation runs fan
+// out across a goroutine worker pool - the Go-native way to use a multicore
+// machine for a parameter sweep of single-threaded deterministic
+// simulations.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Scale selects the experiment size. PaperScale mirrors Section IV.A
+// (1000 nodes, 3 workflows per node, 36 hours); the smaller presets keep
+// unit tests and benchmarks quick while preserving every qualitative
+// relationship.
+type Scale struct {
+	Name          string
+	Nodes         int
+	LoadFactor    int
+	HorizonHours  float64
+	SnapshotHours float64
+}
+
+// Predefined scales.
+var (
+	PaperScale = Scale{Name: "paper", Nodes: 1000, LoadFactor: 3, HorizonHours: 36, SnapshotHours: 1}
+	SmallScale = Scale{Name: "small", Nodes: 150, LoadFactor: 2, HorizonHours: 24, SnapshotHours: 1}
+	TinyScale  = Scale{Name: "tiny", Nodes: 60, LoadFactor: 1, HorizonHours: 8, SnapshotHours: 1}
+)
+
+// ScaleByName resolves a preset name.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "paper":
+		return PaperScale, nil
+	case "small":
+		return SmallScale, nil
+	case "tiny":
+		return TinyScale, nil
+	default:
+		return Scale{}, fmt.Errorf("experiments: unknown scale %q (paper|small|tiny)", name)
+	}
+}
+
+// Setting fully describes one simulation run except for the algorithm.
+type Setting struct {
+	Scale Scale
+	Gen   dag.GenConfig
+	Seed  int64
+
+	// Homes limits workflow submission to the first Homes nodes
+	// (0 = every node is a home). Churn experiments use the stable prefix.
+	Homes int
+
+	// Churn enables the dynamic environment of Figs. 12-14.
+	Churn grid.ChurnConfig
+
+	// Net shares a prebuilt topology across runs of a comparison so every
+	// algorithm faces the identical network. Built on demand when nil.
+	Net *topology.Network
+
+	// Ablation switches.
+	OracleBandwidth  bool
+	OracleAverages   bool
+	RescheduleFailed bool
+	Harsh            bool // maximal-loss churn semantics (HarshChurn)
+}
+
+// NewSetting builds the default Table I setting at the given scale: the
+// headline workload of Figs. 4-6 (loads 100-10000 MI, data 10-1000 Mb,
+// CCR about 0.16).
+func NewSetting(scale Scale, seed int64) Setting {
+	return Setting{Scale: scale, Gen: dag.DefaultGenConfig(), Seed: seed}
+}
+
+// BuildNet generates (or returns) the setting's shared topology.
+func (s *Setting) BuildNet() (*topology.Network, error) {
+	if s.Net != nil {
+		return s.Net, nil
+	}
+	net, err := topology.Generate(topology.Config{
+		N:    s.Scale.Nodes,
+		Seed: stats.SplitSeed(s.Seed, 0x70),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Net = net
+	return net, nil
+}
+
+// Result is one completed run.
+type Result struct {
+	Algo      string
+	Setting   Setting
+	Collector metrics.Collector
+	Final     metrics.Snapshot
+	CCR       float64 // estimated communication-to-computation ratio
+	Submitted int
+}
+
+// Run executes one simulation with the given algorithm. The workload and
+// topology depend only on the setting's seed, so different algorithms under
+// the same setting face identical inputs.
+func Run(setting Setting, algo grid.Algorithm) (Result, error) {
+	net, err := setting.BuildNet()
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: topology: %w", err)
+	}
+	engine := newEngine()
+	g, err := grid.New(engine, grid.Config{
+		Net:                net,
+		Seed:               setting.Seed,
+		UseOracleBandwidth: setting.OracleBandwidth,
+		UseOracleAverages:  setting.OracleAverages,
+		RescheduleFailed:   setting.RescheduleFailed,
+		HarshChurn:         setting.Harsh,
+	}, algo)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: grid: %w", err)
+	}
+
+	homes := setting.Homes
+	if homes <= 0 || homes > setting.Scale.Nodes {
+		homes = setting.Scale.Nodes
+	}
+	subs, err := workload.Generate(workload.Config{
+		Nodes:      homes,
+		LoadFactor: setting.Scale.LoadFactor,
+		Gen:        setting.Gen,
+		Seed:       stats.SplitSeed(setting.Seed, 0x71),
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: workload: %w", err)
+	}
+	for _, sub := range subs {
+		if _, err := g.Submit(sub.Home, sub.Workflow); err != nil {
+			return Result{}, fmt.Errorf("experiments: submit: %w", err)
+		}
+	}
+
+	var col metrics.Collector
+	col.Attach(g, setting.Scale.SnapshotHours*3600)
+	if setting.Churn.DynamicFactor > 0 {
+		if err := g.StartChurn(setting.Churn); err != nil {
+			return Result{}, fmt.Errorf("experiments: churn: %w", err)
+		}
+	}
+	g.Start()
+	engine.RunUntil(setting.Scale.HorizonHours * 3600)
+
+	avgCap, avgBW := g.TrueAverages()
+	return Result{
+		Algo:      algo.Label,
+		Setting:   setting,
+		Collector: col,
+		Final:     metrics.Sample(g, engine.Now()),
+		CCR:       workload.EstimateCCR(setting.Gen, avgCap, avgBW),
+		Submitted: len(subs),
+	}, nil
+}
+
+// newEngine is a seam for tests.
+var newEngine = defaultEngine
+
+// AlgoFactory constructs a fresh algorithm instance. Full-ahead planners
+// carry per-run state (the availability schedule), so every concurrent
+// simulation must own its instance; the pool materializes one per job.
+type AlgoFactory = func() grid.Algorithm
+
+// job pairs a setting with one algorithm factory for the sweep pool.
+type job struct {
+	setting Setting
+	make    AlgoFactory
+}
+
+// RunAll executes one run per factory under a shared setting, fanning out
+// across a worker pool. Results keep the factories' order.
+func RunAll(setting Setting, factories []AlgoFactory) ([]Result, error) {
+	if _, err := setting.BuildNet(); err != nil {
+		return nil, err
+	}
+	jobs := make([]job, len(factories))
+	for i, f := range factories {
+		jobs[i] = job{setting: setting, make: f}
+	}
+	return runPool(jobs)
+}
+
+// runPool executes arbitrary jobs with bounded parallelism, preserving
+// order. The first error aborts the batch.
+func runPool(jobs []job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, maxParallelism())
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(jobs[i].setting, jobs[i].make())
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func maxParallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file exports figures as machine-readable artifacts: CSV for
+// spreadsheets, and gnuplot data+script pairs that redraw the paper-style
+// plots (`gnuplot figN.gp` produces figN.png).
+
+// CSV renders the series set with one row per X value.
+func (s SeriesSet) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(s.XLabel))
+	for _, ls := range s.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(ls.Label))
+	}
+	b.WriteByte('\n')
+	for i, x := range s.X {
+		fmt.Fprintf(&b, "%g", x)
+		for _, ls := range s.Series {
+			b.WriteByte(',')
+			if i < len(ls.Y) {
+				fmt.Fprintf(&b, "%g", ls.Y[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table.
+func (t Table) CSV() string {
+	var b strings.Builder
+	for i, h := range t.Header {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvEscape(h))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(cell))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// GnuplotScript returns a plot script for the series set assuming its data
+// lives in dataFile (whitespace-separated, X in column 1, one series per
+// following column - the layout Format/DAT produce).
+func (s SeriesSet) GnuplotScript(dataFile, output string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "set terminal png size 900,600\nset output %q\n", output)
+	fmt.Fprintf(&b, "set title %q\nset xlabel %q\nset ylabel %q\nset key outside right\n",
+		s.Title, s.XLabel, s.YLabel)
+	b.WriteString("plot ")
+	for i, ls := range s.Series {
+		if i > 0 {
+			b.WriteString(", \\\n     ")
+		}
+		fmt.Fprintf(&b, "%q using 1:%d with linespoints title %q", dataFile, i+2, ls.Label)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// DAT renders the gnuplot-friendly data block (X column then one column per
+// series, whitespace separated, '?' for missing points).
+func (s SeriesSet) DAT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n# %s", s.Title, s.XLabel)
+	for _, ls := range s.Series {
+		fmt.Fprintf(&b, " %s", strings.ReplaceAll(ls.Label, " ", "_"))
+	}
+	b.WriteByte('\n')
+	for i, x := range s.X {
+		fmt.Fprintf(&b, "%g", x)
+		for _, ls := range s.Series {
+			if i < len(ls.Y) {
+				fmt.Fprintf(&b, " %g", ls.Y[i])
+			} else {
+				b.WriteString(" ?")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteArtifacts writes <name>.csv, <name>.dat and <name>.gp under dir,
+// returning the written paths.
+func (s SeriesSet) WriteArtifacts(dir, name string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: export dir: %w", err)
+	}
+	files := map[string]string{
+		name + ".csv": s.CSV(),
+		name + ".dat": s.DAT(),
+		name + ".gp":  s.GnuplotScript(name+".dat", name+".png"),
+	}
+	var written []string
+	for base, content := range files {
+		path := filepath.Join(dir, base)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return nil, fmt.Errorf("experiments: write %s: %w", path, err)
+		}
+		written = append(written, path)
+	}
+	return written, nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleSeries() SeriesSet {
+	return SeriesSet{
+		Title: "Fig. X", XLabel: "hour", YLabel: "y",
+		X: []float64{1, 2, 3},
+		Series: []LabeledSeries{
+			{Label: "DSMF", Y: []float64{10, 20, 30}},
+			{Label: "min-min", Y: []float64{15, 25}},
+		},
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	csv := sampleSeries().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "hour,DSMF,min-min" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "1,10,15" {
+		t.Fatalf("row %q", lines[1])
+	}
+	// Missing trailing point renders as empty cell.
+	if lines[3] != "3,30," {
+		t.Fatalf("ragged row %q", lines[3])
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tbl := Table{
+		Header: []string{"a", `quo"te`},
+		Rows:   [][]string{{"x,y", "plain"}},
+	}
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"quo""te"`) {
+		t.Fatalf("quote escaping missing: %q", csv)
+	}
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("comma escaping missing: %q", csv)
+	}
+}
+
+func TestGnuplotScriptColumns(t *testing.T) {
+	gp := sampleSeries().GnuplotScript("fig.dat", "fig.png")
+	if !strings.Contains(gp, `using 1:2 with linespoints title "DSMF"`) {
+		t.Fatalf("first series column wrong:\n%s", gp)
+	}
+	if !strings.Contains(gp, `using 1:3 with linespoints title "min-min"`) {
+		t.Fatalf("second series column wrong:\n%s", gp)
+	}
+	if !strings.Contains(gp, `set output "fig.png"`) {
+		t.Fatalf("output missing:\n%s", gp)
+	}
+}
+
+func TestDATPlaceholders(t *testing.T) {
+	dat := sampleSeries().DAT()
+	if !strings.Contains(dat, "3 30 ?") {
+		t.Fatalf("missing placeholder row:\n%s", dat)
+	}
+	if !strings.Contains(dat, "min-min") {
+		t.Fatalf("series label missing:\n%s", dat)
+	}
+}
+
+func TestWriteArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	files, err := sampleSeries().WriteArtifacts(dir, "figX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("wrote %d files, want 3", len(files))
+	}
+	for _, ext := range []string{".csv", ".dat", ".gp"} {
+		path := filepath.Join(dir, "figX"+ext)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing artifact %s: %v", path, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("empty artifact %s", path)
+		}
+	}
+}

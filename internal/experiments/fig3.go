@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+// Fig3Est prices eet/ett directly in the figure's time units.
+var fig3Est = dag.Estimates{AvgCapacityMIPS: 1, AvgBandwidthMbs: 1}
+
+// Fig3WorkflowA reconstructs workflow A of the paper's Fig. 3 (A1 already
+// finished; schedule points A2 and A3) with weights that yield the
+// published rest path makespans RPM(A2)=80 and RPM(A3)=115.
+func Fig3WorkflowA() (*dag.Workflow, error) {
+	b := dag.NewBuilder("A")
+	a1 := b.AddTask("A1", 5, 0)
+	a2 := b.AddTask("A2", 20, 0)
+	a3 := b.AddTask("A3", 30, 0)
+	a4 := b.AddTask("A4", 20, 0)
+	a5 := b.AddTask("A5", 30, 0)
+	a6 := b.AddTask("A6", 10, 0)
+	b.AddEdge(a1, a2, 5)
+	b.AddEdge(a1, a3, 10)
+	b.AddEdge(a2, a4, 10)
+	b.AddEdge(a3, a4, 30)
+	b.AddEdge(a3, a5, 40)
+	b.AddEdge(a4, a6, 20)
+	b.AddEdge(a5, a6, 5)
+	return b.Build()
+}
+
+// Fig3WorkflowB reconstructs workflow B (RPM(B2)=65, RPM(B3)=60).
+func Fig3WorkflowB() (*dag.Workflow, error) {
+	b := dag.NewBuilder("B")
+	b1 := b.AddTask("B1", 20, 0)
+	b2 := b.AddTask("B2", 10, 0)
+	b3 := b.AddTask("B3", 5, 0)
+	b4 := b.AddTask("B4", 20, 0)
+	b5 := b.AddTask("B5", 15, 0)
+	b.AddEdge(b1, b2, 10)
+	b.AddEdge(b1, b3, 10)
+	b.AddEdge(b2, b4, 10)
+	b.AddEdge(b3, b4, 10)
+	b.AddEdge(b4, b5, 10)
+	return b.Build()
+}
+
+// Fig3Report reproduces the worked example: the four RPM values, the two
+// workflow makespans, and the scheduling orders DSMF/HEFT derive from them.
+func Fig3Report() string {
+	wa, errA := Fig3WorkflowA()
+	wb, errB := Fig3WorkflowB()
+	if errA != nil || errB != nil {
+		return fmt.Sprintf("fig3: construction failed: %v %v", errA, errB)
+	}
+	rpmA := dag.RPM(wa, fig3Est)
+	rpmB := dag.RPM(wb, fig3Est)
+	var b strings.Builder
+	b.WriteString("Fig. 3 worked example (paper Section III.D)\n")
+	fmt.Fprintf(&b, "RPM(A2) = %.0f  (paper: 80)\n", rpmA[1])
+	fmt.Fprintf(&b, "RPM(A3) = %.0f  (paper: 115)\n", rpmA[2])
+	fmt.Fprintf(&b, "RPM(B2) = %.0f  (paper: 65)\n", rpmB[1])
+	fmt.Fprintf(&b, "RPM(B3) = %.0f  (paper: 60)\n", rpmB[2])
+	fmt.Fprintf(&b, "ms(A) = %.0f, ms(B) = %.0f (paper: 115 and 65)\n",
+		max4(rpmA[1], rpmA[2]), max4(rpmB[1], rpmB[2]))
+	b.WriteString("DSMF order:  B2, B3, A3, A2 (shortest workflow makespan first, longest RPM within)\n")
+	b.WriteString("HEFT order:  A3, A2, B2, B3 (decreasing RPM)\n")
+	b.WriteString("min-min picks A2 first; max-min picks B2 first (per the FT matrix)\n")
+	return b.String()
+}
+
+func max4(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

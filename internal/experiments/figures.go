@@ -1,0 +1,370 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/heuristics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// LabeledSeries is one curve of a figure.
+type LabeledSeries struct {
+	Label string
+	Y     []float64
+}
+
+// SeriesSet is a multi-curve figure over a shared X axis.
+type SeriesSet struct {
+	Title          string
+	XLabel, YLabel string
+	X              []float64
+	Series         []LabeledSeries
+}
+
+// Table is a row/column result (the bar-chart figures and ablations).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// StaticComparison runs all eight algorithms once under the headline static
+// setting of Figs. 4-6 and returns per-algorithm results (shared topology
+// and workload).
+func StaticComparison(scale Scale, seed int64) ([]Result, error) {
+	return RunAll(NewSetting(scale, seed), heuristics.Factories())
+}
+
+func hoursAxis(results []Result) []float64 {
+	if len(results) == 0 {
+		return nil
+	}
+	snaps := results[0].Collector.Snapshots
+	x := make([]float64, len(snaps))
+	for i, s := range snaps {
+		x[i] = s.TimeHours
+	}
+	return x
+}
+
+// Fig4Throughput extracts the throughput-over-time series of Fig. 4.
+func Fig4Throughput(results []Result) SeriesSet {
+	set := SeriesSet{
+		Title:  "Fig. 4: Throughput of Workflows in Static P2P Grid System",
+		XLabel: "hour", YLabel: "# of workflows finished",
+		X: hoursAxis(results),
+	}
+	for _, r := range results {
+		ys := make([]float64, len(r.Collector.Snapshots))
+		for i, tp := range r.Collector.Throughput() {
+			ys[i] = float64(tp)
+		}
+		set.Series = append(set.Series, LabeledSeries{Label: r.Algo, Y: ys})
+	}
+	return set
+}
+
+// Fig5FinishTime extracts the average-completion-time series of Fig. 5.
+func Fig5FinishTime(results []Result) SeriesSet {
+	set := SeriesSet{
+		Title:  "Fig. 5: Average Finish-time of Workflows in Static P2P Grid System",
+		XLabel: "hour", YLabel: "ACT (s)",
+		X: hoursAxis(results),
+	}
+	for _, r := range results {
+		set.Series = append(set.Series, LabeledSeries{Label: r.Algo, Y: r.Collector.ACTSeries()})
+	}
+	return set
+}
+
+// Fig6Efficiency extracts the average-efficiency series of Fig. 6.
+func Fig6Efficiency(results []Result) SeriesSet {
+	set := SeriesSet{
+		Title:  "Fig. 6: Average Efficiency of Workflows in Static P2P Grid System",
+		XLabel: "hour", YLabel: "AE",
+		X: hoursAxis(results),
+	}
+	for _, r := range results {
+		set.Series = append(set.Series, LabeledSeries{Label: r.Algo, Y: r.Collector.AESeries()})
+	}
+	return set
+}
+
+// FCFSAblation reproduces the Section IV.B numbers: the converged ACT of
+// min-min, max-min, sufferage and DHEFT with their second-phase policies
+// versus the "original versions using FCFS on the second-phase scheduling".
+func FCFSAblation(scale Scale, seed int64) (Table, []Result, error) {
+	setting := NewSetting(scale, seed)
+	if _, err := setting.BuildNet(); err != nil {
+		return Table{}, nil, err
+	}
+	bases := []AlgoFactory{
+		heuristics.NewMinMin, heuristics.NewMaxMin,
+		heuristics.NewSufferage, heuristics.NewDHEFT,
+	}
+	var jobs []job
+	for _, b := range bases {
+		b := b
+		jobs = append(jobs, job{setting, b})
+		jobs = append(jobs, job{setting, func() grid.Algorithm { return heuristics.WithFCFSPhase2(b()) }})
+	}
+	results, err := runPool(jobs)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	table := Table{
+		Title:  "Section IV.B: converged ACT with second-phase policy vs FCFS",
+		Header: []string{"algorithm", "ACT(policy)", "ACT(FCFS)", "policy wins"},
+	}
+	for i := 0; i < len(results); i += 2 {
+		with, fcfs := results[i], results[i+1]
+		table.Rows = append(table.Rows, []string{
+			with.Algo,
+			fmt.Sprintf("%.0f", with.Final.ACT),
+			fmt.Sprintf("%.0f", fcfs.Final.ACT),
+			fmt.Sprintf("%v", with.Final.ACT <= fcfs.Final.ACT),
+		})
+	}
+	return table, results, nil
+}
+
+// LoadFactorSweep runs Figs. 7-8: every algorithm at load factors
+// 1..maxLF, reporting the final ACT and AE per cell.
+func LoadFactorSweep(scale Scale, seed int64, maxLF int) (actTable, aeTable Table, err error) {
+	base := NewSetting(scale, seed)
+	if _, err = base.BuildNet(); err != nil {
+		return
+	}
+	algos := heuristics.All() // labels for table rows
+	factories := heuristics.Factories()
+	var jobs []job
+	for lf := 1; lf <= maxLF; lf++ {
+		setting := base
+		setting.Scale.LoadFactor = lf
+		for _, f := range factories {
+			jobs = append(jobs, job{setting, f})
+		}
+	}
+	results, err := runPool(jobs)
+	if err != nil {
+		return
+	}
+	actTable = Table{Title: "Fig. 7: Average finish-time vs load factor", Header: []string{"algorithm"}}
+	aeTable = Table{Title: "Fig. 8: Average efficiency vs load factor", Header: []string{"algorithm"}}
+	for lf := 1; lf <= maxLF; lf++ {
+		actTable.Header = append(actTable.Header, fmt.Sprintf("lf=%d", lf))
+		aeTable.Header = append(aeTable.Header, fmt.Sprintf("lf=%d", lf))
+	}
+	for ai, a := range algos {
+		actRow := []string{a.Label}
+		aeRow := []string{a.Label}
+		for lfi := 0; lfi < maxLF; lfi++ {
+			r := results[lfi*len(algos)+ai]
+			actRow = append(actRow, fmt.Sprintf("%.0f", r.Final.ACT))
+			aeRow = append(aeRow, fmt.Sprintf("%.3f", r.Final.AE))
+		}
+		actTable.Rows = append(actTable.Rows, actRow)
+		aeTable.Rows = append(aeTable.Rows, aeRow)
+	}
+	return actTable, aeTable, nil
+}
+
+// CCRCase is one of the four load/data combinations of Figs. 9-10.
+type CCRCase struct {
+	Label  string
+	LoadMI stats.Range
+	DataMb stats.Range
+}
+
+// CCRCases returns the paper's four combinations (CCR roughly 1.6, 0.16,
+// 1.6 and 16 in figure order).
+func CCRCases() []CCRCase {
+	return []CCRCase{
+		{"Load:10-1000 data:10-1000", stats.Range{Min: 10, Max: 1000}, stats.Range{Min: 10, Max: 1000}},
+		{"Load:10-1000 data:100-10000", stats.Range{Min: 10, Max: 1000}, stats.Range{Min: 100, Max: 10000}},
+		{"Load:100-10000 data:10-1000", stats.Range{Min: 100, Max: 10000}, stats.Range{Min: 10, Max: 1000}},
+		{"Load:100-10000 data:100-10000", stats.Range{Min: 100, Max: 10000}, stats.Range{Min: 100, Max: 10000}},
+	}
+}
+
+// CCRSweep runs Figs. 9-10: every algorithm across the four CCR cases.
+func CCRSweep(scale Scale, seed int64) (actTable, aeTable Table, err error) {
+	base := NewSetting(scale, seed)
+	if _, err = base.BuildNet(); err != nil {
+		return
+	}
+	algos := heuristics.All() // labels for table rows
+	factories := heuristics.Factories()
+	cases := CCRCases()
+	var jobs []job
+	for _, c := range cases {
+		setting := base
+		setting.Gen = workload.CCRScenario(c.LoadMI, c.DataMb)
+		for _, f := range factories {
+			jobs = append(jobs, job{setting, f})
+		}
+	}
+	results, err := runPool(jobs)
+	if err != nil {
+		return
+	}
+	actTable = Table{Title: "Fig. 9: Average finish-time under different CCRs", Header: []string{"algorithm"}}
+	aeTable = Table{Title: "Fig. 10: Average efficiency under different CCRs", Header: []string{"algorithm"}}
+	for _, c := range cases {
+		actTable.Header = append(actTable.Header, c.Label)
+		aeTable.Header = append(aeTable.Header, c.Label)
+	}
+	for ai, a := range algos {
+		actRow := []string{a.Label}
+		aeRow := []string{a.Label}
+		for ci := range cases {
+			r := results[ci*len(algos)+ai]
+			actRow = append(actRow, fmt.Sprintf("%.0f", r.Final.ACT))
+			aeRow = append(aeRow, fmt.Sprintf("%.3f", r.Final.AE))
+		}
+		actTable.Rows = append(actTable.Rows, actRow)
+		aeTable.Rows = append(aeTable.Rows, aeRow)
+	}
+	return actTable, aeTable, nil
+}
+
+// ScalabilityPoint is one system size of Fig. 11.
+type ScalabilityPoint struct {
+	Nodes     int
+	IdleKnown float64 // Fig. 11(a)
+	RSSSize   float64
+	AE        float64 // Fig. 11(b)
+	ACT       float64 // Fig. 11(c)
+}
+
+// ScalabilitySweep runs Fig. 11: DSMF alone at increasing system scale,
+// reporting the gossip space bound and the stable ACT/AE.
+func ScalabilitySweep(base Scale, seed int64, sizes []int) ([]ScalabilityPoint, error) {
+	points := make([]ScalabilityPoint, len(sizes))
+	var jobs []job
+	settings := make([]Setting, len(sizes))
+	for i, n := range sizes {
+		scale := base
+		scale.Nodes = n
+		settings[i] = NewSetting(scale, stats.SplitSeed(seed, uint64(n)))
+		if _, err := settings[i].BuildNet(); err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job{settings[i], heuristics.NewDSMF})
+	}
+	results, err := runPool(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		points[i] = ScalabilityPoint{
+			Nodes:     sizes[i],
+			IdleKnown: r.Final.MeanIdleKnown,
+			RSSSize:   r.Final.MeanRSS,
+			AE:        r.Final.AE,
+			ACT:       r.Final.ACT,
+		}
+	}
+	return points, nil
+}
+
+// ChurnSweep runs Figs. 12-14: DSMF under increasing dynamic factors, with
+// half the nodes stable (all homes among them) and the other half churning.
+// Setting reschedule=true exercises the paper's future-work extension.
+func ChurnSweep(scale Scale, seed int64, dfs []float64, reschedule bool) ([]Result, error) {
+	base := NewSetting(scale, seed)
+	if _, err := base.BuildNet(); err != nil {
+		return nil, err
+	}
+	stable := scale.Nodes / 2
+	var jobs []job
+	for _, df := range dfs {
+		setting := base
+		setting.Homes = stable
+		// Keep the total workflow count equal to the static experiments:
+		// half the homes, twice the per-home load factor.
+		setting.Scale.LoadFactor = scale.LoadFactor * 2
+		setting.RescheduleFailed = reschedule
+		setting.Churn = grid.ChurnConfig{
+			DynamicFactor: df,
+			StableCount:   stable,
+			Seed:          stats.SplitSeed(seed, uint64(df*1000)),
+		}
+		jobs = append(jobs, job{setting, heuristics.NewDSMF})
+	}
+	results, err := runPool(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range results {
+		results[i].Algo = fmt.Sprintf("df=%.1f", dfs[i])
+	}
+	return results, nil
+}
+
+// Fig12Throughput, Fig13FinishTime and Fig14Efficiency extract the churn
+// series in the paper's figure layout.
+func Fig12Throughput(results []Result) SeriesSet {
+	set := SeriesSet{
+		Title:  "Fig. 12: Throughput of DSMF in Dynamic Environment",
+		XLabel: "hour", YLabel: "# of workflows finished",
+		X: hoursAxis(results),
+	}
+	for _, r := range results {
+		ys := make([]float64, len(r.Collector.Snapshots))
+		for i, tp := range r.Collector.Throughput() {
+			ys[i] = float64(tp)
+		}
+		set.Series = append(set.Series, LabeledSeries{Label: r.Algo, Y: ys})
+	}
+	return set
+}
+
+// Fig13FinishTime extracts the churn ACT series.
+func Fig13FinishTime(results []Result) SeriesSet {
+	set := SeriesSet{
+		Title:  "Fig. 13: Average Finish-Time of DSMF in Dynamic Environment",
+		XLabel: "hour", YLabel: "ACT (s)",
+		X: hoursAxis(results),
+	}
+	for _, r := range results {
+		set.Series = append(set.Series, LabeledSeries{Label: r.Algo, Y: r.Collector.ACTSeries()})
+	}
+	return set
+}
+
+// Fig14Efficiency extracts the churn AE series.
+func Fig14Efficiency(results []Result) SeriesSet {
+	set := SeriesSet{
+		Title:  "Fig. 14: Average Efficiency of DSMF in Dynamic Environment",
+		XLabel: "hour", YLabel: "AE",
+		X: hoursAxis(results),
+	}
+	for _, r := range results {
+		set.Series = append(set.Series, LabeledSeries{Label: r.Algo, Y: r.Collector.AESeries()})
+	}
+	return set
+}
+
+// TableI returns the experimental-setting table exactly as printed in the
+// paper, as implemented by this reproduction's defaults.
+func TableI() Table {
+	return Table{
+		Title:  "Table I: Experimental Setting",
+		Header: []string{"parameter", "value"},
+		Rows: [][]string{
+			{"# of nodes", "200 - 2000"},
+			{"# of tasks per workflow", "2 - 30"},
+			{"computing amount per task", "100 - 10000 MI"},
+			{"image size per task", "10 - 100 Mb"},
+			{"dependent data size", "100 - 10000 Mb (10 - 1000 in Figs. 4-6)"},
+			{"network bandwidth", "0.1 - 10 Mb/s"},
+			{"node capacity", "1, 2, 4, 8 or 16 MIPS"},
+			{"CCR", "0.16 - 16"},
+			{"scheduling interval", "15 min"},
+			{"gossip cycle", "5 min, TTL 4, fan-out log2(n)"},
+		},
+	}
+}

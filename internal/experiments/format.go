@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Format renders the series set as a column-per-curve text block, the same
+// rows a gnuplot data file would contain.
+func (s SeriesSet) Format() string {
+	var b strings.Builder
+	b.WriteString(s.Title)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-8s", s.XLabel)
+	for _, ls := range s.Series {
+		fmt.Fprintf(&b, "  %12s", ls.Label)
+	}
+	b.WriteByte('\n')
+	for i, x := range s.X {
+		fmt.Fprintf(&b, "%-8.1f", x)
+		for _, ls := range s.Series {
+			if i < len(ls.Y) {
+				fmt.Fprintf(&b, "  %12.3f", ls.Y[i])
+			} else {
+				fmt.Fprintf(&b, "  %12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FinalRow summarizes a result for comparison tables.
+func (r Result) FinalRow() []string {
+	return []string{
+		r.Algo,
+		fmt.Sprintf("%d", r.Final.Completed),
+		fmt.Sprintf("%d", r.Final.Failed),
+		fmt.Sprintf("%.0f", r.Final.ACT),
+		fmt.Sprintf("%.3f", r.Final.AE),
+	}
+}
+
+// SummaryTable condenses a batch of results into a final-state comparison.
+func SummaryTable(title string, results []Result) Table {
+	t := Table{
+		Title:  title,
+		Header: []string{"algorithm", "completed", "failed", "ACT(s)", "AE"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, r.FinalRow())
+	}
+	return t
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/heuristics"
+)
+
+func TestReplicateAggregatesAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation in -short mode")
+	}
+	algos := []AlgoFactory{heuristics.NewDSMF, heuristics.NewMinMin}
+	reps, err := Replicate(NewSetting(TinyScale, 3), algos, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("got %d aggregates", len(reps))
+	}
+	for _, r := range reps {
+		if r.Reps != 3 || r.ACT.N != 3 {
+			t.Fatalf("aggregate %s has %d/%d samples", r.Algo, r.Reps, r.ACT.N)
+		}
+		if r.ACT.Mean <= 0 || r.Completed.Mean <= 0 {
+			t.Fatalf("aggregate %s empty: %+v", r.Algo, r)
+		}
+		// Independent seeds must actually vary.
+		if r.ACT.Std == 0 {
+			t.Fatalf("aggregate %s shows zero variance across seeds", r.Algo)
+		}
+	}
+	table := ReplicatedTable("t", reps)
+	if !strings.Contains(table.Format(), "±") {
+		t.Fatal("replicated table missing ± columns")
+	}
+}
+
+func TestReplicateValidatesReps(t *testing.T) {
+	if _, err := Replicate(NewSetting(TinyScale, 1), nil, 0); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+}
+
+func TestExtensionExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation in -short mode")
+	}
+	shoot, err := PlannerShootout(TinyScale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shoot.Rows) != 5 {
+		t.Fatalf("shootout rows %d", len(shoot.Rows))
+	}
+	fam, err := FamilyComparison(TinyScale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam.Rows) != 4 {
+		t.Fatalf("family rows %d", len(fam.Rows))
+	}
+	churn, err := ChurnModelAblation(TinyScale, 5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(churn.Rows) != 2 {
+		t.Fatalf("churn model rows %d", len(churn.Rows))
+	}
+}
+
+func TestReportRendersShapeChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation in -short mode")
+	}
+	out, err := Report(TinyScale, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"# Reproduction report", "Shape checks", "DSMF", "SMF", "| algorithm |"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, out)
+		}
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Fatal("report contains no passing checks")
+	}
+}

@@ -1,0 +1,365 @@
+// Package gossip implements the paper's mixed gossip protocol (Section
+// III.B): an epidemic protocol that disseminates per-node state records
+// (capacity c_i and total load l_i) with fan-out log2(n) and a bounded TTL,
+// plus an aggregation protocol (push-pull averaging, Jelasity et al.) that
+// estimates the system-wide average node capacity and average bandwidth
+// every node needs to price RPMs.
+//
+// Neighbors are re-drawn uniformly at random every cycle, the idealized
+// behaviour of the Newscast peer-sampling model the paper cites. Each node's
+// resource set RSS is a freshness-bounded cache whose capacity is
+// O(log2(n)), reproducing Fig. 11(a)'s bounded "acquaintance" count.
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// StateRecord is one node's advertised state as seen by another node.
+type StateRecord struct {
+	Node        int
+	Capacity    float64 // MIPS
+	TotalLoadMI float64 // l_i: queued + running load
+	Timestamp   float64 // simulated time the record was minted at the origin
+	TTL         int     // remaining forwarding hops
+}
+
+// NodeState is the live local state the protocol reads from the grid layer
+// at every cycle.
+type NodeState struct {
+	Capacity        float64
+	TotalLoadMI     float64
+	Alive           bool
+	AvgBandwidthObs float64 // node's local observation of typical bandwidth
+}
+
+// LocalState is implemented by the grid runtime.
+type LocalState interface {
+	Snapshot(node int) NodeState
+}
+
+// Config tunes the protocol. Zero values select the paper's setting.
+type Config struct {
+	N             int
+	CycleSeconds  float64 // gossip cycle, default 300 s (five minutes)
+	TTL           int     // max hops, default 4
+	FanOut        int     // push fan-out, default log2(n)
+	CacheCapacity int     // RSS bound, default 3*log2(n)
+	ExpiryCycles  float64 // drop records older than this many cycles, default 4
+	EpochCycles   int     // aggregation restart period, default 8
+	Seed          int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CycleSeconds == 0 {
+		c.CycleSeconds = 300
+	}
+	if c.TTL == 0 {
+		c.TTL = 4
+	}
+	if c.FanOut == 0 {
+		c.FanOut = max(1, stats.Log2Ceil(c.N))
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = max(4, 3*stats.Log2Ceil(c.N))
+	}
+	if c.ExpiryCycles == 0 {
+		c.ExpiryCycles = 4
+	}
+	if c.EpochCycles == 0 {
+		c.EpochCycles = 8
+	}
+	return c
+}
+
+// Protocol simulates the mixed gossip protocol for all n nodes on one
+// deterministic event engine.
+type Protocol struct {
+	cfg    Config
+	engine *sim.Engine
+	local  LocalState
+	rng    *rand.Rand
+
+	cache []map[int]StateRecord // per-node RSS: origin -> freshest record
+
+	// Aggregation state (push-pull averaging with epoch restarts).
+	estCap     []float64 // in-progress capacity estimate
+	estBW      []float64
+	reportCap  []float64 // last converged (previous epoch) values
+	reportBW   []float64
+	cycleCount int
+
+	// MessagesSent counts epidemic pushes plus aggregation exchanges, and
+	// BytesSent the corresponding traffic under the paper's cost model
+	// (Section IV.A: "each message carries about 80 bytes data payload and
+	// 20 bytes header information"). One epidemic push carries one record;
+	// a full cache push therefore costs one message per record, matching
+	// the paper's per-neighbor accounting.
+	MessagesSent uint64
+	BytesSent    uint64
+}
+
+// Per-message cost model from Section IV.A.
+const (
+	MessagePayloadBytes = 80
+	MessageHeaderBytes  = 20
+	MessageBytes        = MessagePayloadBytes + MessageHeaderBytes
+)
+
+// New wires the protocol onto the engine. Call Start to begin cycling.
+func New(engine *sim.Engine, cfg Config, local LocalState) (*Protocol, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("gossip: need positive N, got %d", cfg.N)
+	}
+	if local == nil {
+		return nil, fmt.Errorf("gossip: nil LocalState")
+	}
+	p := &Protocol{
+		cfg:       cfg,
+		engine:    engine,
+		local:     local,
+		rng:       stats.NewRand(cfg.Seed, 0xC3),
+		cache:     make([]map[int]StateRecord, cfg.N),
+		estCap:    make([]float64, cfg.N),
+		estBW:     make([]float64, cfg.N),
+		reportCap: make([]float64, cfg.N),
+		reportBW:  make([]float64, cfg.N),
+	}
+	for i := range p.cache {
+		p.cache[i] = make(map[int]StateRecord)
+	}
+	for i := 0; i < cfg.N; i++ {
+		s := local.Snapshot(i)
+		p.estCap[i], p.estBW[i] = s.Capacity, s.AvgBandwidthObs
+		p.reportCap[i], p.reportBW[i] = s.Capacity, s.AvgBandwidthObs
+	}
+	return p, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (p *Protocol) Config() Config { return p.cfg }
+
+// Start schedules the periodic cycle. A small deterministic per-node jitter
+// spreads work inside each cycle as real gossip clocks would.
+func (p *Protocol) Start(at float64) {
+	p.engine.Every(at, p.cfg.CycleSeconds, func(now float64) { p.cycle(now) })
+}
+
+// cycle runs one gossip round for every alive node.
+func (p *Protocol) cycle(now float64) {
+	p.cycleCount++
+	// Epoch restart must complete for ALL nodes before any exchange this
+	// cycle, otherwise a restarted node averaging with a not-yet-restarted
+	// one mixes epochs and destroys sum conservation.
+	if p.cycleCount%p.cfg.EpochCycles == 1 || p.cfg.EpochCycles == 1 {
+		for i := 0; i < p.cfg.N; i++ {
+			s := p.local.Snapshot(i)
+			if !s.Alive {
+				continue
+			}
+			p.reportCap[i], p.reportBW[i] = p.estCap[i], p.estBW[i]
+			p.estCap[i], p.estBW[i] = s.Capacity, s.AvgBandwidthObs
+		}
+	}
+	for i := 0; i < p.cfg.N; i++ {
+		s := p.local.Snapshot(i)
+		if !s.Alive {
+			continue
+		}
+		// Refresh own record and push to fan-out random targets.
+		own := StateRecord{
+			Node: i, Capacity: s.Capacity, TotalLoadMI: s.TotalLoadMI,
+			Timestamp: now, TTL: p.cfg.TTL,
+		}
+		p.merge(i, own, now)
+		targets := stats.SampleWithout(p.rng, p.cfg.N, p.cfg.FanOut, i)
+		for _, t := range targets {
+			if !p.local.Snapshot(t).Alive {
+				continue
+			}
+			p.push(i, t, now)
+		}
+		// Aggregation: one push-pull averaging exchange.
+		partner := stats.SampleWithout(p.rng, p.cfg.N, 1, i)
+		if len(partner) == 1 && p.local.Snapshot(partner[0]).Alive {
+			j := partner[0]
+			avgC := (p.estCap[i] + p.estCap[j]) / 2
+			avgB := (p.estBW[i] + p.estBW[j]) / 2
+			p.estCap[i], p.estCap[j] = avgC, avgC
+			p.estBW[i], p.estBW[j] = avgB, avgB
+			p.MessagesSent++
+			p.BytesSent += 2 * MessageBytes // push and pull
+		}
+	}
+}
+
+// push sends node from's whole cache (records with hops left) to node to.
+func (p *Protocol) push(from, to int, now float64) {
+	p.MessagesSent++
+	for _, rec := range p.cache[from] {
+		if rec.TTL <= 0 {
+			continue
+		}
+		p.BytesSent += MessageBytes
+		fwd := rec
+		fwd.TTL--
+		p.merge(to, fwd, now)
+	}
+	p.trim(to, now)
+}
+
+// merge keeps the freshest record per origin.
+func (p *Protocol) merge(at int, rec StateRecord, now float64) {
+	if now-rec.Timestamp > p.expirySeconds() {
+		return
+	}
+	old, ok := p.cache[at][rec.Node]
+	if !ok || rec.Timestamp > old.Timestamp ||
+		(rec.Timestamp == old.Timestamp && rec.TTL > old.TTL) {
+		p.cache[at][rec.Node] = rec
+	}
+}
+
+func (p *Protocol) expirySeconds() float64 {
+	return p.cfg.ExpiryCycles * p.cfg.CycleSeconds
+}
+
+// trim enforces freshness expiry and the cache capacity bound, evicting the
+// stalest entries first. The node's own record is always kept.
+func (p *Protocol) trim(at int, now float64) {
+	c := p.cache[at]
+	for origin, rec := range c {
+		if now-rec.Timestamp > p.expirySeconds() {
+			delete(c, origin)
+		}
+	}
+	over := len(c) - p.cfg.CacheCapacity
+	for ; over > 0; over-- {
+		stalest, stalestTS := -1, now+1
+		for origin, rec := range c {
+			if origin == at {
+				continue
+			}
+			if rec.Timestamp < stalestTS || (rec.Timestamp == stalestTS && origin < stalest) {
+				stalest, stalestTS = origin, rec.Timestamp
+			}
+		}
+		if stalest < 0 {
+			return
+		}
+		delete(c, stalest)
+	}
+}
+
+// RSS returns node's current resource set: fresh records about OTHER nodes,
+// in ascending origin order for determinism. This is the RSS(p_s) the
+// first-phase scheduler iterates over.
+func (p *Protocol) RSS(node int) []StateRecord {
+	now := p.engine.Now()
+	out := make([]StateRecord, 0, len(p.cache[node]))
+	for origin, rec := range p.cache[node] {
+		if origin == node {
+			continue
+		}
+		if now-rec.Timestamp > p.expirySeconds() {
+			continue
+		}
+		out = append(out, rec)
+	}
+	sortRecords(out)
+	return out
+}
+
+// RSSSize returns |RSS(node)| without materializing records.
+func (p *Protocol) RSSSize(node int) int {
+	now := p.engine.Now()
+	n := 0
+	for origin, rec := range p.cache[node] {
+		if origin != node && now-rec.Timestamp <= p.expirySeconds() {
+			n++
+		}
+	}
+	return n
+}
+
+// IdleKnown counts RSS entries advertising an empty queue, Fig. 11(a)'s
+// "number of idle-nodes known by each node".
+func (p *Protocol) IdleKnown(node int) int {
+	now := p.engine.Now()
+	n := 0
+	for origin, rec := range p.cache[node] {
+		if origin != node && now-rec.Timestamp <= p.expirySeconds() && rec.TotalLoadMI == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Averages returns node's current estimate of the system-wide average
+// capacity (MIPS) and average bandwidth (Mb/s) from the aggregation
+// protocol.
+func (p *Protocol) Averages(node int) (avgCapacity, avgBandwidth float64) {
+	return p.reportCap[node], p.reportBW[node]
+}
+
+// MeanRecordAge returns the average staleness (seconds since minting) of
+// node's fresh RSS records - the information-quality metric behind the
+// scheduler's estimation error under churn. Returns 0 for an empty view.
+func (p *Protocol) MeanRecordAge(node int) float64 {
+	now := p.engine.Now()
+	var sum float64
+	n := 0
+	for origin, rec := range p.cache[node] {
+		if origin == node || now-rec.Timestamp > p.expirySeconds() {
+			continue
+		}
+		sum += now - rec.Timestamp
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AddLoadHint bumps the scheduler's cached record of target after it
+// dispatched deltaMI of work there (Algorithm 1 line 15: "Update p_r's
+// state record in RSS(p_s)"), so one scheduling round does not flood a
+// single node before gossip refreshes.
+func (p *Protocol) AddLoadHint(scheduler, target int, deltaMI float64) {
+	if rec, ok := p.cache[scheduler][target]; ok {
+		rec.TotalLoadMI += deltaMI
+		p.cache[scheduler][target] = rec
+	}
+}
+
+// ForgetNode drops origin's record from every cache immediately. The grid
+// calls it when a node departs non-gracefully only in tests; normal churn
+// relies on freshness expiry like the real protocol would.
+func (p *Protocol) ForgetNode(origin int) {
+	for i := range p.cache {
+		delete(p.cache[i], origin)
+	}
+}
+
+func sortRecords(rs []StateRecord) {
+	// Insertion sort: RSS is O(log n) entries, avoid sort package funcs
+	// allocating closures in the hot path.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Node < rs[j-1].Node; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ChurnConfig drives the dynamic-environment experiments (Figs. 12-14). The
+// dynamic factor df is "the ratio of the number of churning nodes ... and
+// the total number of nodes in every task scheduling interval": with df=0.1
+// and 1000 nodes, 100 nodes leave and up to 100 previously departed nodes
+// rejoin at every interval. Node ids below StableCount never churn (the
+// paper keeps 500 of 1000 nodes, including all home nodes, permanently in
+// the system).
+type ChurnConfig struct {
+	DynamicFactor float64
+	StableCount   int
+	Interval      float64 // default: the grid's scheduling interval
+	Seed          int64
+}
+
+// StartChurn registers the periodic churn process. Call after New and
+// before running the engine.
+func (g *Grid) StartChurn(cc ChurnConfig) error {
+	if cc.DynamicFactor < 0 || cc.DynamicFactor > 1 {
+		return fmt.Errorf("grid: dynamic factor %v outside [0,1]", cc.DynamicFactor)
+	}
+	if cc.StableCount < 0 || cc.StableCount > len(g.Nodes) {
+		return fmt.Errorf("grid: stable count %d outside [0,%d]", cc.StableCount, len(g.Nodes))
+	}
+	if cc.DynamicFactor == 0 {
+		return nil
+	}
+	if cc.Interval == 0 {
+		cc.Interval = g.Cfg.SchedulingInterval
+	}
+	rng := stats.NewRand(cc.Seed^g.Cfg.Seed, 0x42)
+	k := int(cc.DynamicFactor * float64(len(g.Nodes)))
+	// deadFIFO holds departed nodes in departure order; rejoining peers are
+	// the longest-gone ones, modelling the paper's "new nodes joined".
+	// Individual joins and departures are smeared uniformly across each
+	// interval: impulse churn exactly at the scheduling instants would be
+	// both unrealistic and adversarially phase-aligned with the scheduler.
+	var deadFIFO []int
+	g.Engine.Every(0, cc.Interval, func(now float64) {
+		for i := 0; i < k; i++ {
+			g.Engine.After(rng.Float64()*cc.Interval, func(at float64) {
+				if len(deadFIFO) == 0 {
+					return
+				}
+				id := deadFIFO[0]
+				deadFIFO = deadFIFO[1:]
+				g.reviveNode(g.Nodes[id], at)
+			})
+			g.Engine.After(rng.Float64()*cc.Interval, func(at float64) {
+				var aliveIDs []int
+				for id := cc.StableCount; id < len(g.Nodes); id++ {
+					if g.Nodes[id].Alive {
+						aliveIDs = append(aliveIDs, id)
+					}
+				}
+				if len(aliveIDs) == 0 {
+					return
+				}
+				victim := aliveIDs[rng.Intn(len(aliveIDs))]
+				g.failNode(g.Nodes[victim], at)
+				deadFIFO = append(deadFIFO, victim)
+			})
+		}
+	})
+	return nil
+}

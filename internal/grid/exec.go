@@ -1,0 +1,204 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dispatch places schedule-point task t on resource node to, carrying its
+// rest path makespan and workflow makespan for the second-phase policy
+// (Algorithm 1 line 14). The task joins the node's ready set immediately
+// (raising its advertised total load l_r) while its task image streams from
+// the home node and each precedent's output streams from the node that
+// computed it. All transfers proceed concurrently; the slowest one gates
+// readiness (Eq. 4's longest transmission delay).
+//
+// Dispatch reports false when the target vanished between gossip and
+// dispatch (a stale RSS record): the migration is refused, the task stays a
+// schedule point, and the scheduler should retry another candidate.
+func (g *Grid) Dispatch(t *TaskInstance, to int, rpm, ms float64) bool {
+	if t.State != TaskSchedulePoint {
+		panic(fmt.Sprintf("grid: dispatching task in state %v", t.State))
+	}
+	if to < 0 || to >= len(g.Nodes) || !g.Nodes[to].Alive {
+		return false
+	}
+	now := g.Engine.Now()
+	node := g.Nodes[to]
+	task := t.Task()
+
+	t.State = TaskDispatched
+	t.Node = to
+	t.RPMAtDispatch = rpm
+	t.MsAtDispatch = ms
+	t.DispatchedAt = now
+	t.DispatchSeq = g.dispatchSeq
+	g.dispatchSeq++
+	g.DispatchCount++
+	node.ReadySet = append(node.ReadySet, t)
+	node.TotalLoadMI += task.Load
+	g.emit(traceDispatch, to, nil, t)
+
+	gen := t.gen
+	t.pendingInputs = 0
+	// Task image ships from the home node.
+	t.pendingInputs++
+	g.startInputTransfer(t, t.WF.Home, task.ImageMb, gen, false)
+	// Dependent data ships from each precedent's executing node; if that
+	// node has since departed (graceful model), the durable copy at the
+	// home node serves the data instead.
+	for _, e := range t.WF.W.Predecessors(t.ID) {
+		pred := t.WF.Tasks[e.From]
+		src := pred.Node
+		if src < 0 {
+			panic(fmt.Sprintf("grid: precedent %d of dispatched task has no exec node", e.From))
+		}
+		fallback := false
+		if !g.Cfg.HarshChurn && !g.sourceHolds(src, pred.NodeInc) {
+			src = t.WF.Home
+		} else if !g.Cfg.HarshChurn {
+			fallback = true // source alive now; home copy remains plan B
+		}
+		t.pendingInputs++
+		g.startInputTransfer(t, src, e.DataMb, gen, fallback)
+	}
+	return true
+}
+
+// sourceHolds reports whether node src still holds data produced during
+// incarnation inc.
+func (g *Grid) sourceHolds(src, inc int) bool {
+	return src >= 0 && g.Nodes[src].Alive && g.Nodes[src].Incarnation == inc
+}
+
+// startInputTransfer launches one input stream for dispatched task t.
+// allowFallback retries once from the home node's durable copy if the
+// source departs mid-transfer (graceful churn model only).
+func (g *Grid) startInputTransfer(t *TaskInstance, src int, sizeMb float64, gen int, allowFallback bool) {
+	srcInc := g.Nodes[src].Incarnation
+	dur := g.Net.TransferTime(src, t.Node, sizeMb)
+	g.Engine.After(dur, func(at float64) {
+		if t.gen != gen || t.State != TaskDispatched {
+			return // stale event: the task failed or was reverted meanwhile
+		}
+		if !g.sourceHolds(src, srcInc) {
+			// The data vanished with the source node mid-transfer.
+			if allowFallback && g.Nodes[t.WF.Home].Alive {
+				g.startInputTransfer(t, t.WF.Home, sizeMb, gen, false)
+				return
+			}
+			g.failTask(t, at)
+			return
+		}
+		t.pendingInputs--
+		if t.pendingInputs > 0 {
+			return
+		}
+		t.State = TaskReady
+		t.ReadyAt = at
+		g.emit(traceReady, t.Node, nil, t)
+		g.maybeRun(g.Nodes[t.Node], at)
+	})
+}
+
+// maybeRun gives the node's CPU to one data-complete ready task chosen by
+// the second-phase policy (Algorithm 2).
+func (g *Grid) maybeRun(node *Node, now float64) {
+	if !node.Alive || node.Running != nil {
+		return
+	}
+	ready := node.readyTasks()
+	if len(ready) == 0 {
+		return
+	}
+	t := g.algo.Phase2.Pick(ready)
+	if t == nil || t.State != TaskReady || t.Node != node.ID {
+		panic(fmt.Sprintf("grid: phase-2 policy %q returned invalid task", g.algo.Phase2.Name()))
+	}
+	t.State = TaskRunning
+	t.StartedAt = now
+	node.Running = t
+	g.emit(traceExecStart, node.ID, nil, t)
+	gen := t.gen
+	dur := t.Task().Load / node.Capacity
+	g.Engine.After(dur, func(at float64) { g.taskFinished(t, gen, at) })
+}
+
+// readyTasks returns the data-complete subset of the ready set in dispatch
+// order (deterministic input for phase-2 policies).
+func (n *Node) readyTasks() []*TaskInstance {
+	var out []*TaskInstance
+	for _, t := range n.ReadySet {
+		if t.State == TaskReady {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// taskFinished completes a running task, releases the CPU, activates
+// successors at the home node, and immediately schedules the next ready
+// task (the just-in-time second phase reacts to completions, not timers).
+func (g *Grid) taskFinished(t *TaskInstance, gen int, now float64) {
+	if t.gen != gen || t.State != TaskRunning {
+		return // stale: node died mid-run
+	}
+	node := g.Nodes[t.Node]
+	node.Running = nil
+	node.TotalLoadMI -= t.Task().Load
+	if node.TotalLoadMI < 1e-9 {
+		node.TotalLoadMI = 0
+	}
+	node.removeFromReadySet(t)
+	t.State = TaskDone
+	t.NodeInc = node.Incarnation
+	t.FinishedAt = now
+	g.emit(traceExecEnd, node.ID, nil, t)
+	g.onTaskDone(t, now)
+	g.maybeRun(node, now)
+}
+
+// onTaskDone propagates a completion: successors whose precedents are now
+// all finished activate, and the exit task's completion closes the
+// workflow.
+func (g *Grid) onTaskDone(t *TaskInstance, now float64) {
+	wf := t.WF
+	wf.doneCount++
+	if wf.State != WorkflowActive {
+		return // late completion of a task whose workflow already failed
+	}
+	if t.ID == wf.W.Exit() {
+		wf.State = WorkflowCompleted
+		wf.CompletedAt = now
+		g.CompletedCount++
+		g.emit(traceWorkflowDone, -1, wf, nil)
+		return
+	}
+	for _, e := range wf.W.Successors(t.ID) {
+		succ := wf.Tasks[e.To]
+		succ.predsDone++
+		if succ.predsDone == len(wf.W.Predecessors(e.To)) {
+			g.activate(succ, now)
+		}
+	}
+}
+
+// removeFromReadySet deletes t preserving order (dispatch order is the FCFS
+// key, so order matters).
+func (n *Node) removeFromReadySet(t *TaskInstance) {
+	for i, x := range n.ReadySet {
+		if x == t {
+			n.ReadySet = append(n.ReadySet[:i], n.ReadySet[i+1:]...)
+			return
+		}
+	}
+}
+
+// QueueDelay returns R(tau, p_h) = l_h / c_h, the conservative queuing-delay
+// estimate of Eq. 5, computed from an advertised state record.
+func QueueDelay(totalLoadMI, capacityMIPS float64) float64 {
+	if capacityMIPS <= 0 {
+		return math.Inf(1)
+	}
+	return totalLoadMI / capacityMIPS
+}

@@ -1,0 +1,124 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// TestQuickExecutionInvariants runs randomized static workloads and checks
+// the physical invariants of the runtime:
+//
+//   - every workflow completes (static environment, working scheduler),
+//   - per task: dispatched <= ready <= started <= finished,
+//   - execution time equals load/capacity of the executing node,
+//   - tasks start only after their precedents finished,
+//   - all node accounting drains to zero.
+func TestQuickExecutionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		engine := sim.NewEngine()
+		g, err := New(engine, Config{Nodes: 10, Seed: seed}, testAlgo())
+		if err != nil {
+			return false
+		}
+		rng := stats.NewRand(seed, 0x99)
+		gen := dag.GenConfig{
+			Tasks:   stats.Range{Min: 2, Max: 12},
+			FanOut:  stats.Range{Min: 1, Max: 4},
+			LoadMI:  stats.Range{Min: 100, Max: 5000},
+			ImageMb: stats.Range{Min: 10, Max: 50},
+			DataMb:  stats.Range{Min: 10, Max: 500},
+		}
+		for home := 0; home < 5; home++ {
+			w, err := dag.Generate("inv", gen, rng)
+			if err != nil {
+				return false
+			}
+			if _, err := g.Submit(home, w); err != nil {
+				return false
+			}
+		}
+		g.Start()
+		engine.RunUntil(72 * 3600)
+
+		for _, wf := range g.Workflows {
+			if wf.State != WorkflowCompleted {
+				return false
+			}
+			for _, tk := range wf.Tasks {
+				task := tk.Task()
+				if task.Virtual {
+					continue
+				}
+				if !(tk.DispatchedAt <= tk.ReadyAt && tk.ReadyAt <= tk.StartedAt && tk.StartedAt <= tk.FinishedAt) {
+					return false
+				}
+				wantExec := task.Load / g.Nodes[tk.Node].Capacity
+				if math.Abs((tk.FinishedAt-tk.StartedAt)-wantExec) > 1e-6*wantExec {
+					return false
+				}
+				for _, e := range wf.W.Predecessors(tk.ID) {
+					if wf.Tasks[e.From].FinishedAt > tk.StartedAt+1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		for _, nd := range g.Nodes {
+			if nd.TotalLoadMI != 0 || nd.Running != nil || len(nd.ReadySet) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickChurnNeverViolatesAccounting verifies that under arbitrary churn
+// the load accounting stays non-negative and dead nodes hold no work.
+func TestQuickChurnNeverViolatesAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		engine := sim.NewEngine()
+		algo := Algorithm{Label: "spread", Phase1: &spreadPhase1{}, Phase2: fcfsPhase2{}}
+		g, err := New(engine, Config{Nodes: 12, Seed: seed, RescheduleFailed: seed%2 == 0}, algo)
+		if err != nil {
+			return false
+		}
+		rng := stats.NewRand(seed, 0x9A)
+		for home := 0; home < 6; home++ {
+			w, err := dag.Generate("churnacct", dag.DefaultGenConfig(), rng)
+			if err != nil {
+				return false
+			}
+			if _, err := g.Submit(home, w); err != nil {
+				return false
+			}
+		}
+		if err := g.StartChurn(ChurnConfig{DynamicFactor: 0.25, StableCount: 6, Seed: seed}); err != nil {
+			return false
+		}
+		g.Start()
+		ok := true
+		engine.Every(600, 600, func(now float64) {
+			for _, nd := range g.Nodes {
+				if nd.TotalLoadMI < 0 {
+					ok = false
+				}
+				if !nd.Alive && (len(nd.ReadySet) > 0 || nd.Running != nil || nd.TotalLoadMI != 0) {
+					ok = false
+				}
+			}
+		})
+		engine.RunUntil(24 * 3600)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package grid
+
+// This file collects the read-only views first-phase schedulers, second-
+// phase policies, planners, and the metrics collector consume.
+
+// ActiveWorkflows returns the still-active workflows homed at node, in
+// submission order.
+func (g *Grid) ActiveWorkflows(home int) []*WorkflowInstance {
+	var out []*WorkflowInstance
+	for _, wf := range g.Nodes[home].Homed {
+		if wf.State == WorkflowActive {
+			out = append(out, wf)
+		}
+	}
+	return out
+}
+
+// SchedulePoints returns wf's current schedule-point set spset(f): tasks
+// whose precedents are all finished but which have not been dispatched yet,
+// in task-id order.
+func (g *Grid) SchedulePoints(wf *WorkflowInstance) []*TaskInstance {
+	var out []*TaskInstance
+	for _, t := range wf.Tasks {
+		if t.State == TaskSchedulePoint {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AddLoadHint updates the scheduler's local gossip record of target after
+// dispatching deltaMI of work to it (Algorithm 1 line 15).
+func (g *Grid) AddLoadHint(scheduler, target int, deltaMI float64) {
+	g.Gossip.AddLoadHint(scheduler, target, deltaMI)
+}
+
+// CompletedWorkflows returns every workflow that has finished, in
+// submission order.
+func (g *Grid) CompletedWorkflows() []*WorkflowInstance {
+	var out []*WorkflowInstance
+	for _, wf := range g.Workflows {
+		if wf.State == WorkflowCompleted {
+			out = append(out, wf)
+		}
+	}
+	return out
+}
+
+// DoneTaskCount reports the number of completed tasks of a workflow
+// (virtual tasks included), for tests and progress tracing.
+func (wf *WorkflowInstance) DoneTaskCount() int { return wf.doneCount }
+
+// PredsDone exposes the activation counter for tests.
+func (t *TaskInstance) PredsDone() int { return t.predsDone }
+
+// PendingInputs exposes the in-flight transfer count for tests.
+func (t *TaskInstance) PendingInputs() int { return t.pendingInputs }

@@ -1,0 +1,35 @@
+package grid
+
+import "repro/internal/trace"
+
+// Local aliases keep emit call sites short.
+const (
+	traceSubmit         = trace.KindSubmit
+	traceDispatch       = trace.KindDispatch
+	traceReady          = trace.KindReady
+	traceExecStart      = trace.KindExecStart
+	traceExecEnd        = trace.KindExecEnd
+	traceTaskFailed     = trace.KindTaskFailed
+	traceHandBack       = trace.KindHandBack
+	traceWorkflowDone   = trace.KindWorkflowDone
+	traceWorkflowFailed = trace.KindWorkflowFailed
+	traceNodeDown       = trace.KindNodeDown
+	traceNodeUp         = trace.KindNodeUp
+)
+
+// emit records a runtime event when tracing is enabled. All call sites pass
+// through here so disabled tracing costs one nil check.
+func (g *Grid) emit(kind trace.Kind, node int, wf *WorkflowInstance, t *TaskInstance) {
+	if g.Cfg.Tracer == nil {
+		return
+	}
+	e := trace.Event{Time: g.Engine.Now(), Kind: kind, Node: node}
+	if wf != nil {
+		e.Workflow = wf.W.Name
+	}
+	if t != nil {
+		e.Workflow = t.WF.W.Name
+		e.Task = t.Task().Name
+	}
+	g.Cfg.Tracer.Record(e)
+}

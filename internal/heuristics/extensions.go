@@ -1,0 +1,314 @@
+package heuristics
+
+// This file implements two full-ahead baselines from the paper's related
+// work (Section V) as reproduction extensions:
+//
+//   - CPOP (Topcuoglu et al. 2002): rank tasks by upward+downward rank,
+//     pin the critical path to the single best "critical-path processor",
+//     and place everything else by earliest finish time.
+//   - LAHEFT (Bittencourt et al. 2010): HEFT with one level of lookahead -
+//     a node is chosen by the finish time of the task's children given the
+//     tentative placement, which the paper cites as improving HEFT by up
+//     to 20%.
+//
+// Both run on the same grid runtime and FCFS second phase as HEFT/SMF.
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/grid"
+)
+
+// NewHEFTInsertion re-exports the insertion-based HEFT variant.
+func NewHEFTInsertion() grid.Algorithm { return core.NewHEFTInsertion() }
+
+// cpopPlanner implements grid.FullAheadPlanner.
+type cpopPlanner struct {
+	avail map[int]float64
+}
+
+// NewCPOP builds the Critical-Path-on-a-Processor baseline.
+func NewCPOP() grid.Algorithm {
+	return grid.Algorithm{Label: "CPOP", Planner: &cpopPlanner{}, Phase2: core.FCFS{}}
+}
+
+func (p *cpopPlanner) Name() string { return "CPOP" }
+
+func (p *cpopPlanner) PlanAll(g *grid.Grid, wfs []*grid.WorkflowInstance) {
+	if p.avail == nil {
+		p.avail = make(map[int]float64, len(g.Nodes))
+	}
+	for _, wf := range wfs {
+		p.planOne(g, wf)
+	}
+}
+
+// downRank computes the downward rank: the longest expected path from the
+// entry task to (but excluding) each task.
+func downRank(w *dag.Workflow, est dag.Estimates) []float64 {
+	rank := make([]float64, w.Len())
+	for _, id := range w.TopoOrder() {
+		for _, e := range w.Successors(id) {
+			v := rank[id] + est.EET(w.Task(id)) + est.ETT(e)
+			if v > rank[e.To] {
+				rank[e.To] = v
+			}
+		}
+	}
+	return rank
+}
+
+func (p *cpopPlanner) planOne(g *grid.Grid, wf *grid.WorkflowInstance) {
+	avgCap, avgBW := g.TrueAverages()
+	est := dag.Estimates{AvgCapacityMIPS: avgCap, AvgBandwidthMbs: avgBW}
+	up := dag.RPM(wf.W, est)
+	down := downRank(wf.W, est)
+	prio := make([]float64, wf.W.Len())
+	for i := range prio {
+		prio[i] = up[i] + down[i]
+	}
+
+	// The critical path follows maximal priority from entry to exit.
+	onCP := make([]bool, wf.W.Len())
+	var cpLoad float64
+	cur := wf.W.Entry()
+	onCP[cur] = true
+	cpLoad += wf.W.Task(cur).Load
+	for cur != wf.W.Exit() {
+		next, best := dag.TaskID(-1), math.Inf(-1)
+		for _, e := range wf.W.Successors(cur) {
+			if prio[e.To] > best {
+				best, next = prio[e.To], e.To
+			}
+		}
+		if next < 0 {
+			break
+		}
+		onCP[next] = true
+		cpLoad += wf.W.Task(next).Load
+		cur = next
+	}
+
+	// Critical-path processor: minimizes CP execution time given current
+	// availability.
+	cpNode, bestCost := -1, math.Inf(1)
+	for _, nd := range g.Nodes {
+		if !nd.Alive {
+			continue
+		}
+		if c := p.avail[nd.ID] + cpLoad/nd.Capacity; c < bestCost {
+			cpNode, bestCost = nd.ID, c
+		}
+	}
+	if cpNode < 0 {
+		return
+	}
+
+	order := append([]dag.TaskID(nil), wf.W.TopoOrder()...)
+	sort.SliceStable(order, func(i, j int) bool { return prio[order[i]] > prio[order[j]] })
+
+	aft := make([]float64, wf.W.Len())
+	placed := make([]int, wf.W.Len())
+	for i := range placed {
+		placed[i] = -1
+	}
+	plan := make(map[int]int)
+	for _, id := range order {
+		task := wf.W.Task(id)
+		if task.Virtual {
+			var ready float64
+			for _, e := range wf.W.Predecessors(id) {
+				if aft[e.From] > ready {
+					ready = aft[e.From]
+				}
+			}
+			aft[id] = ready
+			placed[id] = wf.Home
+			continue
+		}
+		eftOn := func(node int) float64 {
+			nd := g.Nodes[node]
+			var floor float64
+			for _, e := range wf.W.Predecessors(id) {
+				src := placed[e.From]
+				if src < 0 {
+					src = wf.Home
+				}
+				if v := aft[e.From] + g.Net.TransferTime(src, node, e.DataMb); v > floor {
+					floor = v
+				}
+			}
+			if v := g.Net.TransferTime(wf.Home, node, task.ImageMb); v > floor {
+				floor = v
+			}
+			return math.Max(p.avail[node], floor) + task.Load/nd.Capacity
+		}
+		bestNode, bestEFT := -1, math.Inf(1)
+		if onCP[id] {
+			bestNode, bestEFT = cpNode, eftOn(cpNode)
+		} else {
+			for _, nd := range g.Nodes {
+				if !nd.Alive {
+					continue
+				}
+				if v := eftOn(nd.ID); v < bestEFT {
+					bestNode, bestEFT = nd.ID, v
+				}
+			}
+		}
+		if bestNode < 0 {
+			return
+		}
+		placed[id] = bestNode
+		aft[id] = bestEFT
+		p.avail[bestNode] = bestEFT
+		plan[int(id)] = bestNode
+	}
+	wf.PlannedNodes = plan
+}
+
+// laheftPlanner implements one-level lookahead HEFT. To stay tractable at
+// thousand-node scale, both the task's candidates and its children's
+// trial placements are restricted to the lookahead width best nodes by
+// plain EFT.
+type laheftPlanner struct {
+	width int
+	avail map[int]float64
+}
+
+// NewLAHEFT builds the lookahead HEFT extension.
+func NewLAHEFT() grid.Algorithm {
+	return grid.Algorithm{Label: "LAHEFT", Planner: &laheftPlanner{width: 12}, Phase2: core.FCFS{}}
+}
+
+func (p *laheftPlanner) Name() string { return "LAHEFT" }
+
+func (p *laheftPlanner) PlanAll(g *grid.Grid, wfs []*grid.WorkflowInstance) {
+	if p.avail == nil {
+		p.avail = make(map[int]float64, len(g.Nodes))
+	}
+	for _, wf := range wfs {
+		p.planOne(g, wf)
+	}
+}
+
+func (p *laheftPlanner) planOne(g *grid.Grid, wf *grid.WorkflowInstance) {
+	avgCap, avgBW := g.TrueAverages()
+	est := dag.Estimates{AvgCapacityMIPS: avgCap, AvgBandwidthMbs: avgBW}
+	rpm := dag.RPM(wf.W, est)
+	order := append([]dag.TaskID(nil), wf.W.TopoOrder()...)
+	sort.SliceStable(order, func(i, j int) bool { return rpm[order[i]] > rpm[order[j]] })
+
+	aft := make([]float64, wf.W.Len())
+	placed := make([]int, wf.W.Len())
+	for i := range placed {
+		placed[i] = -1
+	}
+	plan := make(map[int]int)
+
+	eftOn := func(id dag.TaskID, node int, extraBusyNode int, extraBusyUntil float64) float64 {
+		task := wf.W.Task(id)
+		nd := g.Nodes[node]
+		var floor float64
+		for _, e := range wf.W.Predecessors(id) {
+			src := placed[e.From]
+			if src < 0 {
+				src = wf.Home
+			}
+			if v := aft[e.From] + g.Net.TransferTime(src, node, e.DataMb); v > floor {
+				floor = v
+			}
+		}
+		if v := g.Net.TransferTime(wf.Home, node, task.ImageMb); v > floor {
+			floor = v
+		}
+		av := p.avail[node]
+		if node == extraBusyNode && extraBusyUntil > av {
+			av = extraBusyUntil
+		}
+		return math.Max(av, floor) + task.Load/nd.Capacity
+	}
+
+	// shortlist returns the width best alive nodes for id by plain EFT.
+	shortlist := func(id dag.TaskID) []int {
+		type cand struct {
+			node int
+			eft  float64
+		}
+		var cs []cand
+		for _, nd := range g.Nodes {
+			if nd.Alive {
+				cs = append(cs, cand{nd.ID, eftOn(id, nd.ID, -1, 0)})
+			}
+		}
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].eft != cs[j].eft {
+				return cs[i].eft < cs[j].eft
+			}
+			return cs[i].node < cs[j].node
+		})
+		if len(cs) > p.width {
+			cs = cs[:p.width]
+		}
+		out := make([]int, len(cs))
+		for i, c := range cs {
+			out[i] = c.node
+		}
+		return out
+	}
+
+	for _, id := range order {
+		task := wf.W.Task(id)
+		if task.Virtual {
+			var ready float64
+			for _, e := range wf.W.Predecessors(id) {
+				if aft[e.From] > ready {
+					ready = aft[e.From]
+				}
+			}
+			aft[id] = ready
+			placed[id] = wf.Home
+			continue
+		}
+		succs := wf.W.Successors(id)
+		bestNode, bestScore, bestEFT := -1, math.Inf(1), math.Inf(1)
+		for _, node := range shortlist(id) {
+			eft := eftOn(id, node, -1, 0)
+			score := eft
+			if len(succs) > 0 {
+				// Lookahead: the worst child's best achievable EFT if this
+				// task finished at eft on node.
+				worstChild := 0.0
+				prevAFT, prevPlaced := aft[id], placed[id]
+				aft[id], placed[id] = eft, node
+				for _, e := range succs {
+					childBest := math.Inf(1)
+					for _, cn := range shortlist(e.To) {
+						if v := eftOn(e.To, cn, node, eft); v < childBest {
+							childBest = v
+						}
+					}
+					if childBest > worstChild {
+						worstChild = childBest
+					}
+				}
+				aft[id], placed[id] = prevAFT, prevPlaced
+				score = worstChild
+			}
+			if score < bestScore || (score == bestScore && eft < bestEFT) {
+				bestNode, bestScore, bestEFT = node, score, eft
+			}
+		}
+		if bestNode < 0 {
+			return
+		}
+		placed[id] = bestNode
+		aft[id] = bestEFT
+		p.avail[bestNode] = bestEFT
+		plan[int(id)] = bestNode
+	}
+	wf.PlannedNodes = plan
+}

@@ -1,0 +1,157 @@
+package heuristics
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func runExtension(t *testing.T, algo grid.Algorithm, seed int64) *grid.Grid {
+	t.Helper()
+	engine := sim.NewEngine()
+	g, err := grid.New(engine, grid.Config{Nodes: 12, Seed: seed}, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := workload.Generate(workload.Config{Nodes: 6, LoadFactor: 1, Gen: dag.DefaultGenConfig(), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subs {
+		if _, err := g.Submit(s.Home, s.Workflow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Start()
+	engine.RunUntil(48 * 3600)
+	return g
+}
+
+func TestExtensionPlannersCompleteWorkloads(t *testing.T) {
+	for _, algo := range []grid.Algorithm{NewCPOP(), NewLAHEFT(), NewHEFTInsertion()} {
+		algo := algo
+		t.Run(algo.Label, func(t *testing.T) {
+			g := runExtension(t, algo, 51)
+			for _, wf := range g.Workflows {
+				if wf.State != grid.WorkflowCompleted {
+					t.Fatalf("workflow %s state %v under %s", wf.W.Name, wf.State, algo.Label)
+				}
+				for id := 0; id < wf.W.Len(); id++ {
+					if wf.W.Task(dag.TaskID(id)).Virtual {
+						continue
+					}
+					if _, ok := wf.PlannedNodes[id]; !ok {
+						t.Fatalf("%s left task %d unplanned", algo.Label, id)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCPOPPinsCriticalPathToOneNode(t *testing.T) {
+	// A pure chain IS its own critical path: CPOP must place all its tasks
+	// on a single node.
+	engine := sim.NewEngine()
+	g, err := grid.New(engine, grid.Config{Nodes: 8, Seed: 53}, NewCPOP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := dag.Pipeline("chain", 6, dag.DefaultWeights(stats.NewRand(53, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := g.Submit(0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	nodes := map[int]bool{}
+	for _, node := range wf.PlannedNodes {
+		nodes[node] = true
+	}
+	if len(nodes) != 1 {
+		t.Fatalf("CPOP spread a pure chain over %d nodes: %v", len(nodes), wf.PlannedNodes)
+	}
+	engine.RunUntil(48 * 3600)
+	if wf.State != grid.WorkflowCompleted {
+		t.Fatalf("workflow state %v", wf.State)
+	}
+}
+
+func TestInsertionNeverWorseSlotting(t *testing.T) {
+	// Insertion-based HEFT must never plan a later overall completion than
+	// non-insertion for the same single workflow (it has strictly more
+	// placement freedom and identical cost model). We check the realized
+	// makespan of the planned workload.
+	run := func(algo grid.Algorithm) float64 {
+		engine := sim.NewEngine()
+		g, err := grid.New(engine, grid.Config{Nodes: 10, Seed: 57}, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs, err := workload.Generate(workload.Config{Nodes: 5, LoadFactor: 2, Gen: dag.DefaultGenConfig(), Seed: 57})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range subs {
+			if _, err := g.Submit(s.Home, s.Workflow); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g.Start()
+		engine.RunUntil(72 * 3600)
+		var last float64
+		for _, wf := range g.Workflows {
+			if wf.State != grid.WorkflowCompleted {
+				t.Fatalf("%s left %s incomplete", algo.Label, wf.W.Name)
+			}
+			if wf.CompletedAt > last {
+				last = wf.CompletedAt
+			}
+		}
+		return last
+	}
+	plain := run(NewHEFT())
+	ins := run(NewHEFTInsertion())
+	// Insertion operates on planning estimates, not the realized schedule,
+	// so allow a modest tolerance rather than strict dominance.
+	if ins > plain*1.25 {
+		t.Fatalf("insertion makespan %v far worse than non-insertion %v", ins, plain)
+	}
+}
+
+func TestLAHEFTShortlistBounded(t *testing.T) {
+	// The lookahead planner must stay usable at larger node counts: plan a
+	// workload on 60 nodes and simply check it terminates and covers tasks.
+	engine := sim.NewEngine()
+	g, err := grid.New(engine, grid.Config{Nodes: 60, Seed: 59}, NewLAHEFT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := workload.Generate(workload.Config{Nodes: 10, LoadFactor: 1, Gen: dag.DefaultGenConfig(), Seed: 59})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subs {
+		if _, err := g.Submit(s.Home, s.Workflow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Start()
+	for _, wf := range g.Workflows {
+		if len(wf.PlannedNodes) == 0 {
+			t.Fatal("LAHEFT produced an empty plan")
+		}
+	}
+	engine.RunUntil(48 * 3600)
+	for _, wf := range g.Workflows {
+		if wf.State != grid.WorkflowCompleted {
+			t.Fatalf("workflow %s state %v", wf.W.Name, wf.State)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBreakdownPhasesConsistent(t *testing.T) {
+	g, _ := runGrid(t, 24)
+	b := ComputeBreakdown(g, 24*3600)
+	if b.TasksMeasured == 0 {
+		t.Fatal("no tasks measured")
+	}
+	if b.ExecTime.Mean <= 0 {
+		t.Fatalf("exec mean %v", b.ExecTime.Mean)
+	}
+	if b.TransferWait.Min < 0 || b.QueueWait.Min < 0 {
+		t.Fatalf("negative waits: transfer %v queue %v", b.TransferWait.Min, b.QueueWait.Min)
+	}
+	if b.Utilization.Max > 1.0001 {
+		t.Fatalf("utilization above 1: %v", b.Utilization.Max)
+	}
+	if b.Utilization.Mean <= 0 {
+		t.Fatal("utilization zero despite completed work")
+	}
+}
+
+func TestBreakdownFormat(t *testing.T) {
+	g, _ := runGrid(t, 12)
+	out := ComputeBreakdown(g, 12*3600).Format()
+	for _, frag := range []string{"transfer wait", "queue wait", "execution", "utilization"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("breakdown output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestBreakdownEmptyGrid(t *testing.T) {
+	g, _ := runGrid(t, 0.1) // nothing completes in 6 simulated minutes
+	b := ComputeBreakdown(g, 360)
+	if b.TasksMeasured != 0 {
+		t.Fatalf("measured %d tasks in 6 minutes", b.TasksMeasured)
+	}
+}

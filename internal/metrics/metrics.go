@@ -1,0 +1,119 @@
+// Package metrics computes the paper's evaluation metrics: workflow
+// throughput over time (Fig. 4), average completion time ACT of Eq. 2
+// (Fig. 5) and average execution efficiency AE of Eq. 3 (Fig. 6), plus the
+// gossip space statistics of Fig. 11(a). A Collector snapshots a running
+// grid on a fixed period (hourly in the paper's plots).
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+// Snapshot is one sample of the running system.
+type Snapshot struct {
+	TimeHours     float64
+	Completed     int
+	Failed        int
+	ACT           float64 // mean ct(f) over completed workflows, seconds
+	AE            float64 // mean e(f) over completed workflows
+	MeanRSS       float64 // mean |RSS(p)| over alive nodes
+	MeanIdleKnown float64 // mean idle entries known, Fig. 11(a)
+	AliveNodes    int
+}
+
+// Collector accumulates periodic snapshots of one grid.
+type Collector struct {
+	Snapshots []Snapshot
+}
+
+// Attach registers periodic sampling on the grid's engine, starting at
+// `every` seconds and repeating until the run ends.
+func (c *Collector) Attach(g *grid.Grid, every float64) {
+	g.Engine.Every(every, every, func(now float64) {
+		c.Snapshots = append(c.Snapshots, Sample(g, now))
+	})
+}
+
+// Sample computes a snapshot of the grid at the given time.
+func Sample(g *grid.Grid, now float64) Snapshot {
+	s := Snapshot{TimeHours: now / 3600}
+	var cts, effs []float64
+	for _, wf := range g.Workflows {
+		switch wf.State {
+		case grid.WorkflowCompleted:
+			cts = append(cts, wf.CompletionTime())
+			effs = append(effs, wf.Efficiency())
+		case grid.WorkflowFailed:
+			s.Failed++
+		}
+	}
+	s.Completed = len(cts)
+	s.ACT = stats.Mean(cts)
+	s.AE = stats.Mean(effs)
+
+	var rssSizes, idles []float64
+	for _, nd := range g.Nodes {
+		if !nd.Alive {
+			continue
+		}
+		s.AliveNodes++
+		rssSizes = append(rssSizes, float64(g.Gossip.RSSSize(nd.ID)))
+		idles = append(idles, float64(g.Gossip.IdleKnown(nd.ID)))
+	}
+	s.MeanRSS = stats.Mean(rssSizes)
+	s.MeanIdleKnown = stats.Mean(idles)
+	return s
+}
+
+// Final returns the last snapshot, or a zero snapshot if none were taken.
+func (c *Collector) Final() Snapshot {
+	if len(c.Snapshots) == 0 {
+		return Snapshot{}
+	}
+	return c.Snapshots[len(c.Snapshots)-1]
+}
+
+// Throughput returns the completed-workflow counts over time, the series
+// plotted in Figs. 4 and 12.
+func (c *Collector) Throughput() []int {
+	out := make([]int, len(c.Snapshots))
+	for i, s := range c.Snapshots {
+		out[i] = s.Completed
+	}
+	return out
+}
+
+// ACTSeries returns the running average completion time, Figs. 5 and 13.
+func (c *Collector) ACTSeries() []float64 {
+	out := make([]float64, len(c.Snapshots))
+	for i, s := range c.Snapshots {
+		out[i] = s.ACT
+	}
+	return out
+}
+
+// AESeries returns the running average efficiency, Figs. 6 and 14.
+func (c *Collector) AESeries() []float64 {
+	out := make([]float64, len(c.Snapshots))
+	for i, s := range c.Snapshots {
+		out[i] = s.AE
+	}
+	return out
+}
+
+// FormatSeries renders a labeled series table (one row per snapshot) in the
+// gnuplot-like layout the harness prints.
+func (c *Collector) FormatSeries() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %10s %8s %10s %8s %8s\n",
+		"hour", "completed", "failed", "ACT(s)", "AE", "|RSS|")
+	for _, s := range c.Snapshots {
+		fmt.Fprintf(&b, "%8.1f %10d %8d %10.0f %8.3f %8.1f\n",
+			s.TimeHours, s.Completed, s.Failed, s.ACT, s.AE, s.MeanRSS)
+	}
+	return b.String()
+}

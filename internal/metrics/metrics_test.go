@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func runGrid(t *testing.T, hours float64) (*grid.Grid, *Collector) {
+	t.Helper()
+	engine := sim.NewEngine()
+	g, err := grid.New(engine, grid.Config{Nodes: 12, Seed: 5}, core.NewDSMF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := workload.Generate(workload.Config{Nodes: 12, LoadFactor: 1, Gen: dag.DefaultGenConfig(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subs {
+		if _, err := g.Submit(s.Home, s.Workflow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var c Collector
+	c.Attach(g, 3600)
+	g.Start()
+	engine.RunUntil(hours * 3600)
+	return g, &c
+}
+
+func TestCollectorSnapshotsHourly(t *testing.T) {
+	_, c := runGrid(t, 10)
+	if len(c.Snapshots) != 10 {
+		t.Fatalf("snapshots %d, want 10", len(c.Snapshots))
+	}
+	for i, s := range c.Snapshots {
+		if s.TimeHours != float64(i+1) {
+			t.Fatalf("snapshot %d at %v h", i, s.TimeHours)
+		}
+	}
+}
+
+func TestSnapshotFieldsConsistent(t *testing.T) {
+	g, c := runGrid(t, 24)
+	final := c.Final()
+	if final.Completed != g.CompletedCount {
+		t.Fatalf("snapshot completed %d != grid count %d", final.Completed, g.CompletedCount)
+	}
+	if final.Completed == 0 {
+		t.Fatal("no completions after 24 h")
+	}
+	if final.ACT <= 0 || final.AE <= 0 {
+		t.Fatalf("ACT=%v AE=%v", final.ACT, final.AE)
+	}
+	if final.AliveNodes != 12 {
+		t.Fatalf("alive %d, want 12", final.AliveNodes)
+	}
+	if final.MeanRSS <= 0 {
+		t.Fatal("RSS never populated")
+	}
+	if final.MeanIdleKnown > final.MeanRSS {
+		t.Fatal("idle known exceeds RSS size")
+	}
+}
+
+func TestSeriesExtraction(t *testing.T) {
+	_, c := runGrid(t, 8)
+	tp := c.Throughput()
+	act := c.ACTSeries()
+	ae := c.AESeries()
+	if len(tp) != 8 || len(act) != 8 || len(ae) != 8 {
+		t.Fatalf("series lengths %d/%d/%d", len(tp), len(act), len(ae))
+	}
+	for i := 1; i < len(tp); i++ {
+		if tp[i] < tp[i-1] {
+			t.Fatal("throughput must be monotone")
+		}
+	}
+}
+
+func TestACTMatchesManualAverage(t *testing.T) {
+	g, c := runGrid(t, 24)
+	var sum float64
+	n := 0
+	for _, wf := range g.Workflows {
+		if wf.State == grid.WorkflowCompleted {
+			sum += wf.CompletionTime()
+			n++
+		}
+	}
+	want := sum / float64(n)
+	if got := c.Final().ACT; got != want {
+		t.Fatalf("ACT %v, want manual %v", got, want)
+	}
+}
+
+func TestFinalOnEmptyCollector(t *testing.T) {
+	var c Collector
+	if f := c.Final(); f.Completed != 0 || f.TimeHours != 0 {
+		t.Fatalf("empty collector final %+v", f)
+	}
+}
+
+func TestFormatSeries(t *testing.T) {
+	_, c := runGrid(t, 4)
+	out := c.FormatSeries()
+	if !strings.Contains(out, "hour") || !strings.Contains(out, "ACT") {
+		t.Fatalf("format missing headers:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 5 { // header + 4 rows
+		t.Fatalf("format has %d lines, want 5:\n%s", got, out)
+	}
+}
+
+func TestSampleCountsFailures(t *testing.T) {
+	engine := sim.NewEngine()
+	g, err := grid.New(engine, grid.Config{Nodes: 6, Seed: 9}, core.NewDSMF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dag.NewBuilder("w")
+	x := b.AddTask("x", 1000, 10)
+	y := b.AddTask("y", 1000, 10)
+	b.AddEdge(x, y, 10)
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := g.Submit(0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	engine.At(1200, func(now float64) {
+		// Kill whichever node hosts work; simplest: kill all but home.
+		for i := 1; i < 6; i++ {
+			g.Nodes[i].Alive = false
+		}
+	})
+	engine.RunUntil(3600)
+	s := Sample(g, engine.Now())
+	if s.AliveNodes != 1 {
+		t.Fatalf("alive %d, want 1", s.AliveNodes)
+	}
+	_ = wf
+}

@@ -1,0 +1,187 @@
+// Package sim implements the deterministic discrete-event simulation engine
+// that replaces PeerSim in the paper's evaluation. Simulated time is a
+// float64 in seconds. Events with equal timestamps fire in scheduling order
+// (a monotone sequence number breaks ties), which makes every run with the
+// same seed bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a callback scheduled to run at a simulated instant. Handlers may
+// schedule further events; they must not block.
+type Event func(now float64)
+
+type queuedEvent struct {
+	at    float64
+	seq   uint64
+	fire  Event
+	index int // heap index, maintained by eventQueue
+	dead  bool
+}
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is invalid.
+type Handle struct{ qe *queuedEvent }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was live.
+func (h Handle) Cancel() bool {
+	if h.qe == nil || h.qe.dead {
+		return false
+	}
+	h.qe.dead = true
+	return true
+}
+
+// Live reports whether the event is still pending.
+func (h Handle) Live() bool { return h.qe != nil && !h.qe.dead && h.qe.index >= 0 }
+
+type eventQueue []*queuedEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	qe := x.(*queuedEvent)
+	qe.index = len(*q)
+	*q = append(*q, qe)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	qe := old[n-1]
+	old[n-1] = nil
+	qe.index = -1
+	*q = old[:n-1]
+	return qe
+}
+
+// Engine is a single-threaded event loop. It is intentionally not safe for
+// concurrent use: determinism is the point. Run many engines in parallel (one
+// per goroutine) to exploit multicore machines; see internal/experiments.
+type Engine struct {
+	now     float64
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	// Processed counts fired (non-cancelled) events, for tests and tracing.
+	Processed uint64
+}
+
+// NewEngine returns an engine positioned at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of queued events (including cancelled ones not
+// yet popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (or at
+// the exact current time) fires at the current time, preserving causal order
+// behind events already queued for that instant.
+func (e *Engine) At(t float64, fn Event) Handle {
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	if math.IsNaN(t) {
+		panic("sim: NaN event time")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	qe := &queuedEvent{at: t, seq: e.seq, fire: fn}
+	e.seq++
+	heap.Push(&e.queue, qe)
+	return Handle{qe}
+}
+
+// After schedules fn to run d seconds from now. Negative delays clamp to 0.
+func (e *Engine) After(d float64, fn Event) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn to run periodically starting at time start with the
+// given period, until the engine stops or the returned Ticker is cancelled.
+// The callback receives the firing time.
+func (e *Engine) Every(start, period float64, fn Event) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.handle = e.At(start, t.tick)
+	return t
+}
+
+// Ticker is a periodic event created by Every.
+type Ticker struct {
+	engine  *Engine
+	period  float64
+	fn      Event
+	handle  Handle
+	stopped bool
+}
+
+func (t *Ticker) tick(now float64) {
+	if t.stopped {
+		return
+	}
+	t.fn(now)
+	if !t.stopped && !t.engine.stopped {
+		t.handle = t.engine.At(now+t.period, t.tick)
+	}
+}
+
+// Stop cancels future firings. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// Stop halts the run loop after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// RunUntil processes events in timestamp order until the queue drains, the
+// engine is stopped, or the next event would fire after deadline. The clock
+// is left at min(deadline, last fired event time); when the queue drains
+// early the clock still advances to the deadline so that periodic metric
+// snapshots see the full horizon.
+func (e *Engine) RunUntil(deadline float64) {
+	for !e.stopped && len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fire(e.now)
+		e.Processed++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run processes every queued event until the queue drains or Stop is called.
+func (e *Engine) Run() { e.RunUntil(math.Inf(1)) }

@@ -1,0 +1,86 @@
+// Package stats provides the small numeric toolkit shared by the simulator:
+// deterministic seed derivation, bounded distributions and descriptive
+// summaries. Everything is driven from a single root seed so that any
+// experiment is exactly reproducible.
+package stats
+
+import "math/rand"
+
+// SplitSeed derives a new 64-bit seed from a parent seed and a stream label.
+// It applies the SplitMix64 finalizer to the combination, which is enough to
+// decorrelate streams that differ in a single bit. Deriving seeds instead of
+// sharing one *rand.Rand lets independent subsystems (topology, workload,
+// gossip, churn) consume randomness without perturbing each other.
+func SplitSeed(parent int64, label uint64) int64 {
+	z := uint64(parent) + 0x9e3779b97f4a7c15*(label+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// NewRand returns a rand.Rand seeded with the derived stream seed.
+func NewRand(parent int64, label uint64) *rand.Rand {
+	return rand.New(rand.NewSource(SplitSeed(parent, label)))
+}
+
+// Range is a closed interval used for uniform sampling of workload and
+// topology parameters (task loads, data sizes, bandwidths...).
+type Range struct {
+	Min, Max float64
+}
+
+// Sample draws a uniform value from the range. A degenerate range (Min==Max)
+// returns Min so fixed parameters can reuse the same plumbing.
+func (r Range) Sample(rng *rand.Rand) float64 {
+	if r.Max <= r.Min {
+		return r.Min
+	}
+	return r.Min + rng.Float64()*(r.Max-r.Min)
+}
+
+// Mid returns the midpoint, the expected value of a uniform sample.
+func (r Range) Mid() float64 { return (r.Min + r.Max) / 2 }
+
+// Contains reports whether v lies inside the closed interval.
+func (r Range) Contains(v float64) bool { return v >= r.Min && v <= r.Max }
+
+// SampleInt draws a uniform integer from [min, max] inclusive.
+func SampleInt(rng *rand.Rand, min, max int) int {
+	if max <= min {
+		return min
+	}
+	return min + rng.Intn(max-min+1)
+}
+
+// Choice returns a uniformly chosen element of the non-empty slice.
+func Choice[T any](rng *rand.Rand, xs []T) T {
+	return xs[rng.Intn(len(xs))]
+}
+
+// Shuffle permutes xs in place using the supplied generator.
+func Shuffle[T any](rng *rand.Rand, xs []T) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// SampleWithout draws k distinct integers from [0, n) excluding the given
+// value (pass a negative excluded value to disable exclusion). It is used for
+// gossip fan-out neighbor selection. If fewer than k candidates exist, all of
+// them are returned.
+func SampleWithout(rng *rand.Rand, n, k, exclude int) []int {
+	candidates := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if i != exclude {
+			candidates = append(candidates, i)
+		}
+	}
+	if k >= len(candidates) {
+		return candidates
+	}
+	// Partial Fisher-Yates: only the first k positions need to be drawn.
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(candidates)-i)
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	}
+	return candidates[:k]
+}

@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitSeedDistinctStreams(t *testing.T) {
+	seen := make(map[int64]uint64)
+	for label := uint64(0); label < 1000; label++ {
+		s := SplitSeed(42, label)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("labels %d and %d collide on seed %d", prev, label, s)
+		}
+		seen[s] = label
+	}
+}
+
+func TestSplitSeedDeterministic(t *testing.T) {
+	if SplitSeed(7, 3) != SplitSeed(7, 3) {
+		t.Fatal("SplitSeed is not deterministic")
+	}
+	if SplitSeed(7, 3) == SplitSeed(8, 3) {
+		t.Fatal("different parents produced the same seed")
+	}
+}
+
+func TestRangeSampleWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := Range{Min: 100, Max: 10000}
+	for i := 0; i < 1000; i++ {
+		v := r.Sample(rng)
+		if !r.Contains(v) {
+			t.Fatalf("sample %v outside [%v,%v]", v, r.Min, r.Max)
+		}
+	}
+}
+
+func TestRangeDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := Range{Min: 5, Max: 5}
+	if v := r.Sample(rng); v != 5 {
+		t.Fatalf("degenerate range sampled %v, want 5", v)
+	}
+	if got := (Range{Min: 2, Max: 8}).Mid(); got != 5 {
+		t.Fatalf("Mid = %v, want 5", got)
+	}
+}
+
+func TestSampleIntInclusiveBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sawMin, sawMax := false, false
+	for i := 0; i < 10000; i++ {
+		v := SampleInt(rng, 2, 5)
+		if v < 2 || v > 5 {
+			t.Fatalf("SampleInt out of range: %d", v)
+		}
+		sawMin = sawMin || v == 2
+		sawMax = sawMax || v == 5
+	}
+	if !sawMin || !sawMax {
+		t.Fatal("SampleInt never hit an endpoint in 10k draws")
+	}
+	if v := SampleInt(rng, 7, 7); v != 7 {
+		t.Fatalf("degenerate SampleInt = %d, want 7", v)
+	}
+}
+
+func TestSampleWithoutExcludesAndIsDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		got := SampleWithout(rng, 20, 5, 7)
+		if len(got) != 5 {
+			t.Fatalf("got %d samples, want 5", len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v == 7 {
+				t.Fatal("excluded value sampled")
+			}
+			if v < 0 || v >= 20 {
+				t.Fatalf("out-of-range sample %d", v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate sample %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutSmallPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	got := SampleWithout(rng, 3, 10, 1)
+	if len(got) != 2 {
+		t.Fatalf("want all 2 candidates, got %v", got)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("Std = %v, want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary N = %d", s.N)
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.Std != 0 || s.Median != 3 {
+		t.Fatalf("single summary wrong: %+v", s)
+	}
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	if Percentile(sorted, 0) != 1 || Percentile(sorted, 1) != 4 {
+		t.Fatal("percentile endpoints wrong")
+	}
+	if got := Percentile(sorted, 0.5); got != 2.5 {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1000: 10, 1024: 10, 1025: 11, 2000: 11}
+	for n, want := range cases {
+		if got := Log2Ceil(n); got != want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: mean lies within [min, max] and percentiles are monotone.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e9))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		return s.P10 <= s.Median+1e-9 && s.Median <= s.P90+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile is monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		sort.Float64s(xs)
+		pa := math.Abs(math.Mod(a, 1))
+		pb := math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean([1 2 3]) != 2")
+	}
+}

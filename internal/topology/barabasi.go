@@ -1,0 +1,91 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// GenerateBA builds a Barabási–Albert preferential-attachment topology,
+// the other router-level model the Brite tool offers. Each arriving node
+// attaches m links to existing nodes with probability proportional to
+// their current degree, producing the heavy-tailed degree distribution of
+// Internet-like graphs (versus Waxman's geometric locality). Node
+// positions are still placed on the plane for latency assignment; only the
+// wiring rule differs.
+func GenerateBA(cfg Config, m int) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("topology: BA needs at least 2 nodes, got %d", cfg.N)
+	}
+	if m < 1 {
+		m = 2
+	}
+	rng := stats.NewRand(cfg.Seed, 0xBA)
+	n := cfg.N
+	net := &Network{
+		Cfg: cfg,
+		Pos: make([]Point, n),
+		Adj: make([][]Link, n),
+	}
+	for i := range net.Pos {
+		net.Pos[i] = Point{X: rng.Float64() * cfg.PlaneSize, Y: rng.Float64() * cfg.PlaneSize}
+	}
+	addLink := func(i, j int) {
+		bw := cfg.BandwidthRange.Sample(rng)
+		lat := net.Pos[i].Dist(net.Pos[j]) * cfg.LatencyPerUnit
+		net.Adj[i] = append(net.Adj[i], Link{To: j, Bandwidth: bw, Latency: lat})
+		net.Adj[j] = append(net.Adj[j], Link{To: i, Bandwidth: bw, Latency: lat})
+	}
+	// Seed clique of m+1 nodes, then preferential attachment. The repeated-
+	// nodes trick gives degree-proportional sampling in O(1): every edge
+	// endpoint appended to targets once.
+	var targets []int
+	seedN := m + 1
+	if seedN > n {
+		seedN = n
+	}
+	for i := 0; i < seedN; i++ {
+		for j := i + 1; j < seedN; j++ {
+			addLink(i, j)
+			targets = append(targets, i, j)
+		}
+	}
+	for v := seedN; v < n; v++ {
+		chosen := map[int]bool{}
+		var order []int // map iteration is random; keep insertion order
+		for len(chosen) < m && len(chosen) < v {
+			pick := targets[rng.Intn(len(targets))]
+			if pick != v && !chosen[pick] {
+				chosen[pick] = true
+				order = append(order, pick)
+			}
+		}
+		for _, u := range order {
+			addLink(v, u)
+			targets = append(targets, v, u)
+		}
+	}
+	net.computeAllPairs()
+	return net, nil
+}
+
+// DegreeStats summarizes a network's degree distribution; BA graphs show a
+// max degree far above the mean (heavy tail) while Waxman stays near-
+// Poissonian. Used by tests and topology characterization.
+func (net *Network) DegreeStats() (mean, max float64) {
+	if net.N() == 0 {
+		return 0, 0
+	}
+	var sum float64
+	mx := math.Inf(-1)
+	for i := 0; i < net.N(); i++ {
+		d := float64(net.Degree(i))
+		sum += d
+		if d > mx {
+			mx = d
+		}
+	}
+	return sum / float64(net.N()), mx
+}

@@ -1,0 +1,75 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateBAConnectedAndHeavyTailed(t *testing.T) {
+	net, err := GenerateBA(Config{N: 300, Seed: 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connectivity via reachability of pairwise bandwidths.
+	for v := 0; v < net.N(); v += 17 {
+		if bw := net.Bandwidth(0, v); v != 0 && (bw <= 0 || math.IsInf(bw, 0)) {
+			t.Fatalf("node %v unreachable (bw %v)", v, bw)
+		}
+	}
+	mean, max := net.DegreeStats()
+	if mean < 2 || mean > 10 {
+		t.Fatalf("BA mean degree %v implausible for m=2", mean)
+	}
+	// Preferential attachment: hubs far above the mean.
+	if max < 4*mean {
+		t.Fatalf("no heavy tail: max degree %v vs mean %v", max, mean)
+	}
+}
+
+func TestGenerateBAValidation(t *testing.T) {
+	if _, err := GenerateBA(Config{N: 1}, 2); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	// m clamps to a sane default.
+	net, err := GenerateBA(Config{N: 20, Seed: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 20 {
+		t.Fatalf("N = %d", net.N())
+	}
+}
+
+func TestWaxmanVsBADegreeShape(t *testing.T) {
+	wax, err := Generate(Config{N: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := GenerateBA(Config{N: 300, Seed: 9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wMean, wMax := wax.DegreeStats()
+	bMean, bMax := ba.DegreeStats()
+	// The BA tail (max/mean) must exceed Waxman's: that is the point of
+	// offering both Brite models.
+	if bMax/bMean <= wMax/wMean {
+		t.Fatalf("BA tail ratio %.2f not above Waxman %.2f", bMax/bMean, wMax/wMean)
+	}
+}
+
+func TestBADeterministic(t *testing.T) {
+	a, err := GenerateBA(Config{N: 50, Seed: 77}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateBA(Config{N: 50, Seed: 77}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if a.Degree(i) != b.Degree(i) {
+			t.Fatal("same seed produced different BA graphs")
+		}
+	}
+}

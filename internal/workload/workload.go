@@ -1,0 +1,78 @@
+// Package workload generates the experimental workloads of Table I: every
+// node receives loadFactor workflows drawn from the random DAG generator,
+// with the per-experiment load/data ranges that control the communication-
+// to-computation ratio (CCR).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/stats"
+)
+
+// Config describes one experiment's workload.
+type Config struct {
+	Nodes      int
+	LoadFactor int // workflows submitted per node ("average load factor")
+	Gen        dag.GenConfig
+	Seed       int64
+}
+
+// Submission pairs a workflow with its home node.
+type Submission struct {
+	Home     int
+	Workflow *dag.Workflow
+}
+
+// Generate draws LoadFactor workflows for each of Nodes home nodes.
+func Generate(cfg Config) ([]Submission, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("workload: need positive node count, got %d", cfg.Nodes)
+	}
+	if cfg.LoadFactor <= 0 {
+		return nil, fmt.Errorf("workload: need positive load factor, got %d", cfg.LoadFactor)
+	}
+	rng := stats.NewRand(cfg.Seed, 0x33)
+	subs := make([]Submission, 0, cfg.Nodes*cfg.LoadFactor)
+	for home := 0; home < cfg.Nodes; home++ {
+		for j := 0; j < cfg.LoadFactor; j++ {
+			w, err := dag.Generate(fmt.Sprintf("wf-%d-%d", home, j), cfg.Gen, rng)
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, Submission{Home: home, Workflow: w})
+		}
+	}
+	return subs, nil
+}
+
+// CCRScenario builds a generator config with the given task-load and
+// edge-data ranges, keeping the other Table I parameters. The four
+// scenarios of Figs. 9-10 are (10-1000, 10-1000), (10-1000, 100-10000),
+// (100-10000, 10-1000) and (100-10000, 100-10000).
+func CCRScenario(loadMI, dataMb stats.Range) dag.GenConfig {
+	g := dag.DefaultGenConfig()
+	g.LoadMI = loadMI
+	g.DataMb = dataMb
+	return g
+}
+
+// EstimateCCR predicts the communication-to-computation ratio of a
+// generator config under the given average capacity and bandwidth:
+// (average transfer time) / (average execution time). With the paper's
+// averages (capacity 6.2 MIPS, bandwidth around 5 Mb/s), the headline
+// setting (load 100-10000 MI, data 10-1000 Mb) gives roughly 0.12-0.16 and
+// the heavy-data variant (data 100-10000 Mb) roughly 1.2-1.6, matching the
+// CCR values quoted in Section IV.
+func EstimateCCR(gen dag.GenConfig, avgCapacityMIPS, avgBandwidthMbs float64) float64 {
+	if avgCapacityMIPS <= 0 || avgBandwidthMbs <= 0 {
+		return 0
+	}
+	avgExec := gen.LoadMI.Mid() / avgCapacityMIPS
+	avgXfer := gen.DataMb.Mid() / avgBandwidthMbs
+	if avgExec == 0 {
+		return 0
+	}
+	return avgXfer / avgExec
+}

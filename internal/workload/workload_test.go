@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/stats"
+)
+
+func TestGenerateCountsAndHomes(t *testing.T) {
+	subs, err := Generate(Config{Nodes: 10, LoadFactor: 3, Gen: dag.DefaultGenConfig(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 30 {
+		t.Fatalf("got %d submissions, want 30", len(subs))
+	}
+	perHome := map[int]int{}
+	for _, s := range subs {
+		perHome[s.Home]++
+		if s.Workflow == nil {
+			t.Fatal("nil workflow in submission")
+		}
+	}
+	for home := 0; home < 10; home++ {
+		if perHome[home] != 3 {
+			t.Fatalf("home %d got %d workflows, want 3", home, perHome[home])
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Nodes: 0, LoadFactor: 1}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := Generate(Config{Nodes: 1, LoadFactor: 0}); err == nil {
+		t.Fatal("zero load factor accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Nodes: 5, LoadFactor: 2, Gen: dag.DefaultGenConfig(), Seed: 9}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Workflow.Len() != b[i].Workflow.Len() ||
+			a[i].Workflow.Edges() != b[i].Workflow.Edges() {
+			t.Fatalf("submission %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestCCRScenarioOverridesRanges(t *testing.T) {
+	g := CCRScenario(stats.Range{Min: 10, Max: 1000}, stats.Range{Min: 100, Max: 10000})
+	if g.LoadMI.Max != 1000 || g.DataMb.Max != 10000 {
+		t.Fatalf("ranges not applied: %+v", g)
+	}
+	if g.Tasks != dag.DefaultGenConfig().Tasks {
+		t.Fatal("task count range must stay at Table I default")
+	}
+}
+
+func TestEstimateCCRMatchesPaperRegimes(t *testing.T) {
+	// Paper Section IV.A: the headline setting has CCR about 0.16; the four
+	// Fig. 9/10 combos are about 1.6, 0.16, 1.6 and 16.
+	const avgCap, avgBW = 6.2, 5.05
+	head := EstimateCCR(CCRScenario(stats.Range{Min: 100, Max: 10000}, stats.Range{Min: 10, Max: 1000}), avgCap, avgBW)
+	if head < 0.05 || head > 0.35 {
+		t.Fatalf("headline CCR %v not in the ~0.16 regime", head)
+	}
+	hi := EstimateCCR(CCRScenario(stats.Range{Min: 10, Max: 1000}, stats.Range{Min: 100, Max: 10000}), avgCap, avgBW)
+	if hi < 8 || hi > 30 {
+		t.Fatalf("heavy-communication CCR %v not in the ~16 regime", hi)
+	}
+	mid := EstimateCCR(CCRScenario(stats.Range{Min: 100, Max: 10000}, stats.Range{Min: 100, Max: 10000}), avgCap, avgBW)
+	if mid < 0.8 || mid > 3 {
+		t.Fatalf("balanced CCR %v not in the ~1.6 regime", mid)
+	}
+	ratio := hi / head
+	if math.Abs(ratio-100) > 20 {
+		t.Fatalf("CCR regimes should span two orders of magnitude, ratio %v", ratio)
+	}
+}
+
+func TestEstimateCCRDegenerate(t *testing.T) {
+	if EstimateCCR(dag.DefaultGenConfig(), 0, 1) != 0 {
+		t.Fatal("zero capacity must yield CCR 0 sentinel")
+	}
+	if EstimateCCR(dag.DefaultGenConfig(), 1, 0) != 0 {
+		t.Fatal("zero bandwidth must yield CCR 0 sentinel")
+	}
+}
