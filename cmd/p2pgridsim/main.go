@@ -9,6 +9,8 @@
 // Experiments:
 //
 //	table1        print Table I (experimental setting)
+//	single        one run of -algo (default DSMF): the unit of every sweep,
+//	              handy with -cpuprofile/-memprofile for scale checks
 //	fig3          the worked two-workflow example (RPMs, scheduling orders)
 //	fig4-6        static comparison of the eight algorithms (three figures)
 //	fcfs          Section IV.B second-phase-vs-FCFS ablation
@@ -33,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,24 +45,76 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("experiment", "fig4-6", "experiment to run (see package doc)")
-		scale = flag.String("scale", "small", "paper|small|tiny")
-		seed  = flag.Int64("seed", 2010, "root random seed")
-		maxLF = flag.Int("maxlf", 8, "largest load factor for fig7-8")
-		arts  = flag.String("artifacts", "", "directory for CSV/DAT/gnuplot artifacts (series experiments)")
+		name    = flag.String("experiment", "fig4-6", "experiment to run (see package doc)")
+		scale   = flag.String("scale", "small", "paper|small|tiny")
+		seed    = flag.Int64("seed", 2010, "root random seed")
+		algo    = flag.String("algo", "DSMF", "algorithm for -experiment single")
+		maxLF   = flag.Int("maxlf", 8, "largest load factor for fig7-8")
+		arts    = flag.String("artifacts", "", "directory for CSV/DAT/gnuplot artifacts (series experiments)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	artifactsDir = *arts
+	if *name != "single" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "algo" {
+				fmt.Fprintf(os.Stderr, "p2pgridsim: -algo only applies to -experiment single; %q runs its fixed algorithm set\n", *name)
+			}
+		})
+	}
 
 	sc, err := experiments.ScaleByName(*scale)
 	if err != nil {
 		fatal(err)
 	}
-	start := time.Now()
-	if err := dispatch(*name, sc, *seed, *maxLF); err != nil {
+	// run (not main) owns the profile lifecycles so they close properly on
+	// error paths too: fatal exits the process and would skip any defers.
+	if err := run(sc, *name, *seed, *maxLF, *algo, *cpuProf, *memProf); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func run(sc experiments.Scale, name string, seed int64, maxLF int, algo, cpuProf, memProf string) error {
+	if cpuProf != "" {
+		f, err := os.Create(cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	start := time.Now()
+	dispatchErr := dispatch(name, sc, seed, maxLF, algo)
+	if dispatchErr == nil {
+		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if memProf != "" {
+		// Written even when dispatch failed: a heap snapshot of the errored
+		// run is exactly what the flag exists to capture.
+		if err := writeHeapProfile(memProf); err != nil {
+			if dispatchErr == nil {
+				return err
+			}
+			// The dispatch error takes precedence, but the missing profile
+			// must not go unnoticed.
+			fmt.Fprintln(os.Stderr, "p2pgridsim: heap profile not written:", err)
+		}
+	}
+	return dispatchErr
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // up-to-date live-heap statistics
+	return pprof.WriteHeapProfile(f)
 }
 
 // artifactsDir, when set, receives <figure>.csv/.dat/.gp files for every
@@ -89,10 +145,18 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func dispatch(name string, sc experiments.Scale, seed int64, maxLF int) error {
+func dispatch(name string, sc experiments.Scale, seed int64, maxLF int, algo string) error {
 	switch name {
 	case "table1":
 		fmt.Println(experiments.TableI().Format())
+	case "single":
+		res, err := experiments.SingleRun(sc, seed, algo)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s at %s scale (%d nodes, %d workflows, %.0f h):\n",
+			res.Algo, sc.Name, sc.Nodes, res.Submitted, sc.HorizonHours)
+		fmt.Println(res.Collector.FormatSeries())
 	case "fig3":
 		fmt.Println(experiments.Fig3Report())
 	case "fig4-6":
@@ -162,7 +226,7 @@ func dispatch(name string, sc experiments.Scale, seed int64, maxLF int) error {
 	case "all":
 		for _, n := range []string{"table1", "fig3", "fig4-6", "fcfs", "fig7-8", "fig9-10", "fig11", "fig12-14", "reschedule", "oracle", "planners", "churn-model", "families"} {
 			fmt.Printf("==== %s ====\n", n)
-			if err := dispatch(n, sc, seed, maxLF); err != nil {
+			if err := dispatch(n, sc, seed, maxLF, algo); err != nil {
 				return err
 			}
 		}

@@ -297,7 +297,7 @@ func TestMatrixPhase1DispatchesEverything(t *testing.T) {
 	engine := sim.NewEngine()
 	algo := grid.Algorithm{
 		Label:  "mm",
-		Phase1: core.MatrixPhase1{Label: "mm", Pick: core.PickMinMin},
+		Phase1: &core.MatrixPhase1{Label: "mm", Pick: core.PickMinMin},
 		Phase2: core.FCFS{},
 	}
 	g, err := grid.New(engine, grid.Config{Nodes: 10, Seed: 13}, algo)

@@ -60,7 +60,7 @@ func (DSMFPhase2) Pick(ready []*grid.TaskInstance) *grid.TaskInstance {
 func NewDSMF() grid.Algorithm {
 	return grid.Algorithm{
 		Label:  "DSMF",
-		Phase1: ListPhase1{Label: "DSMF", Order: DSMFOrder},
+		Phase1: &ListPhase1{Label: "DSMF", Order: DSMFOrder},
 		Phase2: DSMFPhase2{},
 	}
 }

@@ -20,8 +20,14 @@ type Candidate struct {
 // Candidates assembles the home node's current scheduling options from its
 // RSS plus itself, in ascending node order.
 func Candidates(g *grid.Grid, home *grid.Node) []Candidate {
-	rss := g.RSS(home.ID)
-	out := make([]Candidate, 0, len(rss)+1)
+	return AppendCandidates(g, home, nil)
+}
+
+// AppendCandidates is Candidates writing into dst's backing array (resliced
+// to zero length), for schedulers that keep a per-instance scratch buffer.
+func AppendCandidates(g *grid.Grid, home *grid.Node, dst []Candidate) []Candidate {
+	rss := g.RSSView(home.ID)
+	out := dst[:0]
 	inserted := false
 	for _, rec := range rss {
 		if !inserted && home.ID < rec.Node {

@@ -11,18 +11,21 @@ type ListPhase1 struct {
 	Label string
 	// Order permutes the dispatchable tasks into dispatch priority order.
 	Order func(views []WorkflowView) []RankedTask
+
+	candBuf []Candidate // per-instance scratch; one engine thread per run
 }
 
 // Name implements grid.Phase1Scheduler.
-func (s ListPhase1) Name() string { return s.Label }
+func (s *ListPhase1) Name() string { return s.Label }
 
 // Schedule implements grid.Phase1Scheduler.
-func (s ListPhase1) Schedule(g *grid.Grid, home *grid.Node, now float64) {
+func (s *ListPhase1) Schedule(g *grid.Grid, home *grid.Node, now float64) {
 	views := Analyze(g, home)
 	if len(views) == 0 {
 		return
 	}
-	cands := Candidates(g, home)
+	s.candBuf = AppendCandidates(g, home, s.candBuf)
+	cands := s.candBuf
 	if len(cands) == 0 {
 		return // Algorithm 1 line 9: no known resources, wait a cycle
 	}

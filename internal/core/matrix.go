@@ -35,18 +35,22 @@ type MatrixPhase1 struct {
 	Label string
 	// Pick returns the index of the chosen row.
 	Pick func(rows []MatrixRow) int
+
+	candBuf []Candidate // per-instance scratch; one engine thread per run
+	rowBuf  []MatrixRow
 }
 
 // Name implements grid.Phase1Scheduler.
-func (s MatrixPhase1) Name() string { return s.Label }
+func (s *MatrixPhase1) Name() string { return s.Label }
 
 // Schedule implements grid.Phase1Scheduler.
-func (s MatrixPhase1) Schedule(g *grid.Grid, home *grid.Node, now float64) {
+func (s *MatrixPhase1) Schedule(g *grid.Grid, home *grid.Node, now float64) {
 	views := Analyze(g, home)
 	if len(views) == 0 {
 		return
 	}
-	cands := Candidates(g, home)
+	s.candBuf = AppendCandidates(g, home, s.candBuf)
+	cands := s.candBuf
 	if len(cands) == 0 {
 		return
 	}
@@ -64,10 +68,11 @@ func (s MatrixPhase1) Schedule(g *grid.Grid, home *grid.Node, now float64) {
 		if len(pending) == 0 {
 			return
 		}
-		rows := make([]MatrixRow, len(pending))
-		for i, rt := range pending {
-			rows[i] = computeRow(g, rt, cands)
+		rows := s.rowBuf[:0]
+		for _, rt := range pending {
+			rows = append(rows, computeRow(g, rt, cands))
 		}
+		s.rowBuf = rows
 		pick := s.Pick(rows)
 		if pick < 0 || pick >= len(rows) {
 			return

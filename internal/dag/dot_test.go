@@ -1,0 +1,84 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestDOTRendersTasksAndEdges(t *testing.T) {
+	b := NewBuilder("diamond")
+	a := b.AddTask("A", 100, 10)
+	x := b.AddTask("B", 200, 10)
+	y := b.AddTask("C", 300, 10)
+	d := b.AddTask("D", 400, 10)
+	b.AddEdge(a, x, 25)
+	b.AddEdge(a, y, 35)
+	b.AddEdge(x, d, 45)
+	b.AddEdge(y, d, 55)
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := w.DOT()
+	tests := []struct {
+		name string
+		want string
+	}{
+		{"digraph header", `digraph "diamond" {`},
+		{"rankdir", "rankdir=TB;"},
+		{"task A with load", `[label="A\n100 MI"];`},
+		{"task D with load", `[label="D\n400 MI"];`},
+		{"edge A->B with data", fmt.Sprintf(`  t%d -> t%d [label="25 Mb"];`, a, x)},
+		{"edge C->D with data", fmt.Sprintf(`  t%d -> t%d [label="55 Mb"];`, y, d)},
+		{"closing brace", "}\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("DOT output missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+
+	// Every task (real and virtual) must appear as a node declaration, and
+	// every edge exactly once.
+	if got, want := strings.Count(out, "label="), w.Len()+w.Edges(); got != want {
+		t.Fatalf("found %d labels, want %d (tasks %d + edges %d)",
+			got, want, w.Len(), w.Edges())
+	}
+	if got, want := strings.Count(out, "->"), w.Edges(); got != want {
+		t.Fatalf("found %d edges, want %d", got, want)
+	}
+}
+
+// TestDOTVirtualTasksDrawnAsPoints: a workflow with two roots gets a
+// virtual entry during normalization, which must render as a point node
+// rather than a load-labeled box.
+func TestDOTVirtualTasksDrawnAsPoints(t *testing.T) {
+	b := NewBuilder("two-roots")
+	r1 := b.AddTask("R1", 100, 10)
+	r2 := b.AddTask("R2", 100, 10)
+	sink := b.AddTask("S", 100, 10)
+	b.AddEdge(r1, sink, 5)
+	b.AddEdge(r2, sink, 5)
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Task(w.Entry()).Virtual {
+		t.Fatal("expected a virtual entry after normalization")
+	}
+
+	out := w.DOT()
+	if !strings.Contains(out, "shape=point") {
+		t.Fatalf("virtual task not drawn as point:\n%s", out)
+	}
+	// The virtual node keeps its name but must not carry an MI load label.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "shape=point") && strings.Contains(line, "MI") {
+			t.Fatalf("virtual point node carries a load label: %s", line)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/grid"
+	"repro/internal/heuristics"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -169,6 +170,17 @@ func Run(setting Setting, algo grid.Algorithm) (Result, error) {
 		CCR:       workload.EstimateCCR(setting.Gen, avgCap, avgBW),
 		Submitted: len(subs),
 	}, nil
+}
+
+// SingleRun executes one simulation of the named algorithm (see
+// heuristics.ByName) under the default Table I setting - the unit of every
+// sweep, exposed directly for profiling and scale checks.
+func SingleRun(scale Scale, seed int64, algo string) (Result, error) {
+	a, err := heuristics.ByName(algo)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(NewSetting(scale, seed), a)
 }
 
 // newEngine is a seam for tests.

@@ -9,6 +9,12 @@
 // behaviour of the Newscast peer-sampling model the paper cites. Each node's
 // resource set RSS is a freshness-bounded cache whose capacity is
 // O(log2(n)), reproducing Fig. 11(a)'s bounded "acquaintance" count.
+//
+// The per-node cache is a slice sorted by origin id, not a map: the RSS
+// bound keeps it at O(log n) entries, so ordered insertion and in-place
+// compaction beat map churn by a wide margin in the simulator's hottest
+// loop (push/merge/trim run fan-out times per node per cycle), and the
+// sorted order makes RSS() allocation-free for callers that bring a buffer.
 package gossip
 
 import (
@@ -76,6 +82,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// idleMemo caches one IdleKnown answer per node. A cached count stays valid
+// while the simulated clock and the cache version are unchanged: expiry
+// depends only on the clock, and every mutation bumps the version. Metric
+// snapshots that sample many statistics at one instant hit the memo after
+// the first count of a gossip cycle.
+type idleMemo struct {
+	at      float64
+	version uint32
+	count   int
+	valid   bool
+}
+
 // Protocol simulates the mixed gossip protocol for all n nodes on one
 // deterministic event engine.
 type Protocol struct {
@@ -84,7 +102,15 @@ type Protocol struct {
 	local  LocalState
 	rng    *rand.Rand
 
-	cache []map[int]StateRecord // per-node RSS: origin -> freshest record
+	// cache[i] is node i's RSS: at most one record per origin, sorted by
+	// ascending origin id. All n slices share one preallocated backing
+	// array; push-time overshoot happens in mergeBuf, so the slices never
+	// outgrow their stride.
+	cache     [][]StateRecord
+	version   []uint32      // bumped on every cache[i] mutation
+	idle      []idleMemo    // per-node IdleKnown memo
+	sampleBuf []int         // reused by the cycle's neighbor draws
+	mergeBuf  []StateRecord // reused by push's sorted-merge
 
 	// Aggregation state (push-pull averaging with epoch restarts).
 	estCap     []float64 // in-progress capacity estimate
@@ -124,15 +150,24 @@ func New(engine *sim.Engine, cfg Config, local LocalState) (*Protocol, error) {
 		engine:    engine,
 		local:     local,
 		rng:       stats.NewRand(cfg.Seed, 0xC3),
-		cache:     make([]map[int]StateRecord, cfg.N),
+		cache:     make([][]StateRecord, cfg.N),
+		version:   make([]uint32, cfg.N),
+		idle:      make([]idleMemo, cfg.N),
+		sampleBuf: make([]int, 0, cfg.N),
 		estCap:    make([]float64, cfg.N),
 		estBW:     make([]float64, cfg.N),
 		reportCap: make([]float64, cfg.N),
 		reportBW:  make([]float64, cfg.N),
 	}
+	// A cache holds at most CacheCapacity records after eviction, plus one
+	// own-record insert between pushes; transient push overshoot lives in
+	// mergeBuf, never in the per-node slices.
+	stride := cfg.CacheCapacity + 1
+	backing := make([]StateRecord, cfg.N*stride)
 	for i := range p.cache {
-		p.cache[i] = make(map[int]StateRecord)
+		p.cache[i] = backing[i*stride : i*stride : (i+1)*stride]
 	}
+	p.mergeBuf = make([]StateRecord, 0, 2*stride)
 	for i := 0; i < cfg.N; i++ {
 		s := local.Snapshot(i)
 		p.estCap[i], p.estBW[i] = s.Capacity, s.AvgBandwidthObs
@@ -177,15 +212,16 @@ func (p *Protocol) cycle(now float64) {
 			Timestamp: now, TTL: p.cfg.TTL,
 		}
 		p.merge(i, own, now)
-		targets := stats.SampleWithout(p.rng, p.cfg.N, p.cfg.FanOut, i)
+		targets := stats.SampleWithoutInto(p.rng, p.cfg.N, p.cfg.FanOut, i, p.sampleBuf)
 		for _, t := range targets {
 			if !p.local.Snapshot(t).Alive {
 				continue
 			}
 			p.push(i, t, now)
 		}
-		// Aggregation: one push-pull averaging exchange.
-		partner := stats.SampleWithout(p.rng, p.cfg.N, 1, i)
+		// Aggregation: one push-pull averaging exchange (reusing the sample
+		// buffer is safe: the fan-out targets above were fully consumed).
+		partner := stats.SampleWithoutInto(p.rng, p.cfg.N, 1, i, p.sampleBuf)
 		if len(partner) == 1 && p.local.Snapshot(partner[0]).Alive {
 			j := partner[0]
 			avgC := (p.estCap[i] + p.estCap[j]) / 2
@@ -199,88 +235,171 @@ func (p *Protocol) cycle(now float64) {
 }
 
 // push sends node from's whole cache (records with hops left) to node to.
+// Both caches are sorted by origin, so the receive side is one linear
+// sorted-merge into a scratch buffer - no per-record binary search, no
+// insertion shifting - with freshness expiry folded in; only the capacity
+// eviction still scans. The cycle never pushes a node to itself, so src and
+// dst never alias.
 func (p *Protocol) push(from, to int, now float64) {
 	p.MessagesSent++
-	for _, rec := range p.cache[from] {
-		if rec.TTL <= 0 {
-			continue
+	src, dst := p.cache[from], p.cache[to]
+	expiry := p.expirySeconds()
+	out := p.mergeBuf[:0]
+	si, di := 0, 0
+	for si < len(src) || di < len(dst) {
+		switch {
+		case di == len(dst) || (si < len(src) && src[si].Node < dst[di].Node):
+			// New origin arriving with the push.
+			rec := src[si]
+			si++
+			if rec.TTL <= 0 {
+				continue
+			}
+			p.BytesSent += MessageBytes
+			rec.TTL--
+			if now-rec.Timestamp <= expiry {
+				out = append(out, rec)
+			}
+		case si == len(src) || dst[di].Node < src[si].Node:
+			// Receiver-only origin: survives unless its record expired.
+			rec := dst[di]
+			di++
+			if now-rec.Timestamp <= expiry {
+				out = append(out, rec)
+			}
+		default:
+			// Both sides know this origin: keep the freshest record
+			// (higher timestamp, then higher remaining TTL).
+			rec, old := src[si], dst[di]
+			si++
+			di++
+			if rec.TTL > 0 {
+				p.BytesSent += MessageBytes
+				rec.TTL--
+				if now-rec.Timestamp <= expiry && fresher(rec, old) {
+					out = append(out, rec)
+					continue
+				}
+			}
+			if now-old.Timestamp <= expiry {
+				out = append(out, old)
+			}
 		}
-		p.BytesSent += MessageBytes
-		fwd := rec
-		fwd.TTL--
-		p.merge(to, fwd, now)
 	}
-	p.trim(to, now)
+	p.mergeBuf = out
+	p.evict(to, out)
 }
 
-// merge keeps the freshest record per origin.
+// evict enforces the cache capacity bound on the merged view and installs
+// it as node to's cache, reusing the preallocated backing array. The
+// stalest records go first (ties to the lowest origin, which the ascending
+// scan yields for free); the node's own record is always kept. Victims are
+// marked with a negative TTL sentinel (live records never go below zero)
+// and dropped in one compaction pass instead of shifting per eviction.
+func (p *Protocol) evict(to int, out []StateRecord) {
+	for over := len(out) - p.cfg.CacheCapacity; over > 0; over-- {
+		victim := -1
+		var victimTS float64
+		for i := range out {
+			if out[i].Node == to || out[i].TTL < 0 {
+				continue
+			}
+			if victim < 0 || out[i].Timestamp < victimTS {
+				victim, victimTS = i, out[i].Timestamp
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		out[victim].TTL = -1
+	}
+	dst := p.cache[to][:0]
+	for i := range out {
+		if out[i].TTL >= 0 {
+			dst = append(dst, out[i])
+		}
+	}
+	p.cache[to] = dst
+	p.version[to]++
+}
+
+// findOrigin locates origin in recs (sorted by Node). It returns the
+// matching index, or the insertion position with found == false.
+func findOrigin(recs []StateRecord, origin int) (idx int, found bool) {
+	lo, hi := 0, len(recs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if recs[mid].Node < origin {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(recs) && recs[lo].Node == origin
+}
+
+// fresher reports whether record a supersedes record b about the same
+// origin: a later mint time wins, and among equal mints the copy with more
+// forwarding hops left. Both of the protocol's install paths (merge and
+// push's sorted-merge) share this single definition.
+func fresher(a, b StateRecord) bool {
+	return a.Timestamp > b.Timestamp ||
+		(a.Timestamp == b.Timestamp && a.TTL > b.TTL)
+}
+
+// merge keeps the freshest record per origin, inserting in origin order.
 func (p *Protocol) merge(at int, rec StateRecord, now float64) {
 	if now-rec.Timestamp > p.expirySeconds() {
 		return
 	}
-	old, ok := p.cache[at][rec.Node]
-	if !ok || rec.Timestamp > old.Timestamp ||
-		(rec.Timestamp == old.Timestamp && rec.TTL > old.TTL) {
-		p.cache[at][rec.Node] = rec
+	recs := p.cache[at]
+	i, ok := findOrigin(recs, rec.Node)
+	if ok {
+		if fresher(rec, recs[i]) {
+			recs[i] = rec
+			p.version[at]++
+		}
+		return
 	}
+	recs = append(recs, StateRecord{})
+	copy(recs[i+1:], recs[i:])
+	recs[i] = rec
+	p.cache[at] = recs
+	p.version[at]++
 }
 
 func (p *Protocol) expirySeconds() float64 {
 	return p.cfg.ExpiryCycles * p.cfg.CycleSeconds
 }
 
-// trim enforces freshness expiry and the cache capacity bound, evicting the
-// stalest entries first. The node's own record is always kept.
-func (p *Protocol) trim(at int, now float64) {
-	c := p.cache[at]
-	for origin, rec := range c {
-		if now-rec.Timestamp > p.expirySeconds() {
-			delete(c, origin)
+// AppendRSS appends node's current resource set - fresh records about OTHER
+// nodes, in ascending origin order - to buf and returns the extended slice.
+// Callers on the scheduling hot path pass a reused buffer (sliced to zero
+// length) to keep the per-round view allocation-free.
+func (p *Protocol) AppendRSS(node int, buf []StateRecord) []StateRecord {
+	now := p.engine.Now()
+	for _, rec := range p.cache[node] {
+		if rec.Node == node || now-rec.Timestamp > p.expirySeconds() {
+			continue
 		}
+		buf = append(buf, rec)
 	}
-	over := len(c) - p.cfg.CacheCapacity
-	for ; over > 0; over-- {
-		stalest, stalestTS := -1, now+1
-		for origin, rec := range c {
-			if origin == at {
-				continue
-			}
-			if rec.Timestamp < stalestTS || (rec.Timestamp == stalestTS && origin < stalest) {
-				stalest, stalestTS = origin, rec.Timestamp
-			}
-		}
-		if stalest < 0 {
-			return
-		}
-		delete(c, stalest)
-	}
+	return buf
 }
 
-// RSS returns node's current resource set: fresh records about OTHER nodes,
-// in ascending origin order for determinism. This is the RSS(p_s) the
-// first-phase scheduler iterates over.
+// RSS returns node's current resource set in a fresh slice. This is the
+// RSS(p_s) the first-phase scheduler iterates over; hot-path callers should
+// prefer AppendRSS with a reused buffer.
 func (p *Protocol) RSS(node int) []StateRecord {
-	now := p.engine.Now()
-	out := make([]StateRecord, 0, len(p.cache[node]))
-	for origin, rec := range p.cache[node] {
-		if origin == node {
-			continue
-		}
-		if now-rec.Timestamp > p.expirySeconds() {
-			continue
-		}
-		out = append(out, rec)
-	}
-	sortRecords(out)
-	return out
+	return p.AppendRSS(node, make([]StateRecord, 0, len(p.cache[node])))
 }
 
 // RSSSize returns |RSS(node)| without materializing records.
 func (p *Protocol) RSSSize(node int) int {
 	now := p.engine.Now()
 	n := 0
-	for origin, rec := range p.cache[node] {
-		if origin != node && now-rec.Timestamp <= p.expirySeconds() {
+	for _, rec := range p.cache[node] {
+		if rec.Node != node && now-rec.Timestamp <= p.expirySeconds() {
 			n++
 		}
 	}
@@ -288,21 +407,29 @@ func (p *Protocol) RSSSize(node int) int {
 }
 
 // IdleKnown counts RSS entries advertising an empty queue, Fig. 11(a)'s
-// "number of idle-nodes known by each node".
+// "number of idle-nodes known by each node". The count is memoized per
+// (clock, cache-version) pair, so repeated queries within one gossip cycle
+// - metric snapshots, scheduler probes - cost O(1) after the first.
 func (p *Protocol) IdleKnown(node int) int {
 	now := p.engine.Now()
+	memo := &p.idle[node]
+	if memo.valid && memo.at == now && memo.version == p.version[node] {
+		return memo.count
+	}
 	n := 0
-	for origin, rec := range p.cache[node] {
-		if origin != node && now-rec.Timestamp <= p.expirySeconds() && rec.TotalLoadMI == 0 {
+	for _, rec := range p.cache[node] {
+		if rec.Node != node && now-rec.Timestamp <= p.expirySeconds() && rec.TotalLoadMI == 0 {
 			n++
 		}
 	}
+	*memo = idleMemo{at: now, version: p.version[node], count: n, valid: true}
 	return n
 }
 
 // Averages returns node's current estimate of the system-wide average
 // capacity (MIPS) and average bandwidth (Mb/s) from the aggregation
-// protocol.
+// protocol. The estimates are plain per-node array reads refreshed once per
+// epoch by the cycle loop, so the accessor is already O(1) per call.
 func (p *Protocol) Averages(node int) (avgCapacity, avgBandwidth float64) {
 	return p.reportCap[node], p.reportBW[node]
 }
@@ -314,8 +441,8 @@ func (p *Protocol) MeanRecordAge(node int) float64 {
 	now := p.engine.Now()
 	var sum float64
 	n := 0
-	for origin, rec := range p.cache[node] {
-		if origin == node || now-rec.Timestamp > p.expirySeconds() {
+	for _, rec := range p.cache[node] {
+		if rec.Node == node || now-rec.Timestamp > p.expirySeconds() {
 			continue
 		}
 		sum += now - rec.Timestamp
@@ -332,9 +459,9 @@ func (p *Protocol) MeanRecordAge(node int) float64 {
 // state record in RSS(p_s)"), so one scheduling round does not flood a
 // single node before gossip refreshes.
 func (p *Protocol) AddLoadHint(scheduler, target int, deltaMI float64) {
-	if rec, ok := p.cache[scheduler][target]; ok {
-		rec.TotalLoadMI += deltaMI
-		p.cache[scheduler][target] = rec
+	if i, ok := findOrigin(p.cache[scheduler], target); ok {
+		p.cache[scheduler][i].TotalLoadMI += deltaMI
+		p.version[scheduler]++
 	}
 }
 
@@ -343,23 +470,11 @@ func (p *Protocol) AddLoadHint(scheduler, target int, deltaMI float64) {
 // relies on freshness expiry like the real protocol would.
 func (p *Protocol) ForgetNode(origin int) {
 	for i := range p.cache {
-		delete(p.cache[i], origin)
-	}
-}
-
-func sortRecords(rs []StateRecord) {
-	// Insertion sort: RSS is O(log n) entries, avoid sort package funcs
-	// allocating closures in the hot path.
-	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0 && rs[j].Node < rs[j-1].Node; j-- {
-			rs[j], rs[j-1] = rs[j-1], rs[j]
+		recs := p.cache[i]
+		if j, ok := findOrigin(recs, origin); ok {
+			copy(recs[j:], recs[j+1:])
+			p.cache[i] = recs[:len(recs)-1]
+			p.version[i]++
 		}
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -96,25 +96,26 @@ func (g *Grid) startInputTransfer(t *TaskInstance, src int, sizeMb float64, gen 
 		}
 		t.State = TaskReady
 		t.ReadyAt = at
+		node := g.Nodes[t.Node]
+		node.ready = append(node.ready, t)
 		g.emit(traceReady, t.Node, nil, t)
-		g.maybeRun(g.Nodes[t.Node], at)
+		g.maybeRun(node, at)
 	})
 }
 
 // maybeRun gives the node's CPU to one data-complete ready task chosen by
-// the second-phase policy (Algorithm 2).
+// the second-phase policy (Algorithm 2). The candidate set is the node's
+// incrementally maintained ready slice, so an idle or busy node answers in
+// O(1) instead of rescanning its whole ready set.
 func (g *Grid) maybeRun(node *Node, now float64) {
-	if !node.Alive || node.Running != nil {
+	if !node.Alive || node.Running != nil || len(node.ready) == 0 {
 		return
 	}
-	ready := node.readyTasks()
-	if len(ready) == 0 {
-		return
-	}
-	t := g.algo.Phase2.Pick(ready)
+	t := g.algo.Phase2.Pick(node.ready)
 	if t == nil || t.State != TaskReady || t.Node != node.ID {
 		panic(fmt.Sprintf("grid: phase-2 policy %q returned invalid task", g.algo.Phase2.Name()))
 	}
+	node.removeFromReady(t)
 	t.State = TaskRunning
 	t.StartedAt = now
 	node.Running = t
@@ -122,18 +123,6 @@ func (g *Grid) maybeRun(node *Node, now float64) {
 	gen := t.gen
 	dur := t.Task().Load / node.Capacity
 	g.Engine.After(dur, func(at float64) { g.taskFinished(t, gen, at) })
-}
-
-// readyTasks returns the data-complete subset of the ready set in dispatch
-// order (deterministic input for phase-2 policies).
-func (n *Node) readyTasks() []*TaskInstance {
-	var out []*TaskInstance
-	for _, t := range n.ReadySet {
-		if t.State == TaskReady {
-			out = append(out, t)
-		}
-	}
-	return out
 }
 
 // taskFinished completes a running task, releases the CPU, activates
@@ -183,16 +172,21 @@ func (g *Grid) onTaskDone(t *TaskInstance, now float64) {
 	}
 }
 
-// removeFromReadySet deletes t preserving order (dispatch order is the FCFS
+// removeTask deletes t from s preserving order (dispatch order is the FCFS
 // key, so order matters).
-func (n *Node) removeFromReadySet(t *TaskInstance) {
-	for i, x := range n.ReadySet {
+func removeTask(s []*TaskInstance, t *TaskInstance) []*TaskInstance {
+	for i, x := range s {
 		if x == t {
-			n.ReadySet = append(n.ReadySet[:i], n.ReadySet[i+1:]...)
-			return
+			return append(s[:i], s[i+1:]...)
 		}
 	}
+	return s
 }
+
+func (n *Node) removeFromReadySet(t *TaskInstance) { n.ReadySet = removeTask(n.ReadySet, t) }
+
+// removeFromReady deletes t from the data-complete ready slice.
+func (n *Node) removeFromReady(t *TaskInstance) { n.ready = removeTask(n.ready, t) }
 
 // QueueDelay returns R(tau, p_h) = l_h / c_h, the conservative queuing-delay
 // estimate of Eq. 5, computed from an advertised state record.

@@ -10,6 +10,9 @@ func (g *Grid) failTask(t *TaskInstance, now float64) {
 		case TaskDispatched, TaskReady, TaskRunning:
 			node := g.Nodes[t.Node]
 			node.removeFromReadySet(t)
+			if t.State == TaskReady {
+				node.removeFromReady(t)
+			}
 			if node.Running == t {
 				node.Running = nil
 			}
@@ -121,6 +124,7 @@ func (g *Grid) failNode(node *Node, now float64) {
 		}
 	}
 	node.ReadySet = nil
+	node.ready = nil
 	node.Running = nil
 	node.TotalLoadMI = 0
 	for _, wf := range node.Homed {
@@ -157,6 +161,7 @@ func (g *Grid) reviveNode(node *Node, now float64) {
 	node.Incarnation++
 	g.emit(traceNodeUp, node.ID, nil, nil)
 	node.ReadySet = nil
+	node.ready = nil
 	node.Running = nil
 	node.TotalLoadMI = 0
 	g.refreshTrueCapacity()

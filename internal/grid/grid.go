@@ -156,6 +156,7 @@ type Grid struct {
 	started     bool
 	pendingPlan []*WorkflowInstance // submitted before Start, planner mode
 	dispatchSeq int
+	rssBuf      []gossip.StateRecord // scratch for RSSView
 
 	// Counters maintained incrementally for metrics.
 	CompletedCount int
@@ -178,6 +179,14 @@ type Node struct {
 	ReadySet    []*TaskInstance // RDS: dispatched tasks (in-flight or ready)
 	Running     *TaskInstance
 	TotalLoadMI float64 // l_i: running + every ready-set task's load
+
+	// ready is the incrementally maintained data-complete subset of
+	// ReadySet (tasks in state TaskReady): appended when the last input
+	// transfer lands, removed when a task starts executing or fails. It
+	// replaces the per-maybeRun linear rebuild; every Phase2Policy orders
+	// candidates by a total key ending in the unique DispatchSeq, so Pick
+	// is independent of this slice's maintenance order.
+	ready []*TaskInstance
 
 	Homed []*WorkflowInstance // workflows submitted at this node
 }
@@ -218,7 +227,7 @@ func New(engine *sim.Engine, cfg Config, algo Algorithm) (*Grid, error) {
 	if cfg.UseOracleBandwidth {
 		g.estimator = topology.BandwidthOracle{Net: net}
 	} else {
-		k := maxInt(1, stats.Log2Ceil(n))
+		k := max(1, stats.Log2Ceil(n))
 		lm, err := topology.NewLandmarkEstimator(net, k, stats.SplitSeed(cfg.Seed, 0xF6))
 		if err != nil {
 			return nil, fmt.Errorf("grid: landmarks: %w", err)
@@ -252,7 +261,7 @@ func New(engine *sim.Engine, cfg Config, algo Algorithm) (*Grid, error) {
 // bandwidth: the mean of its measurements to the landmark set (or to a
 // random sample under the oracle estimator).
 func (g *Grid) bandwidthObservation(node int) float64 {
-	sampleN := maxInt(1, stats.Log2Ceil(g.Net.N()))
+	sampleN := max(1, stats.Log2Ceil(g.Net.N()))
 	targets := stats.SampleWithout(g.rng, g.Net.N(), sampleN, node)
 	var sum float64
 	var cnt int
@@ -378,8 +387,18 @@ func (g *Grid) Averages(node int) (avgCap, avgBW float64) {
 	return g.Gossip.Averages(node)
 }
 
-// RSS returns the gossip resource view of node (Algorithm 1's RSS(p_s)).
+// RSS returns the gossip resource view of node (Algorithm 1's RSS(p_s)) in
+// a fresh slice.
 func (g *Grid) RSS(node int) []gossip.StateRecord { return g.Gossip.RSS(node) }
+
+// RSSView returns the same view in a grid-owned scratch buffer, valid only
+// until the next RSSView call. First-phase schedulers run back-to-back on
+// one engine thread, so sharing the scratch keeps every scheduling round
+// allocation-free.
+func (g *Grid) RSSView(node int) []gossip.StateRecord {
+	g.rssBuf = g.Gossip.AppendRSS(node, g.rssBuf[:0])
+	return g.rssBuf
+}
 
 // Estimator returns the bandwidth estimator schedulers must use for
 // transfer-time predictions.
@@ -394,11 +413,4 @@ func (g *Grid) AliveCount() int {
 		}
 	}
 	return n
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -53,7 +53,7 @@ func (dheftPhase2) Pick(ready []*grid.TaskInstance) *grid.TaskInstance {
 func NewDHEFT() grid.Algorithm {
 	return grid.Algorithm{
 		Label:  "DHEFT",
-		Phase1: core.ListPhase1{Label: "DHEFT", Order: dheftOrder},
+		Phase1: &core.ListPhase1{Label: "DHEFT", Order: dheftOrder},
 		Phase2: dheftPhase2{},
 	}
 }
@@ -92,7 +92,7 @@ func (dsdfPhase2) Pick(ready []*grid.TaskInstance) *grid.TaskInstance {
 func NewDSDF() grid.Algorithm {
 	return grid.Algorithm{
 		Label:  "DSDF",
-		Phase1: core.ListPhase1{Label: "DSDF", Order: dsdfOrder},
+		Phase1: &core.ListPhase1{Label: "DSDF", Order: dsdfOrder},
 		Phase2: dsdfPhase2{},
 	}
 }
@@ -150,7 +150,7 @@ func (lsfPhase2) Pick(ready []*grid.TaskInstance) *grid.TaskInstance {
 func NewMinMin() grid.Algorithm {
 	return grid.Algorithm{
 		Label:  "min-min",
-		Phase1: core.MatrixPhase1{Label: "min-min", Pick: core.PickMinMin},
+		Phase1: &core.MatrixPhase1{Label: "min-min", Pick: core.PickMinMin},
 		Phase2: stfPhase2{},
 	}
 }
@@ -159,7 +159,7 @@ func NewMinMin() grid.Algorithm {
 func NewMaxMin() grid.Algorithm {
 	return grid.Algorithm{
 		Label:  "max-min",
-		Phase1: core.MatrixPhase1{Label: "max-min", Pick: core.PickMaxMin},
+		Phase1: &core.MatrixPhase1{Label: "max-min", Pick: core.PickMaxMin},
 		Phase2: ltfPhase2{},
 	}
 }
@@ -168,7 +168,7 @@ func NewMaxMin() grid.Algorithm {
 func NewSufferage() grid.Algorithm {
 	return grid.Algorithm{
 		Label:  "sufferage",
-		Phase1: core.MatrixPhase1{Label: "sufferage", Pick: core.PickSufferage},
+		Phase1: &core.MatrixPhase1{Label: "sufferage", Pick: core.PickSufferage},
 		Phase2: lsfPhase2{},
 	}
 }

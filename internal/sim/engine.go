@@ -18,19 +18,25 @@ type Event func(now float64)
 type queuedEvent struct {
 	at    float64
 	seq   uint64
+	gen   uint64 // bumped every time the struct is recycled off the free list
 	fire  Event
 	index int // heap index, maintained by eventQueue
 	dead  bool
 }
 
 // Handle identifies a scheduled event so it can be cancelled. The zero
-// Handle is invalid.
-type Handle struct{ qe *queuedEvent }
+// Handle is invalid. The generation snapshot keeps a Handle safe to retain
+// past its event's lifetime even though the engine recycles queuedEvent
+// allocations: a stale Handle simply stops matching.
+type Handle struct {
+	qe  *queuedEvent
+	gen uint64
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. It reports whether the event was live.
 func (h Handle) Cancel() bool {
-	if h.qe == nil || h.qe.dead {
+	if h.qe == nil || h.qe.gen != h.gen || h.qe.dead {
 		return false
 	}
 	h.qe.dead = true
@@ -38,7 +44,9 @@ func (h Handle) Cancel() bool {
 }
 
 // Live reports whether the event is still pending.
-func (h Handle) Live() bool { return h.qe != nil && !h.qe.dead && h.qe.index >= 0 }
+func (h Handle) Live() bool {
+	return h.qe != nil && h.qe.gen == h.gen && !h.qe.dead && h.qe.index >= 0
+}
 
 type eventQueue []*queuedEvent
 
@@ -76,6 +84,7 @@ type Engine struct {
 	now     float64
 	seq     uint64
 	queue   eventQueue
+	free    []*queuedEvent // drained events awaiting reuse by At
 	stopped bool
 	// Processed counts fired (non-cancelled) events, for tests and tracing.
 	Processed uint64
@@ -104,10 +113,27 @@ func (e *Engine) At(t float64, fn Event) Handle {
 	if t < e.now {
 		t = e.now
 	}
-	qe := &queuedEvent{at: t, seq: e.seq, fire: fn}
+	var qe *queuedEvent
+	if n := len(e.free); n > 0 {
+		qe = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		qe.at, qe.seq, qe.fire, qe.dead = t, e.seq, fn, false
+	} else {
+		qe = &queuedEvent{at: t, seq: e.seq, fire: fn}
+	}
 	e.seq++
 	heap.Push(&e.queue, qe)
-	return Handle{qe}
+	return Handle{qe, qe.gen}
+}
+
+// release returns a popped event to the free list. Bumping the generation
+// invalidates every outstanding Handle to it before reuse; dropping the
+// callback lets the closure (and whatever it captures) be collected.
+func (e *Engine) release(qe *queuedEvent) {
+	qe.gen++
+	qe.fire = nil
+	e.free = append(e.free, qe)
 }
 
 // After schedules fn to run d seconds from now. Negative delays clamp to 0.
@@ -168,6 +194,7 @@ func (e *Engine) RunUntil(deadline float64) {
 		next := e.queue[0]
 		if next.dead {
 			heap.Pop(&e.queue)
+			e.release(next)
 			continue
 		}
 		if next.at > deadline {
@@ -175,7 +202,12 @@ func (e *Engine) RunUntil(deadline float64) {
 		}
 		heap.Pop(&e.queue)
 		e.now = next.at
-		next.fire(e.now)
+		// Recycle before firing: the handler may schedule new events, and
+		// handing it this freshly released struct is fine because release
+		// already advanced the generation past every outstanding Handle.
+		fire := next.fire
+		e.release(next)
+		fire(e.now)
 		e.Processed++
 	}
 	if e.now < deadline {

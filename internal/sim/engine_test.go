@@ -305,3 +305,48 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+// TestHandleStaysStaleAfterRecycle pins the free-list contract: once an
+// event has fired (or been drained as cancelled), its Handle goes
+// permanently stale, even if the engine recycles the underlying struct for
+// a later event.
+func TestHandleStaysStaleAfterRecycle(t *testing.T) {
+	e := NewEngine()
+	h1 := e.At(1, func(float64) {})
+	e.Run()
+	if h1.Live() {
+		t.Fatal("handle live after its event fired")
+	}
+	if h1.Cancel() {
+		t.Fatal("cancel of a fired event reported success")
+	}
+	// The next event reuses the drained struct; the stale handle must not
+	// alias it.
+	fired := false
+	h2 := e.At(2, func(float64) { fired = true })
+	if h1.Cancel() || h1.Live() {
+		t.Fatal("stale handle matched a recycled event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+	if h2.Live() {
+		t.Fatal("second handle live after firing")
+	}
+}
+
+// TestCancelledEventsAreRecycled checks that draining cancelled events also
+// feeds the free list (no leak of dead entries).
+func TestCancelledEventsAreRecycled(t *testing.T) {
+	e := NewEngine()
+	h := e.At(1, func(float64) {})
+	h.Cancel()
+	e.Run()
+	if e.Processed != 0 {
+		t.Fatalf("processed %d, want 0", e.Processed)
+	}
+	if len(e.free) != 1 {
+		t.Fatalf("free list has %d entries, want 1", len(e.free))
+	}
+}

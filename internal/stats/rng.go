@@ -68,7 +68,16 @@ func Shuffle[T any](rng *rand.Rand, xs []T) {
 // gossip fan-out neighbor selection. If fewer than k candidates exist, all of
 // them are returned.
 func SampleWithout(rng *rand.Rand, n, k, exclude int) []int {
-	candidates := make([]int, 0, n)
+	return SampleWithoutInto(rng, n, k, exclude, make([]int, 0, n))
+}
+
+// SampleWithoutInto is SampleWithout reusing buf's backing array, for
+// callers that sample every cycle (the gossip hot loop). The result aliases
+// buf and is only valid until the buffer's next use. It draws exactly the
+// same rng sequence as SampleWithout, so swapping between the two never
+// perturbs a seeded run.
+func SampleWithoutInto(rng *rand.Rand, n, k, exclude int, buf []int) []int {
+	candidates := buf[:0]
 	for i := 0; i < n; i++ {
 		if i != exclude {
 			candidates = append(candidates, i)
