@@ -1,0 +1,237 @@
+// Command benchgate is the CI perf-regression gate: it parses `go test
+// -bench` output, takes the per-metric median across -count repetitions,
+// and compares it against the committed baseline (BENCH_baseline.json),
+// failing on regressions beyond the baseline's thresholds.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=BenchmarkSingleDSMFRun -benchmem -count=5 . \
+//	    | go run ./cmd/benchgate -baseline BENCH_baseline.json
+//
+// ns/op is gated with a generous threshold (CI runners are noisy; the
+// median across -count repetitions absorbs most of it). B/op is
+// deterministic for this simulator, so the same threshold catches real
+// allocation regressions exactly. allocs/op is reported but not gated.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(gateMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// baseline mirrors BENCH_baseline.json (schema p2pgridsim/bench-baseline/v2).
+type baseline struct {
+	Schema      string            `json:"schema"`
+	Benchmark   string            `json:"benchmark"`
+	Config      string            `json:"config"`
+	Environment map[string]string `json:"environment"`
+	Metrics     struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"metrics"`
+	Thresholds struct {
+		NsPerOp    float64 `json:"ns_per_op"`
+		BytesPerOp float64 `json:"bytes_per_op"`
+	} `json:"thresholds"`
+	History []json.RawMessage `json:"history"`
+}
+
+// sample is one parsed benchmark result line.
+type sample struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+}
+
+func gateMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+		input        = fs.String("input", "-", "benchmark output file (- for stdin)")
+		threshold    = fs.Float64("threshold", 0, "override both regression thresholds (0 = use the baseline's)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "benchgate: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 2
+	}
+	in := io.Reader(os.Stdin)
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchgate:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	samples, err := parseBench(in, base.Benchmark)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 2
+	}
+
+	nsThresh, bThresh := base.Thresholds.NsPerOp, base.Thresholds.BytesPerOp
+	if *threshold > 0 {
+		nsThresh, bThresh = *threshold, *threshold
+	}
+	report, failed := gate(base, samples, nsThresh, bThresh)
+	fmt.Fprint(stdout, report)
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func loadBaseline(path string) (baseline, error) {
+	var b baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if b.Benchmark == "" {
+		return b, fmt.Errorf("%s: missing benchmark name", path)
+	}
+	if b.Metrics.NsPerOp <= 0 || b.Metrics.BytesPerOp <= 0 {
+		return b, fmt.Errorf("%s: missing baseline metrics", path)
+	}
+	if b.Thresholds.NsPerOp <= 0 {
+		b.Thresholds.NsPerOp = 0.20
+	}
+	if b.Thresholds.BytesPerOp <= 0 {
+		b.Thresholds.BytesPerOp = 0.20
+	}
+	return b, nil
+}
+
+// parseBench extracts every result line of the named benchmark from `go
+// test -bench -benchmem` output. Lines look like:
+//
+//	BenchmarkSingleDSMFRun-8   20   62782550 ns/op   2057747 B/op   22730 allocs/op
+//
+// The -N GOMAXPROCS suffix is optional and ignored.
+func parseBench(r io.Reader, name string) ([]sample, error) {
+	var out []sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 {
+			continue
+		}
+		bench := fields[0]
+		if i := strings.LastIndex(bench, "-"); i > 0 {
+			if _, err := strconv.Atoi(bench[i+1:]); err == nil {
+				bench = bench[:i]
+			}
+		}
+		if bench != name {
+			continue
+		}
+		var s sample
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsPerOp = v
+				ok = true
+			case "B/op":
+				s.bytesPerOp = v
+			case "allocs/op":
+				s.allocsPerOp = v
+			}
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no %s results found in input (need `go test -bench=%s -benchmem`)", name, name)
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// gate compares sample medians against the baseline and renders the
+// verdict. It fails on ns/op or B/op medians above baseline*(1+threshold);
+// allocs/op is informational.
+func gate(base baseline, samples []sample, nsThresh, bThresh float64) (report string, failed bool) {
+	ns := make([]float64, len(samples))
+	bs := make([]float64, len(samples))
+	al := make([]float64, len(samples))
+	for i, s := range samples {
+		ns[i], bs[i], al[i] = s.nsPerOp, s.bytesPerOp, s.allocsPerOp
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchgate: %s, median of %d runs vs baseline (%s, %s)\n",
+		base.Benchmark, len(samples), base.Environment["cpu"], base.Environment["go"])
+	check := func(metric string, got, want, thresh float64, gated bool) {
+		if gated && got <= 0 {
+			// A gated metric missing from the input (e.g. B/op without
+			// -benchmem) must fail, not masquerade as an improvement.
+			fmt.Fprintf(&b, "  %-10s %14s  baseline %14.0f  %8s  FAIL (metric missing - run with -benchmem)\n",
+				metric, "absent", want, "")
+			failed = true
+			return
+		}
+		delta := got/want - 1
+		verdict := "ok"
+		switch {
+		case !gated:
+			verdict = "info"
+		case delta > thresh:
+			verdict = fmt.Sprintf("FAIL (> +%.0f%%)", thresh*100)
+			failed = true
+		case delta < -thresh:
+			verdict = "improved - consider refreshing the baseline"
+		}
+		fmt.Fprintf(&b, "  %-10s %14.0f  baseline %14.0f  %+7.2f%%  %s\n",
+			metric, got, want, delta*100, verdict)
+	}
+	check("ns/op", median(ns), base.Metrics.NsPerOp, nsThresh, true)
+	check("B/op", median(bs), base.Metrics.BytesPerOp, bThresh, true)
+	if base.Metrics.AllocsPerOp > 0 {
+		check("allocs/op", median(al), base.Metrics.AllocsPerOp, 0, false)
+	}
+	return b.String(), failed
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baselineJSON = `{
+  "schema": "p2pgridsim/bench-baseline/v2",
+  "benchmark": "BenchmarkSingleDSMFRun",
+  "environment": {"goos": "linux", "cpu": "test", "go": "go1.24"},
+  "metrics": {"ns_per_op": 100000000, "bytes_per_op": 2000000, "allocs_per_op": 20000},
+  "thresholds": {"ns_per_op": 0.20, "bytes_per_op": 0.20}
+}`
+
+// benchLines renders count result lines at the given metrics, in the exact
+// layout `go test -bench -benchmem` prints.
+func benchLines(ns, bytesOp, allocs float64, count int) string {
+	var b strings.Builder
+	b.WriteString("goos: linux\ngoarch: amd64\npkg: repro\n")
+	for i := 0; i < count; i++ {
+		// Vary ns/op slightly so the median logic is exercised.
+		jitter := float64(i-count/2) * 1e5
+		fmt.Fprintf(&b, "BenchmarkSingleDSMFRun-8   \t      20\t  %.0f ns/op\t %.0f B/op\t   %.0f allocs/op\n",
+			ns+jitter, bytesOp, allocs)
+	}
+	b.WriteString("PASS\nok  \trepro\t1.234s\n")
+	return b.String()
+}
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(baselineJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runGate(t *testing.T, baselinePath, benchOutput string) (code int, stdout, stderr string) {
+	t.Helper()
+	inPath := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(inPath, []byte(benchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	code = gateMain([]string{"-baseline", baselinePath, "-input", inPath}, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestGatePassesAtBaseline(t *testing.T) {
+	base := writeBaseline(t)
+	code, stdout, stderr := runGate(t, base, benchLines(100e6, 2e6, 20000, 5))
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "median of 5 runs") {
+		t.Fatalf("report:\n%s", stdout)
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := writeBaseline(t)
+	// +15% ns/op and +10% B/op: noisy but inside the 20% gate.
+	code, stdout, _ := runGate(t, base, benchLines(115e6, 2.2e6, 21000, 5))
+	if code != 0 {
+		t.Fatalf("within-threshold run failed:\n%s", stdout)
+	}
+}
+
+// TestGateFailsOnSyntheticRegression is the acceptance check: a synthetic
+// >20% regression must fail the gate.
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	base := writeBaseline(t)
+	// +30% ns/op.
+	code, stdout, _ := runGate(t, base, benchLines(130e6, 2e6, 20000, 5))
+	if code != 1 {
+		t.Fatalf("ns/op regression not caught (exit %d):\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "FAIL") {
+		t.Fatalf("report missing FAIL verdict:\n%s", stdout)
+	}
+	// +25% B/op with flat ns/op must also fail.
+	code, stdout, _ = runGate(t, base, benchLines(100e6, 2.5e6, 20000, 5))
+	if code != 1 {
+		t.Fatalf("B/op regression not caught (exit %d):\n%s", code, stdout)
+	}
+}
+
+func TestGateReportsImprovement(t *testing.T) {
+	base := writeBaseline(t)
+	code, stdout, _ := runGate(t, base, benchLines(60e6, 1.2e6, 15000, 3))
+	if code != 0 {
+		t.Fatalf("improvement failed the gate:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "refreshing the baseline") {
+		t.Fatalf("improvement not flagged:\n%s", stdout)
+	}
+}
+
+func TestGateErrorPaths(t *testing.T) {
+	base := writeBaseline(t)
+	var out, errBuf bytes.Buffer
+	if code := gateMain([]string{"-baseline", "/nonexistent.json"}, &out, &errBuf); code != 2 {
+		t.Fatalf("missing baseline exited %d", code)
+	}
+	// Input without any matching benchmark lines.
+	if code, _, stderr := runGate(t, base, "PASS\nok repro 1s\n"); code != 2 || !strings.Contains(stderr, "no BenchmarkSingleDSMFRun results") {
+		t.Fatalf("empty input exited %d, stderr: %s", code, stderr)
+	}
+	// Stray positional args.
+	if code := gateMain([]string{"extra"}, &out, &errBuf); code != 2 {
+		t.Fatalf("positional args exited %d", code)
+	}
+}
+
+func TestGateFailsWithoutBenchmem(t *testing.T) {
+	base := writeBaseline(t)
+	// ns/op-only lines (no -benchmem): the B/op gate must fail loudly
+	// instead of reading 0 as an improvement.
+	in := "BenchmarkSingleDSMFRun-8 \t 20 \t 100000000 ns/op\n"
+	code, stdout, _ := runGate(t, base, in)
+	if code != 1 {
+		t.Fatalf("missing B/op passed the gate (exit %d):\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "metric missing") {
+		t.Fatalf("report does not explain the failure:\n%s", stdout)
+	}
+}
+
+func TestParseBenchMedian(t *testing.T) {
+	in := strings.NewReader(
+		"BenchmarkSingleDSMFRun-8 \t 20 \t 300 ns/op \t 50 B/op \t 7 allocs/op\n" +
+			"BenchmarkSingleDSMFRun-8 \t 20 \t 100 ns/op \t 52 B/op \t 7 allocs/op\n" +
+			"BenchmarkSingleDSMFRun-8 \t 20 \t 200 ns/op \t 51 B/op \t 7 allocs/op\n" +
+			"BenchmarkOther-8 \t 20 \t 999 ns/op \t 9 B/op \t 1 allocs/op\n")
+	samples, err := parseBench(in, "BenchmarkSingleDSMFRun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("parsed %d samples, want 3", len(samples))
+	}
+	ns := []float64{samples[0].nsPerOp, samples[1].nsPerOp, samples[2].nsPerOp}
+	if got := median(ns); got != 200 {
+		t.Fatalf("median %v, want 200", got)
+	}
+	if got := median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("even median %v, want 2.5", got)
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	p2pgridsim -experiment <name> [-scale paper|small|tiny] [-seed N]
+//	p2pgridsim -experiment <name> [-scale paper|small|tiny] [-seed N] [-reps N]
 //
 // Experiments:
 //
@@ -12,11 +12,12 @@
 //	single        one run of -algo (default DSMF): the unit of every sweep,
 //	              handy with -cpuprofile/-memprofile for scale checks
 //	fig3          the worked two-workflow example (RPMs, scheduling orders)
-//	fig4-6        static comparison of the eight algorithms (three figures)
+//	fig4-6        static comparison of the eight algorithms (three figures);
+//	              -reps N>1 replicates it over N seeds and adds error bars
 //	fcfs          Section IV.B second-phase-vs-FCFS ablation
-//	fcfs-rep      the same ablation replicated over 3 seeds (mean ± std)
-//	fig7-8        load factor sweep (ACT and AE tables)
-//	fig9-10       CCR sweep (ACT and AE tables)
+//	fcfs-rep      the same ablation replicated over seeds (mean ± std)
+//	fig7-8        load factor sweep (ACT and AE tables; -reps adds ± CI)
+//	fig9-10       CCR sweep (ACT and AE tables; -reps adds ± CI)
 //	fig11         scalability sweep (gossip space bound, AE, ACT)
 //	fig12-14      churn sweep (throughput/ACT/AE series per dynamic factor)
 //	reschedule    churn with the failed-task rescheduling extension
@@ -25,16 +26,28 @@
 //	churn-model   graceful vs maximal-loss churn semantics ablation
 //	families      DSMF on structured workflow families
 //	report        markdown reproduction report with live shape checks
-//	all           everything above in sequence
+//	sweep         multi-seed scenario sweep: -axes picks the scenario axes,
+//	              -reps the replications, -out the JSON destination
+//	all           everything above (except sweep) in sequence
+//
+// The sweep experiment expands a declarative scenario matrix (axes from
+// -axes: algo, churn, lf, ccr, scale), replicates every cell over -reps
+// independent seeds, and emits deterministic JSON with mean / stddev / 95%
+// CI per (scenario, algorithm) cell: the same invocation produces
+// byte-identical output. Progress streams to stderr.
 //
 // With -artifacts DIR, series experiments additionally write
-// <figure>.csv/.dat/.gp files (gnuplot redraws the paper-style plots).
+// <figure>.csv/.dat/.gp files (gnuplot redraws the paper-style plots;
+// replicated series carry yerrorlines error bars), and sweep writes
+// sweep.json/sweep.csv.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -44,38 +57,98 @@ import (
 )
 
 func main() {
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// options carries the parsed command line; stdout/stderr indirection keeps
+// every error path testable without spawning a subprocess.
+type options struct {
+	experiment string
+	scale      experiments.Scale
+	seed       int64
+	algo       string
+	maxLF      int
+	reps       int
+	repsSet    bool // -reps given explicitly (fcfs-rep keeps its own default otherwise)
+	axes       string
+	out        string
+	artifacts  string
+
+	stdout, stderr io.Writer
+}
+
+// cliMain parses args and runs the selected experiment, returning the
+// process exit code. Every failure path returns non-zero: flag errors and
+// stray positional arguments exit 2, experiment errors exit 1.
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("p2pgridsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name    = flag.String("experiment", "fig4-6", "experiment to run (see package doc)")
-		scale   = flag.String("scale", "small", "paper|small|tiny")
-		seed    = flag.Int64("seed", 2010, "root random seed")
-		algo    = flag.String("algo", "DSMF", "algorithm for -experiment single")
-		maxLF   = flag.Int("maxlf", 8, "largest load factor for fig7-8")
-		arts    = flag.String("artifacts", "", "directory for CSV/DAT/gnuplot artifacts (series experiments)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		name    = fs.String("experiment", "fig4-6", "experiment to run (see package doc)")
+		scale   = fs.String("scale", "small", "paper|small|tiny")
+		seed    = fs.Int64("seed", 2010, "root random seed")
+		algo    = fs.String("algo", "DSMF", "algorithm for -experiment single")
+		maxLF   = fs.Int("maxlf", 8, "largest load factor for fig7-8 and the sweep lf axis")
+		reps    = fs.Int("reps", 1, "seed replications for fig4-6/fig7-8/fig9-10/sweep (error bars need > 1)")
+		axes    = fs.String("axes", "algo", "comma-separated sweep axes: algo,churn,lf,ccr,scale")
+		out     = fs.String("out", "", "write sweep JSON to this file (default: stdout)")
+		arts    = fs.String("artifacts", "", "directory for CSV/DAT/gnuplot artifacts (series experiments, sweep)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
-	artifactsDir = *arts
-	if *name != "single" {
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "algo" {
-				fmt.Fprintf(os.Stderr, "p2pgridsim: -algo only applies to -experiment single; %q runs its fixed algorithm set\n", *name)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "p2pgridsim: unexpected arguments %q (did you mean -experiment %s?)\n",
+			fs.Args(), fs.Arg(0))
+		return 2
+	}
+	repsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "algo":
+			if *name != "single" {
+				fmt.Fprintf(stderr, "p2pgridsim: -algo only applies to -experiment single; %q runs its fixed algorithm set\n", *name)
 			}
-		})
+		case "reps":
+			repsSet = true
+		}
+	})
+	if *reps < 1 {
+		fmt.Fprintf(stderr, "p2pgridsim: -reps must be at least 1, got %d\n", *reps)
+		return 2
 	}
 
 	sc, err := experiments.ScaleByName(*scale)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "p2pgridsim:", err)
+		return 1
 	}
-	// run (not main) owns the profile lifecycles so they close properly on
-	// error paths too: fatal exits the process and would skip any defers.
-	if err := run(sc, *name, *seed, *maxLF, *algo, *cpuProf, *memProf); err != nil {
-		fatal(err)
+	o := options{
+		experiment: *name,
+		scale:      sc,
+		seed:       *seed,
+		algo:       *algo,
+		maxLF:      *maxLF,
+		reps:       *reps,
+		repsSet:    repsSet,
+		axes:       *axes,
+		out:        *out,
+		artifacts:  *arts,
+		stdout:     stdout,
+		stderr:     stderr,
 	}
+	// run (not cliMain) owns the profile lifecycles so they close properly
+	// on error paths too.
+	if err := run(o, *cpuProf, *memProf); err != nil {
+		fmt.Fprintln(stderr, "p2pgridsim:", err)
+		return 1
+	}
+	return 0
 }
 
-func run(sc experiments.Scale, name string, seed int64, maxLF int, algo, cpuProf, memProf string) error {
+func run(o options, cpuProf, memProf string) error {
 	if cpuProf != "" {
 		f, err := os.Create(cpuProf)
 		if err != nil {
@@ -88,9 +161,9 @@ func run(sc experiments.Scale, name string, seed int64, maxLF int, algo, cpuProf
 		defer pprof.StopCPUProfile()
 	}
 	start := time.Now()
-	dispatchErr := dispatch(name, sc, seed, maxLF, algo)
+	dispatchErr := dispatch(o, o.experiment)
 	if dispatchErr == nil {
-		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(o.stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 	}
 	if memProf != "" {
 		// Written even when dispatch failed: a heap snapshot of the errored
@@ -101,7 +174,7 @@ func run(sc experiments.Scale, name string, seed int64, maxLF int, algo, cpuProf
 			}
 			// The dispatch error takes precedence, but the missing profile
 			// must not go unnoticed.
-			fmt.Fprintln(os.Stderr, "p2pgridsim: heap profile not written:", err)
+			fmt.Fprintln(o.stderr, "p2pgridsim: heap profile not written:", err)
 		}
 	}
 	return dispatchErr
@@ -117,12 +190,8 @@ func writeHeapProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-// artifactsDir, when set, receives <figure>.csv/.dat/.gp files for every
-// series experiment.
-var artifactsDir string
-
-func exportSeries(sets ...experiments.SeriesSet) error {
-	if artifactsDir == "" {
+func (o options) exportSeries(sets ...experiments.SeriesSet) error {
+	if o.artifacts == "" {
 		return nil
 	}
 	for i, set := range sets {
@@ -131,102 +200,104 @@ func exportSeries(sets ...experiments.SeriesSet) error {
 			name = strings.ToLower(strings.ReplaceAll(strings.Fields(set.Title)[1], ":", ""))
 			name = "fig" + strings.TrimSuffix(name, ".")
 		}
-		files, err := set.WriteArtifacts(artifactsDir, name)
+		files, err := set.WriteArtifacts(o.artifacts, name)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %v\n", files)
+		fmt.Fprintf(o.stderr, "wrote %v\n", files)
 	}
 	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "p2pgridsim:", err)
-	os.Exit(1)
-}
-
-func dispatch(name string, sc experiments.Scale, seed int64, maxLF int, algo string) error {
+func dispatch(o options, name string) error {
+	stdout := o.stdout
 	switch name {
 	case "table1":
-		fmt.Println(experiments.TableI().Format())
+		fmt.Fprintln(stdout, experiments.TableI().Format())
 	case "single":
-		res, err := experiments.SingleRun(sc, seed, algo)
+		res, err := experiments.SingleRun(o.scale, o.seed, o.algo)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s at %s scale (%d nodes, %d workflows, %.0f h):\n",
-			res.Algo, sc.Name, sc.Nodes, res.Submitted, sc.HorizonHours)
-		fmt.Println(res.Collector.FormatSeries())
+		fmt.Fprintf(stdout, "%s at %s scale (%d nodes, %d workflows, %.0f h):\n",
+			res.Algo, o.scale.Name, o.scale.Nodes, res.Submitted, o.scale.HorizonHours)
+		fmt.Fprintln(stdout, res.Collector.FormatSeries())
 	case "fig3":
-		fmt.Println(experiments.Fig3Report())
+		fmt.Fprintln(stdout, experiments.Fig3Report())
 	case "fig4-6":
-		return runStatic(sc, seed)
+		return runStatic(o)
 	case "fcfs":
-		table, _, err := experiments.FCFSAblation(sc, seed)
+		table, _, err := experiments.FCFSAblation(o.scale, o.seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(table.Format())
+		fmt.Fprintln(stdout, table.Format())
 	case "fcfs-rep":
-		table, err := experiments.ReplicatedFCFSAblation(sc, seed, 3)
+		reps := o.reps
+		if !o.repsSet {
+			reps = 3 // the historical default of this mode
+		}
+		table, err := experiments.ReplicatedFCFSAblation(o.scale, o.seed, reps)
 		if err != nil {
 			return err
 		}
-		fmt.Println(table.Format())
+		fmt.Fprintln(stdout, table.Format())
 	case "fig7-8":
-		act, ae, err := experiments.LoadFactorSweep(sc, seed, maxLF)
+		act, ae, err := experiments.LoadFactorSweepRep(o.scale, o.seed, o.maxLF, o.reps)
 		if err != nil {
 			return err
 		}
-		fmt.Println(act.Format())
-		fmt.Println(ae.Format())
+		fmt.Fprintln(stdout, act.Format())
+		fmt.Fprintln(stdout, ae.Format())
 	case "fig9-10":
-		act, ae, err := experiments.CCRSweep(sc, seed)
+		act, ae, err := experiments.CCRSweepRep(o.scale, o.seed, o.reps)
 		if err != nil {
 			return err
 		}
-		fmt.Println(act.Format())
-		fmt.Println(ae.Format())
+		fmt.Fprintln(stdout, act.Format())
+		fmt.Fprintln(stdout, ae.Format())
 	case "fig11":
-		return runScalability(sc, seed)
+		return runScalability(o)
 	case "fig12-14":
-		return runChurn(sc, seed, false)
+		return runChurn(o, false)
 	case "reschedule":
-		return runChurn(sc, seed, true)
+		return runChurn(o, true)
 	case "oracle":
-		table, err := experiments.OracleAblation(sc, seed)
+		table, err := experiments.OracleAblation(o.scale, o.seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(table.Format())
+		fmt.Fprintln(stdout, table.Format())
 	case "planners":
-		table, err := experiments.PlannerShootout(sc, seed)
+		table, err := experiments.PlannerShootout(o.scale, o.seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(table.Format())
+		fmt.Fprintln(stdout, table.Format())
 	case "churn-model":
-		table, err := experiments.ChurnModelAblation(sc, seed, 0.2)
+		table, err := experiments.ChurnModelAblation(o.scale, o.seed, 0.2)
 		if err != nil {
 			return err
 		}
-		fmt.Println(table.Format())
+		fmt.Fprintln(stdout, table.Format())
 	case "report":
-		out, err := experiments.Report(sc, seed)
+		out, err := experiments.Report(o.scale, o.seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(out)
+		fmt.Fprintln(stdout, out)
 	case "families":
-		table, err := experiments.FamilyComparison(sc, seed)
+		table, err := experiments.FamilyComparison(o.scale, o.seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(table.Format())
+		fmt.Fprintln(stdout, table.Format())
+	case "sweep":
+		return runSweep(o)
 	case "all":
 		for _, n := range []string{"table1", "fig3", "fig4-6", "fcfs", "fig7-8", "fig9-10", "fig11", "fig12-14", "reschedule", "oracle", "planners", "churn-model", "families"} {
-			fmt.Printf("==== %s ====\n", n)
-			if err := dispatch(n, sc, seed, maxLF, algo); err != nil {
+			fmt.Fprintf(stdout, "==== %s ====\n", n)
+			if err := dispatch(o, n); err != nil {
 				return err
 			}
 		}
@@ -236,50 +307,152 @@ func dispatch(name string, sc experiments.Scale, seed int64, maxLF int, algo str
 	return nil
 }
 
-func runStatic(sc experiments.Scale, seed int64) error {
-	results, err := experiments.StaticComparison(sc, seed)
-	if err != nil {
-		return err
+// sweepSpecFromAxes translates the -axes flag into a SweepSpec. Without the
+// "algo" axis the sweep runs DSMF alone; scenario axes default to single
+// points.
+func sweepSpecFromAxes(axes string, sc experiments.Scale, seed int64, reps, maxLF int) (experiments.SweepSpec, error) {
+	spec := experiments.SweepSpec{
+		Name:       "sweep:" + axes,
+		Scales:     []experiments.Scale{sc},
+		Algorithms: []string{"DSMF"},
+		Seed:       seed,
+		Reps:       reps,
 	}
-	f4 := experiments.Fig4Throughput(results)
-	f5 := experiments.Fig5FinishTime(results)
-	f6 := experiments.Fig6Efficiency(results)
-	fmt.Println(f4.Format())
-	fmt.Println(f5.Format())
-	fmt.Println(f6.Format())
-	fmt.Println(experiments.SummaryTable("Converged final state", results).Format())
-	return exportSeries(f4, f5, f6)
+	for _, ax := range strings.Split(axes, ",") {
+		switch strings.TrimSpace(ax) {
+		case "algo":
+			spec.Algorithms = nil // all eight
+		case "churn":
+			spec.ChurnFactors = []float64{0, 0.1, 0.2, 0.3, 0.4}
+		case "lf", "load":
+			lfs, err := experiments.LoadFactorAxis(maxLF)
+			if err != nil {
+				return spec, err
+			}
+			spec.LoadFactors = lfs
+		case "ccr":
+			spec.CCRCases = experiments.CCRCases()
+		case "scale":
+			var scales []experiments.Scale
+			for _, n := range experiments.ScalabilitySizes(sc) {
+				s := sc
+				s.Name = fmt.Sprintf("%s-n%d", sc.Name, n)
+				s.Nodes = n
+				scales = append(scales, s)
+			}
+			spec.Scales = scales
+		case "":
+			// Empty axes list (or a trailing comma): keep the defaults.
+		default:
+			return spec, fmt.Errorf("unknown sweep axis %q (algo|churn|lf|ccr|scale)", ax)
+		}
+	}
+	return spec, nil
 }
 
-func runScalability(sc experiments.Scale, seed int64) error {
-	sizes := experiments.ScalabilitySizes(sc)
-	points, err := experiments.ScalabilitySweep(sc, seed, sizes)
+// runSweep executes the declarative sweep and writes deterministic JSON to
+// -out (or stdout). Progress streams to stderr at every 10% of the matrix.
+func runSweep(o options) error {
+	spec, err := sweepSpecFromAxes(o.axes, o.scale, o.seed, o.reps, o.maxLF)
 	if err != nil {
 		return err
 	}
-	fmt.Println(experiments.ScalabilityTable(points).Format())
+	progress := func(done, total int) {
+		if done == total || done*10/total > (done-1)*10/total {
+			fmt.Fprintf(o.stderr, "sweep: %d/%d runs (%d%%)\n", done, total, done*100/total)
+		}
+	}
+	res, err := experiments.RunSweep(spec, progress)
+	if err != nil {
+		return err
+	}
+	data, err := res.JSON()
+	if err != nil {
+		return err
+	}
+	if o.out == "" {
+		// Bare JSON on stdout: byte-identical across invocations of the
+		// same spec, so CI can diff snapshots directly.
+		if _, err := o.stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(o.out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.stderr, "wrote %s\n", o.out)
+		fmt.Fprintln(o.stdout, res.Table("Sweep "+spec.Name).Format())
+	}
+	if o.artifacts != "" {
+		if err := os.MkdirAll(o.artifacts, 0o755); err != nil {
+			return err
+		}
+		artifacts := []struct {
+			base    string
+			content []byte
+		}{
+			{"sweep.json", data},
+			{"sweep.csv", []byte(res.Table("Sweep " + spec.Name).CSV())},
+		}
+		for _, a := range artifacts {
+			path := filepath.Join(o.artifacts, a.base)
+			if err := os.WriteFile(path, a.content, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(o.stderr, "wrote %s\n", path)
+		}
+	}
 	return nil
 }
 
-func runChurn(sc experiments.Scale, seed int64, reschedule bool) error {
+func runStatic(o options) error {
+	res, err := experiments.StaticComparisonRep(o.scale, o.seed, o.reps)
+	if err != nil {
+		return err
+	}
+	f4 := res.Fig4Throughput()
+	f5 := res.Fig5FinishTime()
+	f6 := res.Fig6Efficiency()
+	fmt.Fprintln(o.stdout, f4.Format())
+	fmt.Fprintln(o.stdout, f5.Format())
+	fmt.Fprintln(o.stdout, f6.Format())
+	title := "Converged final state"
+	if o.reps > 1 {
+		title += fmt.Sprintf(" (mean ± 95%% CI over %d seeds)", o.reps)
+	}
+	fmt.Fprintln(o.stdout, res.SummaryTable(title).Format())
+	return o.exportSeries(f4, f5, f6)
+}
+
+func runScalability(o options) error {
+	sizes := experiments.ScalabilitySizes(o.scale)
+	points, err := experiments.ScalabilitySweep(o.scale, o.seed, sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.stdout, experiments.ScalabilityTable(points).Format())
+	return nil
+}
+
+func runChurn(o options, reschedule bool) error {
 	dfs := []float64{0, 0.1, 0.2, 0.3, 0.4}
-	results, err := experiments.ChurnSweep(sc, seed, dfs, reschedule)
+	results, err := experiments.ChurnSweep(o.scale, o.seed, dfs, reschedule)
 	if err != nil {
 		return err
 	}
 	f12 := experiments.Fig12Throughput(results)
 	f13 := experiments.Fig13FinishTime(results)
 	f14 := experiments.Fig14Efficiency(results)
-	fmt.Println(f12.Format())
-	fmt.Println(f13.Format())
-	fmt.Println(f14.Format())
-	if err := exportSeries(f12, f13, f14); err != nil {
+	fmt.Fprintln(o.stdout, f12.Format())
+	fmt.Fprintln(o.stdout, f13.Format())
+	fmt.Fprintln(o.stdout, f14.Format())
+	if err := o.exportSeries(f12, f13, f14); err != nil {
 		return err
 	}
 	title := "Churn final state"
 	if reschedule {
 		title += " (with rescheduling extension)"
 	}
-	fmt.Println(experiments.SummaryTable(title, results).Format())
+	fmt.Fprintln(o.stdout, experiments.SummaryTable(title, results).Format())
 	return nil
 }

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// runCLI invokes cliMain with captured output.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errBuf bytes.Buffer
+	code = cliMain(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+// TestErrorPathsExitNonZero pins the exit-code contract: every bad input
+// must fail loudly. The positional-argument case used to silently run the
+// default experiment and exit 0.
+func TestErrorPathsExitNonZero(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown experiment", []string{"-experiment", "bogus", "-scale", "tiny"}},
+		{"unknown scale", []string{"-experiment", "table1", "-scale", "galactic"}},
+		{"unknown algorithm", []string{"-experiment", "single", "-algo", "nope", "-scale", "tiny"}},
+		{"unknown flag", []string{"-definitely-not-a-flag"}},
+		{"stray positional argument", []string{"sweep"}},
+		{"positional after flags", []string{"-scale", "tiny", "fig4-6"}},
+		{"non-positive reps", []string{"-experiment", "table1", "-reps", "0"}},
+		{"negative maxlf on fig7-8", []string{"-experiment", "fig7-8", "-scale", "tiny", "-maxlf", "-1"}},
+		{"negative maxlf on sweep lf axis", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "lf", "-maxlf", "0"}},
+		{"unknown sweep axis", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "algo,warp"}},
+		{"unwritable out", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "", "-out", "/nonexistent-dir/x.json"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(tc.args...)
+			if code == 0 {
+				t.Fatalf("args %v exited 0; stderr:\n%s", tc.args, stderr)
+			}
+			if stderr == "" {
+				t.Fatalf("args %v failed silently", tc.args)
+			}
+		})
+	}
+}
+
+func TestTable1Succeeds(t *testing.T) {
+	code, stdout, stderr := runCLI("-experiment", "table1", "-scale", "tiny")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Table I") {
+		t.Fatalf("missing table:\n%s", stdout)
+	}
+}
+
+// TestSweepJSONDeterministic is the acceptance check of the sweep mode: two
+// identical invocations must produce byte-identical JSON with interval
+// estimates per cell.
+func TestSweepJSONDeterministic(t *testing.T) {
+	args := []string{"-experiment", "sweep", "-scale", "tiny", "-reps", "2", "-axes", ""}
+	code, first, stderr := runCLI(args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "sweep: ") {
+		t.Fatalf("no progress streamed to stderr:\n%s", stderr)
+	}
+	code, second, _ := runCLI(args...)
+	if code != 0 {
+		t.Fatal("second invocation failed")
+	}
+	if first != second {
+		t.Fatalf("sweep JSON not byte-identical:\n%s\nvs\n%s", first, second)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Reps   int    `json:"reps"`
+		Cells  []struct {
+			Algo      string `json:"algo"`
+			Aggregate struct {
+				ACT struct {
+					N    int     `json:"n"`
+					Mean float64 `json:"mean"`
+					Std  float64 `json:"std"`
+					CI95 float64 `json:"ci95"`
+				} `json:"act"`
+			} `json:"aggregate"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(first), &doc); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+	if doc.Schema != "p2pgridsim/sweep/v1" || doc.Reps != 2 {
+		t.Fatalf("unexpected header: schema=%q reps=%d", doc.Schema, doc.Reps)
+	}
+	if len(doc.Cells) != 1 || doc.Cells[0].Algo != "DSMF" {
+		t.Fatalf("cells: %+v", doc.Cells)
+	}
+	act := doc.Cells[0].Aggregate.ACT
+	if act.N != 2 || act.Mean <= 0 || act.CI95 <= 0 {
+		t.Fatalf("degenerate ACT estimate: %+v", act)
+	}
+}
+
+func TestSweepOutFileAndArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "sweep-tiny.json")
+	code, stdout, stderr := runCLI(
+		"-experiment", "sweep", "-scale", "tiny", "-reps", "1", "-axes", "",
+		"-out", outFile, "-artifacts", dir)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatalf("-out file missing: %v", err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("-out file is not valid JSON")
+	}
+	if !strings.Contains(stdout, "Sweep") {
+		t.Fatalf("summary table missing when -out is set:\n%s", stdout)
+	}
+	for _, base := range []string{"sweep.json", "sweep.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, base)); err != nil {
+			t.Errorf("artifact %s missing: %v", base, err)
+		}
+	}
+}
+
+func TestSweepSpecFromAxes(t *testing.T) {
+	sc, err := experiments.ScaleByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sweepSpecFromAxes("algo,churn,lf,ccr", sc, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Algorithms != nil {
+		t.Errorf("algo axis should select all algorithms, got %v", spec.Algorithms)
+	}
+	if len(spec.ChurnFactors) != 5 || len(spec.LoadFactors) != 3 || len(spec.CCRCases) != 4 {
+		t.Errorf("axes wrong: churn=%d lf=%d ccr=%d",
+			len(spec.ChurnFactors), len(spec.LoadFactors), len(spec.CCRCases))
+	}
+	spec, err = sweepSpecFromAxes("scale", sc, 1, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Scales) < 2 {
+		t.Errorf("scale axis did not expand: %d scales", len(spec.Scales))
+	}
+	if spec.Algorithms == nil || spec.Algorithms[0] != "DSMF" {
+		t.Errorf("without algo axis the sweep should run DSMF alone, got %v", spec.Algorithms)
+	}
+	if _, err := sweepSpecFromAxes("hyperdrive", sc, 1, 1, 8); err == nil {
+		t.Error("unknown axis accepted")
+	}
+}

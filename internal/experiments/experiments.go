@@ -213,10 +213,22 @@ func RunAll(setting Setting, factories []AlgoFactory) ([]Result, error) {
 // runPool executes arbitrary jobs with bounded parallelism, preserving
 // order. The first error aborts the batch.
 func runPool(jobs []job) ([]Result, error) {
+	return runPoolProgress(jobs, nil)
+}
+
+// runPoolProgress is runPool with an optional progress callback, invoked
+// serially (under a lock) after each completed job with the running done
+// count and the total. Completion order is nondeterministic; results are
+// not - they keep job order.
+func runPoolProgress(jobs []job, progress func(done, total int)) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
 	sem := make(chan struct{}, maxParallelism())
-	var wg sync.WaitGroup
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
 	for i := range jobs {
 		wg.Add(1)
 		go func(i int) {
@@ -224,6 +236,12 @@ func runPool(jobs []job) ([]Result, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			results[i], errs[i] = Run(jobs[i].setting, jobs[i].make())
+			if progress != nil {
+				mu.Lock()
+				done++
+				progress(done, len(jobs))
+				mu.Unlock()
+			}
 		}(i)
 	}
 	wg.Wait()

@@ -11,13 +11,19 @@ import (
 // spreadsheets, and gnuplot data+script pairs that redraw the paper-style
 // plots (`gnuplot figN.gp` produces figN.png).
 
-// CSV renders the series set with one row per X value.
+// CSV renders the series set with one row per X value. A series carrying
+// error bars contributes a second "<label>_ci95" column right after its
+// value column.
 func (s SeriesSet) CSV() string {
 	var b strings.Builder
 	b.WriteString(csvEscape(s.XLabel))
 	for _, ls := range s.Series {
 		b.WriteByte(',')
 		b.WriteString(csvEscape(ls.Label))
+		if ls.Err != nil {
+			b.WriteByte(',')
+			b.WriteString(csvEscape(ls.Label + "_ci95"))
+		}
 	}
 	b.WriteByte('\n')
 	for i, x := range s.X {
@@ -26,6 +32,12 @@ func (s SeriesSet) CSV() string {
 			b.WriteByte(',')
 			if i < len(ls.Y) {
 				fmt.Fprintf(&b, "%g", ls.Y[i])
+			}
+			if ls.Err != nil {
+				b.WriteByte(',')
+				if i < len(ls.Err) {
+					fmt.Fprintf(&b, "%g", ls.Err[i])
+				}
 			}
 		}
 		b.WriteByte('\n')
@@ -71,23 +83,35 @@ func (s SeriesSet) GnuplotScript(dataFile, output string) string {
 	fmt.Fprintf(&b, "set title %q\nset xlabel %q\nset ylabel %q\nset key outside right\n",
 		s.Title, s.XLabel, s.YLabel)
 	b.WriteString("plot ")
+	col := 2
 	for i, ls := range s.Series {
 		if i > 0 {
 			b.WriteString(", \\\n     ")
 		}
-		fmt.Fprintf(&b, "%q using 1:%d with linespoints title %q", dataFile, i+2, ls.Label)
+		if ls.Err != nil {
+			fmt.Fprintf(&b, "%q using 1:%d:%d with yerrorlines title %q", dataFile, col, col+1, ls.Label)
+			col += 2
+		} else {
+			fmt.Fprintf(&b, "%q using 1:%d with linespoints title %q", dataFile, col, ls.Label)
+			col++
+		}
 	}
 	b.WriteByte('\n')
 	return b.String()
 }
 
 // DAT renders the gnuplot-friendly data block (X column then one column per
-// series, whitespace separated, '?' for missing points).
+// series, whitespace separated, '?' for missing points). A series carrying
+// error bars contributes a "<label>_ci95" column right after its value
+// column, the layout GnuplotScript's yerrorlines plots consume.
 func (s SeriesSet) DAT() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# %s\n# %s", s.Title, s.XLabel)
 	for _, ls := range s.Series {
 		fmt.Fprintf(&b, " %s", strings.ReplaceAll(ls.Label, " ", "_"))
+		if ls.Err != nil {
+			fmt.Fprintf(&b, " %s_ci95", strings.ReplaceAll(ls.Label, " ", "_"))
+		}
 	}
 	b.WriteByte('\n')
 	for i, x := range s.X {
@@ -97,6 +121,13 @@ func (s SeriesSet) DAT() string {
 				fmt.Fprintf(&b, " %g", ls.Y[i])
 			} else {
 				b.WriteString(" ?")
+			}
+			if ls.Err != nil {
+				if i < len(ls.Err) {
+					fmt.Fprintf(&b, " %g", ls.Err[i])
+				} else {
+					b.WriteString(" ?")
+				}
 			}
 		}
 		b.WriteByte('\n')

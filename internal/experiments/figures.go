@@ -6,13 +6,15 @@ import (
 	"repro/internal/grid"
 	"repro/internal/heuristics"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
-// LabeledSeries is one curve of a figure.
+// LabeledSeries is one curve of a figure. Err, when non-nil, holds the
+// per-point 95% confidence half-widths of a replicated sweep (error bars);
+// single-run series leave it nil.
 type LabeledSeries struct {
 	Label string
 	Y     []float64
+	Err   []float64
 }
 
 // SeriesSet is a multi-curve figure over a shared X axis.
@@ -32,9 +34,63 @@ type Table struct {
 
 // StaticComparison runs all eight algorithms once under the headline static
 // setting of Figs. 4-6 and returns per-algorithm results (shared topology
-// and workload).
+// and workload). It is the single-replication slice of StaticComparisonRep;
+// routing it through the sweep engine keeps the two bit-identical (the
+// golden determinism test pins this path).
 func StaticComparison(scale Scale, seed int64) ([]Result, error) {
-	return RunAll(NewSetting(scale, seed), heuristics.Factories())
+	res, err := StaticComparisonRep(scale, seed, 1)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(res.Cells))
+	for i, c := range res.Cells {
+		results[i] = c.Runs[0]
+	}
+	return results, nil
+}
+
+// StaticComparisonRep replicates the Figs. 4-6 comparison over reps
+// independent seeds through the sweep engine; replication 0 is exactly the
+// StaticComparison run at the same seed.
+func StaticComparisonRep(scale Scale, seed int64, reps int) (*SweepResult, error) {
+	return RunSweep(SweepSpec{
+		Name:   "static-comparison",
+		Scales: []Scale{scale},
+		Seed:   seed,
+		Reps:   reps,
+	}, nil)
+}
+
+// Figure titles shared by the single-run and replicated extractors.
+const (
+	fig4Title = "Fig. 4: Throughput of Workflows in Static P2P Grid System"
+	fig5Title = "Fig. 5: Average Finish-time of Workflows in Static P2P Grid System"
+	fig6Title = "Fig. 6: Average Efficiency of Workflows in Static P2P Grid System"
+)
+
+func throughputOf(r *Result) []float64 {
+	ys := make([]float64, len(r.Collector.Snapshots))
+	for i, tp := range r.Collector.Throughput() {
+		ys[i] = float64(tp)
+	}
+	return ys
+}
+
+// Fig4Throughput, Fig5FinishTime and Fig6Efficiency on a SweepResult
+// extract the static figures with error bars (mean ± 95% CI across the
+// sweep's replications).
+func (r *SweepResult) Fig4Throughput() SeriesSet {
+	return r.Series(fig4Title, "hour", "# of workflows finished", throughputOf)
+}
+
+// Fig5FinishTime extracts the replicated ACT series of Fig. 5.
+func (r *SweepResult) Fig5FinishTime() SeriesSet {
+	return r.Series(fig5Title, "hour", "ACT (s)", func(res *Result) []float64 { return res.Collector.ACTSeries() })
+}
+
+// Fig6Efficiency extracts the replicated AE series of Fig. 6.
+func (r *SweepResult) Fig6Efficiency() SeriesSet {
+	return r.Series(fig6Title, "hour", "AE", func(res *Result) []float64 { return res.Collector.AESeries() })
 }
 
 func hoursAxis(results []Result) []float64 {
@@ -52,7 +108,7 @@ func hoursAxis(results []Result) []float64 {
 // Fig4Throughput extracts the throughput-over-time series of Fig. 4.
 func Fig4Throughput(results []Result) SeriesSet {
 	set := SeriesSet{
-		Title:  "Fig. 4: Throughput of Workflows in Static P2P Grid System",
+		Title:  fig4Title,
 		XLabel: "hour", YLabel: "# of workflows finished",
 		X: hoursAxis(results),
 	}
@@ -69,7 +125,7 @@ func Fig4Throughput(results []Result) SeriesSet {
 // Fig5FinishTime extracts the average-completion-time series of Fig. 5.
 func Fig5FinishTime(results []Result) SeriesSet {
 	set := SeriesSet{
-		Title:  "Fig. 5: Average Finish-time of Workflows in Static P2P Grid System",
+		Title:  fig5Title,
 		XLabel: "hour", YLabel: "ACT (s)",
 		X: hoursAxis(results),
 	}
@@ -82,7 +138,7 @@ func Fig5FinishTime(results []Result) SeriesSet {
 // Fig6Efficiency extracts the average-efficiency series of Fig. 6.
 func Fig6Efficiency(results []Result) SeriesSet {
 	set := SeriesSet{
-		Title:  "Fig. 6: Average Efficiency of Workflows in Static P2P Grid System",
+		Title:  fig6Title,
 		XLabel: "hour", YLabel: "AE",
 		X: hoursAxis(results),
 	}
@@ -130,40 +186,57 @@ func FCFSAblation(scale Scale, seed int64) (Table, []Result, error) {
 	return table, results, nil
 }
 
-// LoadFactorSweep runs Figs. 7-8: every algorithm at load factors
+// LoadFactorSweep runs Figs. 7-8 once: every algorithm at load factors
 // 1..maxLF, reporting the final ACT and AE per cell.
 func LoadFactorSweep(scale Scale, seed int64, maxLF int) (actTable, aeTable Table, err error) {
-	base := NewSetting(scale, seed)
-	if _, err = base.BuildNet(); err != nil {
-		return
+	return LoadFactorSweepRep(scale, seed, maxLF, 1)
+}
+
+// LoadFactorAxis returns the load-factor axis 1..maxLF of the Figs. 7-8
+// sweep (shared by the figure runner and the CLI sweep's lf axis).
+func LoadFactorAxis(maxLF int) ([]int, error) {
+	if maxLF < 1 {
+		return nil, fmt.Errorf("experiments: load-factor axis needs maxLF >= 1, got %d", maxLF)
 	}
-	algos := heuristics.All() // labels for table rows
-	factories := heuristics.Factories()
-	var jobs []job
-	for lf := 1; lf <= maxLF; lf++ {
-		setting := base
-		setting.Scale.LoadFactor = lf
-		for _, f := range factories {
-			jobs = append(jobs, job{setting, f})
-		}
+	lfs := make([]int, maxLF)
+	for i := range lfs {
+		lfs[i] = i + 1
 	}
-	results, err := runPool(jobs)
+	return lfs, nil
+}
+
+// LoadFactorSweepRep replicates the Figs. 7-8 load-factor sweep over reps
+// independent seeds through the sweep engine; with reps > 1 every cell
+// reports mean ± 95% CI.
+func LoadFactorSweepRep(scale Scale, seed int64, maxLF, reps int) (actTable, aeTable Table, err error) {
+	lfs, err := LoadFactorAxis(maxLF)
 	if err != nil {
 		return
 	}
+	res, err := RunSweep(SweepSpec{
+		Name:        "load-factor",
+		Scales:      []Scale{scale},
+		Seed:        seed,
+		Reps:        reps,
+		LoadFactors: lfs,
+	}, nil)
+	if err != nil {
+		return
+	}
+	algos := res.Spec.Algorithms
 	actTable = Table{Title: "Fig. 7: Average finish-time vs load factor", Header: []string{"algorithm"}}
 	aeTable = Table{Title: "Fig. 8: Average efficiency vs load factor", Header: []string{"algorithm"}}
-	for lf := 1; lf <= maxLF; lf++ {
+	for _, lf := range lfs {
 		actTable.Header = append(actTable.Header, fmt.Sprintf("lf=%d", lf))
 		aeTable.Header = append(aeTable.Header, fmt.Sprintf("lf=%d", lf))
 	}
 	for ai, a := range algos {
-		actRow := []string{a.Label}
-		aeRow := []string{a.Label}
-		for lfi := 0; lfi < maxLF; lfi++ {
-			r := results[lfi*len(algos)+ai]
-			actRow = append(actRow, fmt.Sprintf("%.0f", r.Final.ACT))
-			aeRow = append(aeRow, fmt.Sprintf("%.3f", r.Final.AE))
+		actRow := []string{a}
+		aeRow := []string{a}
+		for lfi := range lfs {
+			c := res.Cells[lfi*len(algos)+ai]
+			actRow = append(actRow, formatEstimate(c.Agg.ACT, 0))
+			aeRow = append(aeRow, formatEstimate(c.Agg.AE, 3))
 		}
 		actTable.Rows = append(actTable.Rows, actRow)
 		aeTable.Rows = append(aeTable.Rows, aeRow)
@@ -189,27 +262,27 @@ func CCRCases() []CCRCase {
 	}
 }
 
-// CCRSweep runs Figs. 9-10: every algorithm across the four CCR cases.
+// CCRSweep runs Figs. 9-10 once: every algorithm across the four CCR cases.
 func CCRSweep(scale Scale, seed int64) (actTable, aeTable Table, err error) {
-	base := NewSetting(scale, seed)
-	if _, err = base.BuildNet(); err != nil {
-		return
-	}
-	algos := heuristics.All() // labels for table rows
-	factories := heuristics.Factories()
+	return CCRSweepRep(scale, seed, 1)
+}
+
+// CCRSweepRep replicates the Figs. 9-10 CCR sweep over reps independent
+// seeds through the sweep engine; with reps > 1 every cell reports
+// mean ± 95% CI.
+func CCRSweepRep(scale Scale, seed int64, reps int) (actTable, aeTable Table, err error) {
 	cases := CCRCases()
-	var jobs []job
-	for _, c := range cases {
-		setting := base
-		setting.Gen = workload.CCRScenario(c.LoadMI, c.DataMb)
-		for _, f := range factories {
-			jobs = append(jobs, job{setting, f})
-		}
-	}
-	results, err := runPool(jobs)
+	res, err := RunSweep(SweepSpec{
+		Name:     "ccr",
+		Scales:   []Scale{scale},
+		Seed:     seed,
+		Reps:     reps,
+		CCRCases: cases,
+	}, nil)
 	if err != nil {
 		return
 	}
+	algos := res.Spec.Algorithms
 	actTable = Table{Title: "Fig. 9: Average finish-time under different CCRs", Header: []string{"algorithm"}}
 	aeTable = Table{Title: "Fig. 10: Average efficiency under different CCRs", Header: []string{"algorithm"}}
 	for _, c := range cases {
@@ -217,12 +290,12 @@ func CCRSweep(scale Scale, seed int64) (actTable, aeTable Table, err error) {
 		aeTable.Header = append(aeTable.Header, c.Label)
 	}
 	for ai, a := range algos {
-		actRow := []string{a.Label}
-		aeRow := []string{a.Label}
+		actRow := []string{a}
+		aeRow := []string{a}
 		for ci := range cases {
-			r := results[ci*len(algos)+ai]
-			actRow = append(actRow, fmt.Sprintf("%.0f", r.Final.ACT))
-			aeRow = append(aeRow, fmt.Sprintf("%.3f", r.Final.AE))
+			c := res.Cells[ci*len(algos)+ai]
+			actRow = append(actRow, formatEstimate(c.Agg.ACT, 0))
+			aeRow = append(aeRow, formatEstimate(c.Agg.AE, 3))
 		}
 		actTable.Rows = append(actTable.Rows, actRow)
 		aeTable.Rows = append(aeTable.Rows, aeRow)

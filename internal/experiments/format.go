@@ -45,24 +45,46 @@ func (t Table) Format() string {
 }
 
 // Format renders the series set as a column-per-curve text block, the same
-// rows a gnuplot data file would contain.
+// rows a gnuplot data file would contain. Replicated series render
+// "mean±ci95" cells; the column width adapts so error-bar cells stay
+// aligned.
 func (s SeriesSet) Format() string {
+	cells := make([][]string, len(s.X))
+	width := 12
+	for i := range s.X {
+		row := make([]string, len(s.Series))
+		for j, ls := range s.Series {
+			cell := "-"
+			if i < len(ls.Y) {
+				cell = fmt.Sprintf("%.3f", ls.Y[i])
+				if i < len(ls.Err) {
+					cell += fmt.Sprintf("±%.3f", ls.Err[i])
+				}
+			}
+			row[j] = cell
+			if len(cell) > width {
+				width = len(cell)
+			}
+		}
+		cells[i] = row
+	}
+	for _, ls := range s.Series {
+		if len(ls.Label) > width {
+			width = len(ls.Label)
+		}
+	}
 	var b strings.Builder
 	b.WriteString(s.Title)
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "%-8s", s.XLabel)
 	for _, ls := range s.Series {
-		fmt.Fprintf(&b, "  %12s", ls.Label)
+		fmt.Fprintf(&b, "  %*s", width, ls.Label)
 	}
 	b.WriteByte('\n')
 	for i, x := range s.X {
 		fmt.Fprintf(&b, "%-8.1f", x)
-		for _, ls := range s.Series {
-			if i < len(ls.Y) {
-				fmt.Fprintf(&b, "  %12.3f", ls.Y[i])
-			} else {
-				fmt.Fprintf(&b, "  %12s", "-")
-			}
+		for _, cell := range cells[i] {
+			fmt.Fprintf(&b, "  %*s", width, cell)
 		}
 		b.WriteByte('\n')
 	}

@@ -1,0 +1,434 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/heuristics"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// This file is the multi-seed scenario sweep engine. A SweepSpec declares a
+// matrix of scenario axes (scale x churn x load factor x CCR) crossed with
+// an algorithm axis and replicated over independent seeds; RunSweep expands
+// it into a job matrix, executes it on the shared worker pool, and
+// aggregates every (scenario, algorithm) cell into interval estimates. The
+// figure runners for Figs. 4-10 are thin adapters over this engine, so the
+// replicated variants gain error bars for free.
+
+// SweepSpec declares one sweep. Zero values select sensible defaults:
+// nil Algorithms means all eight paper algorithms, nil axis slices collapse
+// the axis to its single default point, Reps < 1 means one replication.
+type SweepSpec struct {
+	// Name labels the sweep in JSON output.
+	Name string
+
+	// Scales is the system-scale axis; it must contain at least one scale.
+	Scales []Scale
+
+	// Algorithms are heuristics legend names (see heuristics.Names);
+	// nil means all eight.
+	Algorithms []string
+
+	// Reps is the number of independent seed replications per cell.
+	Reps int
+
+	// Seed is the root seed; the whole matrix is a pure function of it.
+	Seed int64
+
+	// LoadFactors is the workflows-per-home axis; 0 keeps the scale's
+	// default (nil collapses to {0}).
+	LoadFactors []int
+
+	// ChurnFactors is the dynamic-factor axis; 0 is the static system
+	// (nil collapses to {0}). Dynamic cells follow the Fig. 12-14 layout:
+	// half the nodes stay stable and host all homes at twice the load
+	// factor, keeping the submitted-workflow total equal to static cells.
+	ChurnFactors []float64
+
+	// CCRCases is the workload-shape axis; nil collapses to the default
+	// Table I generator.
+	CCRCases []CCRCase
+}
+
+// withDefaults normalizes the spec without mutating the caller's slices.
+func (sp SweepSpec) withDefaults() SweepSpec {
+	if sp.Reps < 1 {
+		sp.Reps = 1
+	}
+	if len(sp.Algorithms) == 0 {
+		sp.Algorithms = heuristics.Names()
+	}
+	if len(sp.LoadFactors) == 0 {
+		sp.LoadFactors = []int{0}
+	}
+	if len(sp.ChurnFactors) == 0 {
+		sp.ChurnFactors = []float64{0}
+	}
+	if len(sp.CCRCases) == 0 {
+		sp.CCRCases = []CCRCase{{}}
+	}
+	return sp
+}
+
+func (sp SweepSpec) validate() error {
+	if len(sp.Scales) == 0 {
+		return fmt.Errorf("experiments: sweep needs at least one scale")
+	}
+	for _, name := range sp.Algorithms {
+		if _, err := heuristics.ByName(name); err != nil {
+			return err
+		}
+	}
+	for _, df := range sp.ChurnFactors {
+		if df < 0 || df > 1 {
+			return fmt.Errorf("experiments: churn factor %v outside [0,1]", df)
+		}
+	}
+	for _, lf := range sp.LoadFactors {
+		if lf < 0 {
+			return fmt.Errorf("experiments: negative load factor %d", lf)
+		}
+	}
+	return nil
+}
+
+// Scenario is one cell of the matrix minus the algorithm axis: every
+// algorithm faces the identical scenario (same topology, workload and churn
+// schedule per replication), so per-replication comparisons are paired.
+type Scenario struct {
+	ScaleIndex int // index into the spec's scale axis (seed derivation)
+	Scale      Scale
+	LoadFactor int     // 0 = the scale's default
+	Churn      float64 // 0 = static
+	CCR        CCRCase // zero Label = default Table I generator
+}
+
+// Label renders the scenario compactly for tables and JSON.
+func (sc Scenario) Label() string {
+	s := "scale=" + sc.Scale.Name
+	if sc.LoadFactor > 0 {
+		s += fmt.Sprintf(" lf=%d", sc.LoadFactor)
+	}
+	if sc.Churn > 0 {
+		s += fmt.Sprintf(" churn=%.1f", sc.Churn)
+	}
+	if sc.CCR.Label != "" {
+		s += " ccr=" + sc.CCR.Label
+	}
+	return s
+}
+
+// setting materializes the scenario for one replication seed, sharing the
+// prebuilt topology.
+func (sc Scenario) setting(seed int64, net *topology.Network) Setting {
+	s := NewSetting(sc.Scale, seed)
+	s.Net = net
+	if sc.LoadFactor > 0 {
+		s.Scale.LoadFactor = sc.LoadFactor
+	}
+	if sc.CCR.Label != "" {
+		s.Gen = workload.CCRScenario(sc.CCR.LoadMI, sc.CCR.DataMb)
+	}
+	if sc.Churn > 0 {
+		stable := sc.Scale.Nodes / 2
+		s.Homes = stable
+		// Fig. 12-14 layout: half the homes at twice the load factor keeps
+		// the workflow total equal to the static cells of the same sweep.
+		s.Scale.LoadFactor *= 2
+		s.Churn = grid.ChurnConfig{
+			DynamicFactor: sc.Churn,
+			StableCount:   stable,
+			Seed:          stats.SplitSeed(seed, uint64(sc.Churn*1000)),
+		}
+	}
+	return s
+}
+
+// Scenarios expands the spec's scenario axes in a fixed documented order:
+// scale (outer), churn, load factor, CCR (inner). The order is part of the
+// determinism contract - cells, seeds and JSON all follow it.
+func (sp SweepSpec) Scenarios() []Scenario {
+	sp = sp.withDefaults()
+	var out []Scenario
+	for si, scale := range sp.Scales {
+		for _, df := range sp.ChurnFactors {
+			for _, lf := range sp.LoadFactors {
+				for _, ccr := range sp.CCRCases {
+					out = append(out, Scenario{
+						ScaleIndex: si, Scale: scale,
+						LoadFactor: lf, Churn: df, CCR: ccr,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sweepSeed derives the run seed of one (scale, replication) pair. The
+// first replication at the first scale uses the root seed unchanged, so
+// cell (0, 0) of any sweep reproduces the corresponding single-seed figure
+// run exactly (the golden determinism contract); every other pair gets an
+// independent ChainSeed stream. Scenario axes other than scale share the
+// pair's seed: load-factor, CCR and churn cells of one replication face the
+// same topology and base randomness (common random numbers).
+func sweepSeed(root int64, scaleIdx, rep int) int64 {
+	if scaleIdx == 0 && rep == 0 {
+		return root
+	}
+	return stats.ChainSeed(root, 0xA1E5+uint64(scaleIdx), 0x5EED+uint64(rep))
+}
+
+// Cell is one aggregated (scenario, algorithm) cell of a completed sweep.
+type Cell struct {
+	Scenario Scenario
+	Algo     string
+	Seeds    []int64  // per-replication run seeds (shared across algorithms)
+	Runs     []Result // per-replication results, replication order
+	Agg      metrics.RunAggregate
+}
+
+// SweepResult is a completed sweep: cells in scenario-major, algorithm-minor
+// order (both following the spec's declared order).
+type SweepResult struct {
+	Spec      SweepSpec
+	Scenarios []Scenario
+	Cells     []Cell
+}
+
+// RunSweep expands the spec into per-replication jobs, executes them on the
+// bounded worker pool and aggregates each cell. The optional progress
+// callback is invoked serially after every completed run with (done, total).
+// The result is a pure function of the spec: the same spec produces
+// bit-identical metrics and byte-identical JSON.
+func RunSweep(spec SweepSpec, progress func(done, total int)) (*SweepResult, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	scens := spec.Scenarios()
+
+	// One topology per (scale, replication) pair, shared by every scenario
+	// and algorithm of the pair: identical inputs make algorithm and axis
+	// comparisons paired within a replication.
+	type pairKey struct{ scale, rep int }
+	seeds := make(map[pairKey]int64)
+	nets := make(map[pairKey]*topology.Network)
+	for si, scale := range spec.Scales {
+		for r := 0; r < spec.Reps; r++ {
+			k := pairKey{si, r}
+			seeds[k] = sweepSeed(spec.Seed, si, r)
+			net, err := topology.Generate(topology.Config{
+				N:    scale.Nodes,
+				Seed: stats.SplitSeed(seeds[k], 0x70),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sweep topology (scale %s, rep %d): %w", scale.Name, r, err)
+			}
+			nets[k] = net
+		}
+	}
+
+	// Job order mirrors cell order: scenario-major, algorithm, replication.
+	jobs := make([]job, 0, len(scens)*len(spec.Algorithms)*spec.Reps)
+	for _, sc := range scens {
+		for _, name := range spec.Algorithms {
+			name := name
+			for r := 0; r < spec.Reps; r++ {
+				k := pairKey{sc.ScaleIndex, r}
+				jobs = append(jobs, job{
+					setting: sc.setting(seeds[k], nets[k]),
+					make: func() grid.Algorithm {
+						a, _ := heuristics.ByName(name) // validated above
+						return a
+					},
+				})
+			}
+		}
+	}
+	results, err := runPoolProgress(jobs, progress)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SweepResult{Spec: spec, Scenarios: scens}
+	idx := 0
+	for _, sc := range scens {
+		cellSeeds := make([]int64, spec.Reps)
+		for r := 0; r < spec.Reps; r++ {
+			cellSeeds[r] = seeds[pairKey{sc.ScaleIndex, r}]
+		}
+		for _, name := range spec.Algorithms {
+			runs := results[idx : idx+spec.Reps]
+			idx += spec.Reps
+			finals := make([]metrics.Snapshot, len(runs))
+			submitted := make([]int, len(runs))
+			for i, r := range runs {
+				finals[i] = r.Final
+				submitted[i] = r.Submitted
+			}
+			res.Cells = append(res.Cells, Cell{
+				Scenario: sc,
+				Algo:     name,
+				Seeds:    cellSeeds,
+				Runs:     runs,
+				Agg:      metrics.AggregateRuns(finals, submitted),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Series extracts one error-bar curve per algorithm of a single-scenario
+// sweep: the pointwise mean across replications with 95% CI half-widths
+// (Err is nil for single-replication sweeps - no dispersion information).
+func (r *SweepResult) Series(title, xlabel, ylabel string, extract func(*Result) []float64) SeriesSet {
+	set := SeriesSet{Title: title, XLabel: xlabel, YLabel: ylabel}
+	if len(r.Cells) == 0 {
+		return set
+	}
+	if snaps := r.Cells[0].Runs[0].Collector.Snapshots; len(snaps) > 0 {
+		set.X = make([]float64, len(snaps))
+		for i, s := range snaps {
+			set.X[i] = s.TimeHours
+		}
+	}
+	for _, c := range r.Cells {
+		series := make([][]float64, len(c.Runs))
+		for i := range c.Runs {
+			series[i] = extract(&c.Runs[i])
+		}
+		ests := metrics.EstimateSeries(series)
+		ls := LabeledSeries{Label: c.Algo, Y: make([]float64, len(ests))}
+		if len(c.Runs) > 1 {
+			ls.Err = make([]float64, len(ests))
+		}
+		for i, e := range ests {
+			ls.Y[i] = e.Mean
+			if ls.Err != nil {
+				ls.Err[i] = e.CI95
+			}
+		}
+		set.Series = append(set.Series, ls)
+	}
+	return set
+}
+
+// Table flattens the sweep into one row per cell with mean ± 95% CI
+// columns.
+func (r *SweepResult) Table(title string) Table {
+	t := Table{
+		Title:  title,
+		Header: []string{"scenario", "algorithm", "reps", "ACT(s)", "AE", "completion"},
+	}
+	for _, c := range r.Cells {
+		t.Rows = append(t.Rows, []string{
+			c.Scenario.Label(),
+			c.Algo,
+			fmt.Sprintf("%d", c.Agg.Reps),
+			formatEstimate(c.Agg.ACT, 0),
+			formatEstimate(c.Agg.AE, 3),
+			formatEstimate(c.Agg.CompletionRate, 3),
+		})
+	}
+	return t
+}
+
+// SummaryTable condenses a single-scenario sweep into the classic
+// final-state comparison; with one replication it matches SummaryTable's
+// single-run layout exactly, with more it reports mean ± 95% CI.
+func (r *SweepResult) SummaryTable(title string) Table {
+	if r.Spec.Reps == 1 {
+		results := make([]Result, len(r.Cells))
+		for i, c := range r.Cells {
+			results[i] = c.Runs[0]
+		}
+		return SummaryTable(title, results)
+	}
+	t := Table{
+		Title:  title,
+		Header: []string{"algorithm", "completed", "failed", "ACT(s)", "AE"},
+	}
+	for _, c := range r.Cells {
+		t.Rows = append(t.Rows, []string{
+			c.Algo,
+			formatEstimate(c.Agg.Completed, 1),
+			formatEstimate(c.Agg.Failed, 1),
+			formatEstimate(c.Agg.ACT, 0),
+			formatEstimate(c.Agg.AE, 3),
+		})
+	}
+	return t
+}
+
+// formatEstimate renders "mean" for single replications and "mean ± ci95"
+// otherwise, with the given decimal precision.
+func formatEstimate(e metrics.Estimate, prec int) string {
+	if e.N < 2 {
+		return fmt.Sprintf("%.*f", prec, e.Mean)
+	}
+	return fmt.Sprintf("%.*f ± %.*f", prec, e.Mean, prec, e.CI95)
+}
+
+// sweepJSON is the machine-readable schema of a completed sweep. Every
+// field is a pure function of the spec, so marshaling the same spec twice
+// produces byte-identical output (the CI snapshot contract).
+type sweepJSON struct {
+	Schema     string          `json:"schema"`
+	Name       string          `json:"name,omitempty"`
+	Seed       int64           `json:"seed"`
+	Reps       int             `json:"reps"`
+	Algorithms []string        `json:"algorithms"`
+	Cells      []sweepCellJSON `json:"cells"`
+}
+
+type sweepCellJSON struct {
+	Scenario   string               `json:"scenario"`
+	Scale      string               `json:"scale"`
+	Nodes      int                  `json:"nodes"`
+	LoadFactor int                  `json:"load_factor"`
+	Churn      float64              `json:"churn"`
+	CCR        string               `json:"ccr,omitempty"`
+	Algo       string               `json:"algo"`
+	Seeds      []int64              `json:"seeds"`
+	Aggregate  metrics.RunAggregate `json:"aggregate"`
+}
+
+// JSON marshals the sweep result into the stable machine-readable schema
+// (indented, trailing newline).
+func (r *SweepResult) JSON() ([]byte, error) {
+	out := sweepJSON{
+		Schema:     "p2pgridsim/sweep/v1",
+		Name:       r.Spec.Name,
+		Seed:       r.Spec.Seed,
+		Reps:       r.Spec.Reps,
+		Algorithms: r.Spec.Algorithms,
+	}
+	for _, c := range r.Cells {
+		lf := c.Scenario.LoadFactor
+		if lf == 0 {
+			lf = c.Scenario.Scale.LoadFactor
+		}
+		out.Cells = append(out.Cells, sweepCellJSON{
+			Scenario:   c.Scenario.Label(),
+			Scale:      c.Scenario.Scale.Name,
+			Nodes:      c.Scenario.Scale.Nodes,
+			LoadFactor: lf,
+			Churn:      c.Scenario.Churn,
+			CCR:        c.Scenario.CCR.Label,
+			Algo:       c.Algo,
+			Seeds:      c.Seeds,
+			Aggregate:  c.Agg,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sweep json: %w", err)
+	}
+	return append(data, '\n'), nil
+}

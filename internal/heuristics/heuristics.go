@@ -205,6 +205,13 @@ func Factories() []func() grid.Algorithm {
 	}
 }
 
+// Names returns the legend names of every paper algorithm in the same
+// order as All and Factories; each resolves through ByName. The sweep
+// engine's algorithm axis is declared in these names.
+func Names() []string {
+	return []string{"DHEFT", "HEFT", "max-min", "min-min", "DSDF", "sufferage", "DSMF", "SMF"}
+}
+
 // ByName builds one algorithm from its legend name.
 func ByName(name string) (grid.Algorithm, error) {
 	switch name {

@@ -1,0 +1,135 @@
+package metrics
+
+import "math"
+
+// This file aggregates replicated runs into interval estimates. The paper's
+// figures are averages over repeated stochastic runs; a single-seed point
+// estimate cannot distinguish an algorithmic advantage from RNG noise, so
+// the sweep engine reports mean / sample standard deviation / 95%
+// confidence half-widths per cell.
+
+// Estimate is an interval estimate of one metric over N independent
+// replications. CI95 is the half-width of the two-sided 95% confidence
+// interval for the mean (Student-t with N-1 degrees of freedom); the
+// interval is [Mean-CI95, Mean+CI95]. With N < 2 both Std and CI95 are 0:
+// one replication carries no dispersion information.
+type Estimate struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	CI95 float64 `json:"ci95"`
+}
+
+// EstimateOf computes the interval estimate of a sample. An empty sample
+// yields a zero Estimate (N == 0).
+func EstimateOf(xs []float64) Estimate {
+	if len(xs) == 0 {
+		return Estimate{}
+	}
+	e := Estimate{N: len(xs)}
+	for _, x := range xs {
+		e.Mean += x
+	}
+	e.Mean /= float64(e.N)
+	if e.N < 2 {
+		return e
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - e.Mean
+		ss += d * d
+	}
+	variance := ss / float64(e.N-1)
+	if variance > 0 {
+		e.Std = math.Sqrt(variance)
+	}
+	e.CI95 = TCrit95(e.N-1) * e.Std / math.Sqrt(float64(e.N))
+	return e
+}
+
+// tCrit95 tabulates the two-sided 95% Student-t critical values for 1..30
+// degrees of freedom; beyond 30 the normal approximation (1.960) is within
+// 2% and is what simulation texts use.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCrit95 returns the two-sided 95% Student-t critical value for the given
+// degrees of freedom (df < 1 returns 0: no interval is defined).
+func TCrit95(df int) float64 {
+	switch {
+	case df < 1:
+		return 0
+	case df <= len(tCrit95):
+		return tCrit95[df-1]
+	default:
+		return 1.960
+	}
+}
+
+// RunAggregate is the per-cell summary of replicated runs: the paper's
+// headline metrics plus the completion rate (completed / submitted).
+type RunAggregate struct {
+	Reps           int      `json:"reps"`
+	ACT            Estimate `json:"act"`
+	AE             Estimate `json:"ae"`
+	CompletionRate Estimate `json:"completion_rate"`
+	Completed      Estimate `json:"completed"`
+	Failed         Estimate `json:"failed"`
+}
+
+// AggregateRuns summarizes the final snapshots of replicated runs.
+// submitted[i] is the workflow count of replication i (for the completion
+// rate); a zero submitted count contributes a zero rate.
+func AggregateRuns(finals []Snapshot, submitted []int) RunAggregate {
+	n := len(finals)
+	act := make([]float64, n)
+	ae := make([]float64, n)
+	rate := make([]float64, n)
+	comp := make([]float64, n)
+	fail := make([]float64, n)
+	for i, s := range finals {
+		act[i] = s.ACT
+		ae[i] = s.AE
+		comp[i] = float64(s.Completed)
+		fail[i] = float64(s.Failed)
+		if i < len(submitted) && submitted[i] > 0 {
+			rate[i] = float64(s.Completed) / float64(submitted[i])
+		}
+	}
+	return RunAggregate{
+		Reps:           n,
+		ACT:            EstimateOf(act),
+		AE:             EstimateOf(ae),
+		CompletionRate: EstimateOf(rate),
+		Completed:      EstimateOf(comp),
+		Failed:         EstimateOf(fail),
+	}
+}
+
+// EstimateSeries computes pointwise estimates across replicated series
+// (series[r][i] is point i of replication r): the per-snapshot mean and CI
+// behind a figure's error bars. Ragged replications are truncated to the
+// shortest series.
+func EstimateSeries(series [][]float64) []Estimate {
+	if len(series) == 0 {
+		return nil
+	}
+	points := len(series[0])
+	for _, s := range series[1:] {
+		if len(s) < points {
+			points = len(s)
+		}
+	}
+	out := make([]Estimate, points)
+	sample := make([]float64, len(series))
+	for i := 0; i < points; i++ {
+		for r, s := range series {
+			sample[r] = s[i]
+		}
+		out[i] = EstimateOf(sample)
+	}
+	return out
+}

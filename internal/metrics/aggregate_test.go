@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEstimateOfKnownVariance(t *testing.T) {
+	// Classic fixture: mean 5, sum of squared deviations 32, sample
+	// variance 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	e := EstimateOf(xs)
+	if e.N != 8 {
+		t.Fatalf("N = %d", e.N)
+	}
+	if !almost(e.Mean, 5) {
+		t.Fatalf("mean = %v, want 5", e.Mean)
+	}
+	wantStd := math.Sqrt(32.0 / 7)
+	if !almost(e.Std, wantStd) {
+		t.Fatalf("std = %v, want %v", e.Std, wantStd)
+	}
+	wantCI := 2.365 * wantStd / math.Sqrt(8) // t(7) = 2.365
+	if !almost(e.CI95, wantCI) {
+		t.Fatalf("ci95 = %v, want %v", e.CI95, wantCI)
+	}
+}
+
+func TestEstimateOfDegenerateSamples(t *testing.T) {
+	if e := EstimateOf(nil); e != (Estimate{}) {
+		t.Fatalf("empty sample: %+v", e)
+	}
+	e := EstimateOf([]float64{3.5})
+	if e.N != 1 || e.Mean != 3.5 || e.Std != 0 || e.CI95 != 0 {
+		t.Fatalf("single sample: %+v", e)
+	}
+	// A constant sample has zero dispersion.
+	e = EstimateOf([]float64{2, 2, 2, 2})
+	if e.Std != 0 || e.CI95 != 0 {
+		t.Fatalf("constant sample: %+v", e)
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	if got := TCrit95(0); got != 0 {
+		t.Fatalf("df=0: %v", got)
+	}
+	if got := TCrit95(1); got != 12.706 {
+		t.Fatalf("df=1: %v", got)
+	}
+	if got := TCrit95(7); got != 2.365 {
+		t.Fatalf("df=7: %v", got)
+	}
+	if got := TCrit95(100); got != 1.960 {
+		t.Fatalf("df=100: %v", got)
+	}
+	// Critical values shrink monotonically toward the normal limit
+	// (strictly within the table, flat at 1.960 beyond it).
+	for df := 2; df <= 30; df++ {
+		if TCrit95(df) >= TCrit95(df-1) {
+			t.Fatalf("t-critical not decreasing at df=%d", df)
+		}
+	}
+	for df := 31; df <= 40; df++ {
+		if TCrit95(df) > TCrit95(df-1) {
+			t.Fatalf("t-critical increased at df=%d", df)
+		}
+	}
+}
+
+func TestAggregateRuns(t *testing.T) {
+	finals := []Snapshot{
+		{ACT: 100, AE: 0.5, Completed: 50, Failed: 2},
+		{ACT: 200, AE: 0.7, Completed: 60, Failed: 0},
+	}
+	agg := AggregateRuns(finals, []int{100, 100})
+	if agg.Reps != 2 {
+		t.Fatalf("reps %d", agg.Reps)
+	}
+	if !almost(agg.ACT.Mean, 150) || !almost(agg.AE.Mean, 0.6) {
+		t.Fatalf("means: ACT %v AE %v", agg.ACT.Mean, agg.AE.Mean)
+	}
+	if !almost(agg.CompletionRate.Mean, 0.55) {
+		t.Fatalf("completion rate %v, want 0.55", agg.CompletionRate.Mean)
+	}
+	if !almost(agg.Completed.Mean, 55) || !almost(agg.Failed.Mean, 1) {
+		t.Fatalf("completed %v failed %v", agg.Completed.Mean, agg.Failed.Mean)
+	}
+	// Zero submitted contributes a zero rate instead of dividing by zero.
+	agg = AggregateRuns(finals[:1], []int{0})
+	if agg.CompletionRate.Mean != 0 {
+		t.Fatalf("zero-submitted rate %v", agg.CompletionRate.Mean)
+	}
+}
+
+func TestEstimateSeries(t *testing.T) {
+	series := [][]float64{
+		{1, 2, 3},
+		{3, 4, 5},
+	}
+	ests := EstimateSeries(series)
+	if len(ests) != 3 {
+		t.Fatalf("points %d", len(ests))
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if !almost(ests[i].Mean, want) {
+			t.Fatalf("point %d mean %v, want %v", i, ests[i].Mean, want)
+		}
+		if ests[i].N != 2 {
+			t.Fatalf("point %d over %d reps", i, ests[i].N)
+		}
+	}
+	// Ragged replications truncate to the shortest series.
+	ragged := EstimateSeries([][]float64{{1, 2, 3}, {1}})
+	if len(ragged) != 1 {
+		t.Fatalf("ragged points %d, want 1", len(ragged))
+	}
+	if EstimateSeries(nil) != nil {
+		t.Fatal("nil series should aggregate to nil")
+	}
+}

@@ -19,6 +19,20 @@ func SplitSeed(parent int64, label uint64) int64 {
 	return int64(z)
 }
 
+// ChainSeed folds a sequence of stream labels into a parent seed by
+// iterated SplitSeed application. It is the hierarchical form of SplitSeed:
+// the sweep engine derives per-run seeds as
+// ChainSeed(root, scaleLabel, repLabel), so every (scale, replication) cell
+// owns an independent stream while the whole matrix stays a pure function
+// of the root seed. With no labels the parent is returned unchanged.
+func ChainSeed(parent int64, labels ...uint64) int64 {
+	seed := parent
+	for _, label := range labels {
+		seed = SplitSeed(seed, label)
+	}
+	return seed
+}
+
 // NewRand returns a rand.Rand seeded with the derived stream seed.
 func NewRand(parent int64, label uint64) *rand.Rand {
 	return rand.New(rand.NewSource(SplitSeed(parent, label)))

@@ -203,3 +203,30 @@ func TestMean(t *testing.T) {
 		t.Fatal("Mean([1 2 3]) != 2")
 	}
 }
+
+func TestChainSeed(t *testing.T) {
+	const root = 2010
+	if ChainSeed(root) != root {
+		t.Fatal("ChainSeed with no labels must return the parent unchanged")
+	}
+	if ChainSeed(root, 5) != SplitSeed(root, 5) {
+		t.Fatal("single-label ChainSeed must match SplitSeed")
+	}
+	if ChainSeed(root, 1, 2) != SplitSeed(SplitSeed(root, 1), 2) {
+		t.Fatal("ChainSeed must fold labels left to right")
+	}
+	// Label order matters: (1,2) and (2,1) are different streams.
+	if ChainSeed(root, 1, 2) == ChainSeed(root, 2, 1) {
+		t.Fatal("ChainSeed ignored label order")
+	}
+	seen := map[int64]bool{ChainSeed(root): true}
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			s := ChainSeed(root, a, b)
+			if seen[s] {
+				t.Fatalf("collision at labels (%d,%d)", a, b)
+			}
+			seen[s] = true
+		}
+	}
+}
