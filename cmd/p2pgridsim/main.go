@@ -19,7 +19,8 @@
 //	fig7-8        load factor sweep (ACT and AE tables; -reps adds ± CI)
 //	fig9-10       CCR sweep (ACT and AE tables; -reps adds ± CI)
 //	fig11         scalability sweep (gossip space bound, AE, ACT)
-//	fig12-14      churn sweep (throughput/ACT/AE series per dynamic factor)
+//	fig12-14      churn sweep (throughput/ACT/AE series per dynamic factor;
+//	              -reps N>1 replicates it over N seeds and adds error bars)
 //	reschedule    churn with the failed-task rescheduling extension
 //	oracle        DSMF information ablation (gossip vs oracle views)
 //	planners      full-ahead planner shootout (HEFT/HEFT-ins/LAHEFT/CPOP/SMF)
@@ -34,7 +35,20 @@
 // -axes: algo, churn, lf, ccr, scale), replicates every cell over -reps
 // independent seeds, and emits deterministic JSON with mean / stddev / 95%
 // CI per (scenario, algorithm) cell: the same invocation produces
-// byte-identical output. Progress streams to stderr.
+// byte-identical output. Progress streams to stderr. The matrix executes
+// on the streaming runner, which drops per-run state as cells finalize, so
+// peak memory does not grow with -reps. Additional sweep modes:
+//
+//	-shard i/n    run only shard i of n (a [lo,hi) range of the canonical
+//	              job enumeration) and emit a mergeable partial result —
+//	              the distributed-sweep building block
+//	-merge a,b    reassemble shard files into the full sweep JSON,
+//	              byte-identical to a single-host run (no simulation)
+//	-cache DIR    warm-start cell cache: re-runs execute only the cells
+//	              (or added replications) missing from DIR
+//	-precision r  adaptive replication: grow seed batches until every
+//	              cell's ACT 95% CI half-width is under r x |mean|,
+//	              capped at -reps (batches reuse the cache)
 //
 // With -artifacts DIR, series experiments additionally write
 // <figure>.csv/.dat/.gp files (gnuplot redraws the paper-style plots;
@@ -50,10 +64,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/executor"
 )
 
 func main() {
@@ -73,6 +89,10 @@ type options struct {
 	axes       string
 	out        string
 	artifacts  string
+	shard      string  // "i/n": run only one job-ID shard of the sweep
+	merge      string  // comma-separated shard files to merge (no simulation)
+	cacheDir   string  // warm-start cell cache directory
+	precision  float64 // adaptive replication target (0 = off)
 
 	stdout, stderr io.Writer
 }
@@ -92,6 +112,10 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		reps    = fs.Int("reps", 1, "seed replications for fig4-6/fig7-8/fig9-10/sweep (error bars need > 1)")
 		axes    = fs.String("axes", "algo", "comma-separated sweep axes: algo,churn,lf,ccr,scale")
 		out     = fs.String("out", "", "write sweep JSON to this file (default: stdout)")
+		shard   = fs.String("shard", "", "run only shard i/n of the sweep job matrix (e.g. 0/2) and emit a mergeable partial result")
+		merge   = fs.String("merge", "", "comma-separated shard JSON files to merge into the full sweep result (no simulation)")
+		cache   = fs.String("cache", "", "warm-start cell cache directory: re-runs execute only cells missing from it")
+		prec    = fs.Float64("precision", 0, "adaptive replication: grow seed batches until every cell's ACT 95% CI half-width is under this fraction of its mean (-reps is the cap)")
 		arts    = fs.String("artifacts", "", "directory for CSV/DAT/gnuplot artifacts (series experiments, sweep)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -136,6 +160,10 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		axes:       *axes,
 		out:        *out,
 		artifacts:  *arts,
+		shard:      *shard,
+		merge:      *merge,
+		cacheDir:   *cache,
+		precision:  *prec,
 		stdout:     stdout,
 		stderr:     stderr,
 	}
@@ -324,6 +352,9 @@ func sweepSpecFromAxes(axes string, sc experiments.Scale, seed int64, reps, maxL
 			spec.Algorithms = nil // all eight
 		case "churn":
 			spec.ChurnFactors = []float64{0, 0.1, 0.2, 0.3, 0.4}
+			// Figs. 12-14 semantics: the df=0 baseline keeps the same
+			// half-homes layout as the dynamic cells.
+			spec.ChurnLayout = true
 		case "lf", "load":
 			lfs, err := experiments.LoadFactorAxis(maxLF)
 			if err != nil {
@@ -350,38 +381,153 @@ func sweepSpecFromAxes(axes string, sc experiments.Scale, seed int64, reps, maxL
 	return spec, nil
 }
 
-// runSweep executes the declarative sweep and writes deterministic JSON to
-// -out (or stdout). Progress streams to stderr at every 10% of the matrix.
+// runSweep executes the declarative sweep through the streaming runner and
+// writes deterministic JSON to -out (or stdout). Progress streams to
+// stderr at every 10% of the matrix. -shard runs one job-ID range and
+// emits a mergeable partial; -merge reassembles partials without
+// simulating; -cache warm-starts from (and feeds) a per-cell result cache;
+// -precision grows replication batches adaptively up to the -reps cap.
 func runSweep(o options) error {
+	if o.merge != "" {
+		if o.shard != "" || o.precision > 0 || o.cacheDir != "" {
+			return fmt.Errorf("-merge does not combine with -shard, -precision or -cache (merging never simulates)")
+		}
+		return runMerge(o)
+	}
+	if o.precision < 0 {
+		return fmt.Errorf("-precision must be positive, got %v", o.precision)
+	}
 	spec, err := sweepSpecFromAxes(o.axes, o.scale, o.seed, o.reps, o.maxLF)
 	if err != nil {
 		return err
 	}
-	progress := func(done, total int) {
-		if done == total || done*10/total > (done-1)*10/total {
-			fmt.Fprintf(o.stderr, "sweep: %d/%d runs (%d%%)\n", done, total, done*100/total)
-		}
+	opts := experiments.RunOptions{
+		Progress: func(done, total int) {
+			if done == total || done*10/total > (done-1)*10/total {
+				fmt.Fprintf(o.stderr, "sweep: %d/%d runs (%d%%)\n", done, total, done*100/total)
+			}
+		},
 	}
-	res, err := experiments.RunSweep(spec, progress)
+	if o.cacheDir != "" {
+		if err := os.MkdirAll(o.cacheDir, 0o755); err != nil {
+			return err
+		}
+		opts.Cache = executor.Disk{Dir: o.cacheDir}
+	}
+	if o.shard != "" {
+		if o.precision > 0 {
+			return fmt.Errorf("-shard does not combine with -precision (adaptive batches need the whole matrix)")
+		}
+		if o.artifacts != "" {
+			return fmt.Errorf("-shard does not combine with -artifacts (a partial result has no complete cells to export; export from the merged run)")
+		}
+		idx, n, err := parseShard(o.shard)
+		if err != nil {
+			return err
+		}
+		part, err := experiments.RunShard(spec, idx, n, opts)
+		if err != nil {
+			return err
+		}
+		data, err := part.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(o.stderr, "shard %d/%d: jobs [%d,%d) of %d\n", idx, n, part.Lo, part.Hi, part.Jobs)
+		return writeOutput(o, data)
+	}
+	var res *experiments.SweepResult
+	if o.precision > 0 {
+		res, err = experiments.RunAdaptive(spec, o.precision, opts)
+		if err == nil {
+			fmt.Fprintf(o.stderr, "adaptive: stopped at %d replications (cap %d)\n", res.Spec.Reps, o.reps)
+		}
+	} else {
+		res, err = experiments.RunSweepStream(spec, opts)
+	}
 	if err != nil {
 		return err
 	}
+	return writeSweepResult(o, res)
+}
+
+// parseShard splits the -shard flag's "i/n" form. Strict: trailing or
+// malformed input is rejected (a typo must not silently run the wrong
+// job range).
+func parseShard(s string) (idx, n int, err error) {
+	left, right, ok := strings.Cut(s, "/")
+	if ok {
+		idx, err = strconv.Atoi(left)
+		if err == nil {
+			n, err = strconv.Atoi(right)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("-shard wants i/n (e.g. 0/2), got %q", s)
+	}
+	if n < 1 || idx < 0 || idx >= n {
+		return 0, 0, fmt.Errorf("-shard %q out of range (want 0 <= i < n)", s)
+	}
+	return idx, n, nil
+}
+
+// runMerge loads shard partials and reassembles the full sweep result; the
+// output is byte-identical to a single-host run of the same spec.
+func runMerge(o options) error {
+	var parts []*experiments.ShardResult
+	for _, f := range strings.Split(o.merge, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		part, err := experiments.DecodeShard(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		parts = append(parts, part)
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("-merge needs at least one shard file")
+	}
+	res, err := experiments.MergeShards(parts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.stderr, "merged %d shards into %d cells\n", len(parts), len(res.Cells))
+	return writeSweepResult(o, res)
+}
+
+// writeOutput sends raw bytes to -out (with a stderr note) or stdout.
+func writeOutput(o options, data []byte) error {
+	if o.out == "" {
+		_, err := o.stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(o.out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.stderr, "wrote %s\n", o.out)
+	return nil
+}
+
+// writeSweepResult writes the sweep JSON (and optional artifacts/table),
+// shared by the single-host, adaptive and merge paths.
+func writeSweepResult(o options, res *experiments.SweepResult) error {
 	data, err := res.JSON()
 	if err != nil {
 		return err
 	}
-	if o.out == "" {
-		// Bare JSON on stdout: byte-identical across invocations of the
-		// same spec, so CI can diff snapshots directly.
-		if _, err := o.stdout.Write(data); err != nil {
-			return err
-		}
-	} else {
-		if err := os.WriteFile(o.out, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(o.stderr, "wrote %s\n", o.out)
-		fmt.Fprintln(o.stdout, res.Table("Sweep "+spec.Name).Format())
+	// Bare JSON on stdout: byte-identical across invocations of the same
+	// spec (sharded, cached or cold), so CI can diff snapshots directly.
+	if err := writeOutput(o, data); err != nil {
+		return err
+	}
+	if o.out != "" {
+		fmt.Fprintln(o.stdout, res.Table("Sweep "+res.Spec.Name).Format())
 	}
 	if o.artifacts != "" {
 		if err := os.MkdirAll(o.artifacts, 0o755); err != nil {
@@ -392,7 +538,7 @@ func runSweep(o options) error {
 			content []byte
 		}{
 			{"sweep.json", data},
-			{"sweep.csv", []byte(res.Table("Sweep " + spec.Name).CSV())},
+			{"sweep.csv", []byte(res.Table("Sweep " + res.Spec.Name).CSV())},
 		}
 		for _, a := range artifacts {
 			path := filepath.Join(o.artifacts, a.base)
@@ -436,13 +582,13 @@ func runScalability(o options) error {
 
 func runChurn(o options, reschedule bool) error {
 	dfs := []float64{0, 0.1, 0.2, 0.3, 0.4}
-	results, err := experiments.ChurnSweep(o.scale, o.seed, dfs, reschedule)
+	res, err := experiments.ChurnSweepRep(o.scale, o.seed, dfs, reschedule, o.reps)
 	if err != nil {
 		return err
 	}
-	f12 := experiments.Fig12Throughput(results)
-	f13 := experiments.Fig13FinishTime(results)
-	f14 := experiments.Fig14Efficiency(results)
+	f12 := res.Fig12Throughput()
+	f13 := res.Fig13FinishTime()
+	f14 := res.Fig14Efficiency()
 	fmt.Fprintln(o.stdout, f12.Format())
 	fmt.Fprintln(o.stdout, f13.Format())
 	fmt.Fprintln(o.stdout, f14.Format())
@@ -453,6 +599,9 @@ func runChurn(o options, reschedule bool) error {
 	if reschedule {
 		title += " (with rescheduling extension)"
 	}
-	fmt.Fprintln(o.stdout, experiments.SummaryTable(title, results).Format())
+	if o.reps > 1 {
+		title += fmt.Sprintf(" (mean ± 95%% CI over %d seeds)", o.reps)
+	}
+	fmt.Fprintln(o.stdout, res.ChurnSummaryTable(title).Format())
 	return nil
 }

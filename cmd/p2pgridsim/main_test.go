@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,6 +38,17 @@ func TestErrorPathsExitNonZero(t *testing.T) {
 		{"negative maxlf on sweep lf axis", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "lf", "-maxlf", "0"}},
 		{"unknown sweep axis", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "algo,warp"}},
 		{"unwritable out", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "", "-out", "/nonexistent-dir/x.json"}},
+		{"malformed shard", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "", "-shard", "two/three"}},
+		{"shard with trailing garbage", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "", "-shard", "0/2/4"}},
+		{"shard with suffixed count", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "", "-shard", "1/10x"}},
+		{"shard with artifacts", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "", "-shard", "0/2", "-artifacts", "arts"}},
+		{"merge with cache", []string{"-experiment", "sweep", "-merge", "a.json", "-cache", "cellcache"}},
+		{"shard index out of range", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "", "-shard", "2/2"}},
+		{"shard with precision", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "", "-shard", "0/2", "-precision", "0.1"}},
+		{"merge with shard", []string{"-experiment", "sweep", "-merge", "a.json", "-shard", "0/2"}},
+		{"merge without files", []string{"-experiment", "sweep", "-merge", " , "}},
+		{"merge unreadable file", []string{"-experiment", "sweep", "-merge", "/nonexistent-dir/shard.json"}},
+		{"negative precision", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "", "-precision", "-0.5"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -133,6 +145,84 @@ func TestSweepOutFileAndArtifacts(t *testing.T) {
 		if _, err := os.Stat(filepath.Join(dir, base)); err != nil {
 			t.Errorf("artifact %s missing: %v", base, err)
 		}
+	}
+}
+
+// TestSweepShardMergeMatchesSingleHost drives the distributed-sweep recipe
+// end to end through the CLI: two shards, merged, byte-identical to the
+// single-host JSON.
+func TestSweepShardMergeMatchesSingleHost(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-experiment", "sweep", "-scale", "tiny", "-reps", "2", "-axes", ""}
+	code, single, stderr := runCLI(base...)
+	if code != 0 {
+		t.Fatalf("single-host run: exit %d, stderr:\n%s", code, stderr)
+	}
+	s0, s1 := filepath.Join(dir, "s0.json"), filepath.Join(dir, "s1.json")
+	for i, out := range []string{s0, s1} {
+		args := append(append([]string{}, base...), "-shard", fmt.Sprintf("%d/2", i), "-out", out)
+		code, _, stderr := runCLI(args...)
+		if code != 0 {
+			t.Fatalf("shard %d: exit %d, stderr:\n%s", i, code, stderr)
+		}
+		if !strings.Contains(stderr, fmt.Sprintf("shard %d/2", i)) {
+			t.Fatalf("shard %d: no range note on stderr:\n%s", i, stderr)
+		}
+	}
+	code, merged, stderr := runCLI("-experiment", "sweep", "-merge", s0+","+s1)
+	if code != 0 {
+		t.Fatalf("merge: exit %d, stderr:\n%s", code, stderr)
+	}
+	if merged != single {
+		t.Fatalf("merged JSON differs from single-host run:\n%s\nvs\n%s", merged, single)
+	}
+	// Merging a shard file against itself must fail (overlap).
+	if code, _, _ := runCLI("-experiment", "sweep", "-merge", s0+","+s0); code == 0 {
+		t.Fatal("overlapping merge exited 0")
+	}
+}
+
+// TestSweepCacheWarmStart checks the -cache flag: the second run restores
+// every cell from disk and its stdout JSON stays byte-identical.
+func TestSweepCacheWarmStart(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cells")
+	args := []string{"-experiment", "sweep", "-scale", "tiny", "-reps", "2", "-axes", "", "-cache", cacheDir}
+	code, cold, stderr := runCLI(args...)
+	if code != 0 {
+		t.Fatalf("cold run: exit %d, stderr:\n%s", code, stderr)
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*", "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entries written (err=%v)", err)
+	}
+	code, warm, _ := runCLI(args...)
+	if code != 0 {
+		t.Fatal("warm run failed")
+	}
+	if warm != cold {
+		t.Fatalf("warm JSON differs from cold:\n%s\nvs\n%s", warm, cold)
+	}
+}
+
+// TestSweepAdaptivePrecision checks the -precision flag: a loose target
+// stops at the initial batch below the -reps cap and reports it.
+func TestSweepAdaptivePrecision(t *testing.T) {
+	code, stdout, stderr := runCLI(
+		"-experiment", "sweep", "-scale", "tiny", "-reps", "6", "-axes", "", "-precision", "100")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "adaptive: stopped at 3 replications (cap 6)") {
+		t.Fatalf("no adaptive note on stderr:\n%s", stderr)
+	}
+	var doc struct {
+		Reps int `json:"reps"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("stdout not JSON: %v", err)
+	}
+	if doc.Reps != 3 {
+		t.Fatalf("adaptive JSON reports %d reps, want 3", doc.Reps)
 	}
 }
 

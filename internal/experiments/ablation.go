@@ -22,8 +22,8 @@ func OracleAblation(scale Scale, seed int64) (Table, error) {
 	oracle.OracleAverages = true
 
 	jobs := []job{
-		{base, heuristics.NewDSMF},
-		{oracle, heuristics.NewDSMF},
+		{setting: base, make: heuristics.NewDSMF},
+		{setting: oracle, make: heuristics.NewDSMF},
 	}
 	results, err := runPool(jobs)
 	if err != nil {

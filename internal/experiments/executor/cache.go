@@ -1,0 +1,119 @@
+package executor
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the byte-level store behind the warm-start result cache. Keys
+// are content hashes (lower-case hex) supplied by the runner; a key fully
+// determines its value, so entries never need updating in place — only
+// replacement by a strictly larger entry (more replications) or deletion
+// of the whole store. Get misses must be cheap: every sweep probes every
+// cell.
+type Cache interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, data []byte) error
+}
+
+// Disk is a filesystem Cache. Entries live under Dir as
+// <key[:2]>/<key>.json — the two-character fan-out keeps directories small
+// on paper-scale sweeps — and writes go through a temp file + rename so a
+// crashed run never leaves a torn entry for the next run to trust.
+// Invalidation is by key construction (the runner folds the code version
+// and every run-relevant parameter into the hash); deleting Dir is always
+// safe and merely forgets completed work.
+type Disk struct {
+	Dir string
+}
+
+func (d Disk) path(key string) string {
+	prefix := key
+	if len(prefix) > 2 {
+		prefix = prefix[:2]
+	}
+	return filepath.Join(d.Dir, prefix, key+".json")
+}
+
+// Get reads an entry, reporting a miss for any unreadable file.
+func (d Disk) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put writes an entry atomically (temp file + rename within the entry's
+// directory).
+func (d Disk) Put(key string, data []byte) error {
+	if !validKey(key) {
+		return os.ErrInvalid
+	}
+	path := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp-")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// validKey accepts only lower-case hex of a plausible hash length, which
+// rules out path traversal by construction.
+func validKey(key string) bool {
+	if len(key) < 8 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Memory is an in-process Cache: the default batch store of adaptive
+// replication (earlier batches warm later ones within a single process)
+// and the natural test double.
+type Memory struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemory returns an empty in-process cache.
+func NewMemory() *Memory {
+	return &Memory{m: make(map[string][]byte)}
+}
+
+// Get returns a copy-free view of the entry; callers must not mutate it.
+func (m *Memory) Get(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.m[key]
+	return data, ok
+}
+
+// Put stores the entry.
+func (m *Memory) Put(key string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.m[key] = data
+	return nil
+}

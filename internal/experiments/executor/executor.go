@@ -1,0 +1,98 @@
+// Package executor provides the pluggable execution backends behind the
+// experiments streaming runner: a bounded local worker pool (Local), a
+// job-range filter for sharding a sweep across machines (Shard), and the
+// byte-level stores behind the warm-start result cache (Disk, Memory).
+//
+// The package is deliberately generic: a job is a dense global integer ID
+// and the runner supplies the function that executes one. That keeps the
+// execution policy (how many workers, which subset of the matrix) fully
+// separated from the experiment semantics (what a job simulates and how
+// its result aggregates), and it keeps this package free of any dependency
+// on the experiments types.
+package executor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Executor runs a set of jobs identified by global job IDs. Execute calls
+// run once per job it executes; run must be safe for concurrent calls.
+// Implementations may execute only a declared subset of the given IDs
+// (Shard does), but must never invent IDs that were not passed in. Every
+// scheduled job runs even after another job fails; the first error is
+// returned.
+type Executor interface {
+	Execute(ids []int, run func(id int) error) error
+}
+
+// Local executes every given job on a bounded goroutine pool — the
+// single-host backend wrapping the same worker-pool discipline the batch
+// sweep engine always used.
+type Local struct {
+	// Workers bounds the pool; 0 or less means GOMAXPROCS.
+	Workers int
+}
+
+// Execute runs all ids with bounded parallelism, returning the first
+// error after every job has finished.
+func (l Local) Execute(ids []int, run func(id int) error) error {
+	workers := l.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	errs := make([]error, len(ids))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i, id int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = run(id)
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shard executes only the jobs that fall inside the [Lo,Hi) global job-ID
+// range, delegating them to Inner. Sharding by ID range over the sweep's
+// deterministic expansion order is what makes a distributed sweep safe:
+// every worker derives the same job list from the same spec, so disjoint
+// ranges partition the matrix with no coordination.
+type Shard struct {
+	Lo, Hi int
+	Inner  Executor // nil means Local{}
+}
+
+// Execute filters ids to [Lo,Hi) and runs the survivors on Inner.
+func (s Shard) Execute(ids []int, run func(id int) error) error {
+	mine := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if id >= s.Lo && id < s.Hi {
+			mine = append(mine, id)
+		}
+	}
+	inner := s.Inner
+	if inner == nil {
+		inner = Local{}
+	}
+	return inner.Execute(mine, run)
+}
+
+// ShardRange returns the [lo,hi) job-ID range of shard i of n over a
+// matrix of total jobs: contiguous, non-overlapping, sizes within one job
+// of each other, and the union of all n ranges is exactly [0,total).
+func ShardRange(total, i, n int) (lo, hi int) {
+	return i * total / n, (i + 1) * total / n
+}

@@ -85,15 +85,22 @@ func NewSetting(scale Scale, seed int64) Setting {
 	return Setting{Scale: scale, Gen: dag.DefaultGenConfig(), Seed: seed}
 }
 
+// topoConfig is the single source of the run-seed → topology-seed
+// derivation. Every topology builder (BuildNet, the lazy batch nets, the
+// sweep runner's pair nets) must route through it: the byte-identity
+// contracts — golden determinism, shard merge, warm-start cache — all
+// assume the figure runners and the sweep engine generate identical
+// networks from identical run seeds.
+func topoConfig(nodes int, seed int64) topology.Config {
+	return topology.Config{N: nodes, Seed: stats.SplitSeed(seed, 0x70)}
+}
+
 // BuildNet generates (or returns) the setting's shared topology.
 func (s *Setting) BuildNet() (*topology.Network, error) {
 	if s.Net != nil {
 		return s.Net, nil
 	}
-	net, err := topology.Generate(topology.Config{
-		N:    s.Scale.Nodes,
-		Seed: stats.SplitSeed(s.Seed, 0x70),
-	})
+	net, err := topology.Generate(topoConfig(s.Scale.Nodes, s.Seed))
 	if err != nil {
 		return nil, err
 	}
@@ -191,10 +198,32 @@ var newEngine = defaultEngine
 // simulation must own its instance; the pool materializes one per job.
 type AlgoFactory = func() grid.Algorithm
 
-// job pairs a setting with one algorithm factory for the sweep pool.
+// job pairs a setting with one algorithm factory for the worker pool. The
+// optional net hook supplies the topology lazily on the pool (typically a
+// sync.Once shared by every job of one replication), so batch runners
+// neither generate topologies serially upfront nor retain them all.
 type job struct {
 	setting Setting
 	make    AlgoFactory
+	net     func() (*topology.Network, error)
+}
+
+// lazyNet memoizes one shared topology, built with BuildNet's exact seed
+// derivation on whichever pool worker needs it first.
+type lazyNet struct {
+	once sync.Once
+	net  *topology.Network
+	err  error
+	cfg  topology.Config
+}
+
+func newLazyNet(nodes int, seed int64) *lazyNet {
+	return &lazyNet{cfg: topoConfig(nodes, seed)}
+}
+
+func (l *lazyNet) get() (*topology.Network, error) {
+	l.once.Do(func() { l.net, l.err = topology.Generate(l.cfg) })
+	return l.net, l.err
 }
 
 // RunAll executes one run per factory under a shared setting, fanning out
@@ -235,7 +264,13 @@ func runPoolProgress(jobs []job, progress func(done, total int)) ([]Result, erro
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = Run(jobs[i].setting, jobs[i].make())
+			j := jobs[i]
+			if j.net != nil {
+				if j.setting.Net, errs[i] = j.net(); errs[i] != nil {
+					return
+				}
+			}
+			results[i], errs[i] = Run(j.setting, j.make())
 			if progress != nil {
 				mu.Lock()
 				done++

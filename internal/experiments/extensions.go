@@ -56,8 +56,8 @@ func ChurnModelAblation(scale Scale, seed int64, df float64) (Table, error) {
 	harsh := mk(true)
 	harsh.Net = soft.Net
 	results, err := runPool([]job{
-		{soft, heuristics.NewDSMF},
-		{harsh, heuristics.NewDSMF},
+		{setting: soft, make: heuristics.NewDSMF},
+		{setting: harsh, make: heuristics.NewDSMF},
 	})
 	if err != nil {
 		return Table{}, err

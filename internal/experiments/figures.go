@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/heuristics"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -34,11 +35,12 @@ type Table struct {
 
 // StaticComparison runs all eight algorithms once under the headline static
 // setting of Figs. 4-6 and returns per-algorithm results (shared topology
-// and workload). It is the single-replication slice of StaticComparisonRep;
-// routing it through the sweep engine keeps the two bit-identical (the
-// golden determinism test pins this path).
+// and workload). It is the single-replication slice of StaticComparisonRep
+// with run retention switched on (callers consume full Results); routing it
+// through the sweep engine keeps the two bit-identical (the golden
+// determinism test pins this path).
 func StaticComparison(scale Scale, seed int64) ([]Result, error) {
-	res, err := StaticComparisonRep(scale, seed, 1)
+	res, err := RunSweepStream(staticComparisonSpec(scale, seed, 1), RunOptions{RetainRuns: true})
 	if err != nil {
 		return nil, err
 	}
@@ -50,15 +52,20 @@ func StaticComparison(scale Scale, seed int64) ([]Result, error) {
 }
 
 // StaticComparisonRep replicates the Figs. 4-6 comparison over reps
-// independent seeds through the sweep engine; replication 0 is exactly the
-// StaticComparison run at the same seed.
+// independent seeds through the streaming sweep engine (per-run Results are
+// dropped as cells finalize); replication 0 is exactly the StaticComparison
+// run at the same seed.
 func StaticComparisonRep(scale Scale, seed int64, reps int) (*SweepResult, error) {
-	return RunSweep(SweepSpec{
+	return RunSweepStream(staticComparisonSpec(scale, seed, reps), RunOptions{})
+}
+
+func staticComparisonSpec(scale Scale, seed int64, reps int) SweepSpec {
+	return SweepSpec{
 		Name:   "static-comparison",
 		Scales: []Scale{scale},
 		Seed:   seed,
 		Reps:   reps,
-	}, nil)
+	}
 }
 
 // Figure titles shared by the single-run and replicated extractors.
@@ -68,29 +75,27 @@ const (
 	fig6Title = "Fig. 6: Average Efficiency of Workflows in Static P2P Grid System"
 )
 
-func throughputOf(r *Result) []float64 {
-	ys := make([]float64, len(r.Collector.Snapshots))
-	for i, tp := range r.Collector.Throughput() {
-		ys[i] = float64(tp)
-	}
-	return ys
-}
+// Streaming-side series extractors: the runner drops full Results as cells
+// finalize, so replicated figures read the reduced per-replication records.
+func statThroughput(st *metrics.RunStats) []float64 { return st.Throughput }
+func statACT(st *metrics.RunStats) []float64        { return st.ACT }
+func statAE(st *metrics.RunStats) []float64         { return st.AE }
 
 // Fig4Throughput, Fig5FinishTime and Fig6Efficiency on a SweepResult
 // extract the static figures with error bars (mean ± 95% CI across the
 // sweep's replications).
 func (r *SweepResult) Fig4Throughput() SeriesSet {
-	return r.Series(fig4Title, "hour", "# of workflows finished", throughputOf)
+	return r.Series(fig4Title, "hour", "# of workflows finished", statThroughput)
 }
 
 // Fig5FinishTime extracts the replicated ACT series of Fig. 5.
 func (r *SweepResult) Fig5FinishTime() SeriesSet {
-	return r.Series(fig5Title, "hour", "ACT (s)", func(res *Result) []float64 { return res.Collector.ACTSeries() })
+	return r.Series(fig5Title, "hour", "ACT (s)", statACT)
 }
 
 // Fig6Efficiency extracts the replicated AE series of Fig. 6.
 func (r *SweepResult) Fig6Efficiency() SeriesSet {
-	return r.Series(fig6Title, "hour", "AE", func(res *Result) []float64 { return res.Collector.AESeries() })
+	return r.Series(fig6Title, "hour", "AE", statAE)
 }
 
 func hoursAxis(results []Result) []float64 {
@@ -163,8 +168,8 @@ func FCFSAblation(scale Scale, seed int64) (Table, []Result, error) {
 	var jobs []job
 	for _, b := range bases {
 		b := b
-		jobs = append(jobs, job{setting, b})
-		jobs = append(jobs, job{setting, func() grid.Algorithm { return heuristics.WithFCFSPhase2(b()) }})
+		jobs = append(jobs, job{setting: setting, make: b})
+		jobs = append(jobs, job{setting: setting, make: func() grid.Algorithm { return heuristics.WithFCFSPhase2(b()) }})
 	}
 	results, err := runPool(jobs)
 	if err != nil {
@@ -213,13 +218,13 @@ func LoadFactorSweepRep(scale Scale, seed int64, maxLF, reps int) (actTable, aeT
 	if err != nil {
 		return
 	}
-	res, err := RunSweep(SweepSpec{
+	res, err := RunSweepStream(SweepSpec{
 		Name:        "load-factor",
 		Scales:      []Scale{scale},
 		Seed:        seed,
 		Reps:        reps,
 		LoadFactors: lfs,
-	}, nil)
+	}, RunOptions{})
 	if err != nil {
 		return
 	}
@@ -272,13 +277,13 @@ func CCRSweep(scale Scale, seed int64) (actTable, aeTable Table, err error) {
 // mean ± 95% CI.
 func CCRSweepRep(scale Scale, seed int64, reps int) (actTable, aeTable Table, err error) {
 	cases := CCRCases()
-	res, err := RunSweep(SweepSpec{
+	res, err := RunSweepStream(SweepSpec{
 		Name:     "ccr",
 		Scales:   []Scale{scale},
 		Seed:     seed,
 		Reps:     reps,
 		CCRCases: cases,
-	}, nil)
+	}, RunOptions{})
 	if err != nil {
 		return
 	}
@@ -317,15 +322,12 @@ type ScalabilityPoint struct {
 func ScalabilitySweep(base Scale, seed int64, sizes []int) ([]ScalabilityPoint, error) {
 	points := make([]ScalabilityPoint, len(sizes))
 	var jobs []job
-	settings := make([]Setting, len(sizes))
-	for i, n := range sizes {
+	for _, n := range sizes {
 		scale := base
 		scale.Nodes = n
-		settings[i] = NewSetting(scale, stats.SplitSeed(seed, uint64(n)))
-		if _, err := settings[i].BuildNet(); err != nil {
-			return nil, err
-		}
-		jobs = append(jobs, job{settings[i], heuristics.NewDSMF})
+		s := NewSetting(scale, stats.SplitSeed(seed, uint64(n)))
+		// Each size's topology is built on the pool, not serially upfront.
+		jobs = append(jobs, job{s, heuristics.NewDSMF, newLazyNet(n, s.Seed).get})
 	}
 	results, err := runPool(jobs)
 	if err != nil {
@@ -343,45 +345,86 @@ func ScalabilitySweep(base Scale, seed int64, sizes []int) ([]ScalabilityPoint, 
 	return points, nil
 }
 
-// ChurnSweep runs Figs. 12-14: DSMF under increasing dynamic factors, with
-// half the nodes stable (all homes among them) and the other half churning.
-// Setting reschedule=true exercises the paper's future-work extension.
+// ChurnSweepRep runs Figs. 12-14 through the sweep engine: DSMF under
+// increasing dynamic factors, half the nodes stable (all homes among them,
+// at twice the load factor) and the other half churning. The df=0 baseline
+// keeps the same half-homes layout (SweepSpec.ChurnLayout), so every cell
+// of the axis is directly comparable; reps > 1 replicates the whole axis
+// over independent seeds and the figure extractors gain 95% CI error bars,
+// exactly like Figs. 4-10. Setting reschedule=true exercises the paper's
+// future-work extension in every cell.
+func ChurnSweepRep(scale Scale, seed int64, dfs []float64, reschedule bool, reps int) (*SweepResult, error) {
+	return RunSweepStream(churnSweepSpec(scale, seed, dfs, reschedule, reps), RunOptions{})
+}
+
+func churnSweepSpec(scale Scale, seed int64, dfs []float64, reschedule bool, reps int) SweepSpec {
+	return SweepSpec{
+		Name:         "churn",
+		Scales:       []Scale{scale},
+		Algorithms:   []string{"DSMF"},
+		Seed:         seed,
+		Reps:         reps,
+		ChurnFactors: dfs,
+		ChurnLayout:  true,
+		Reschedule:   reschedule,
+	}
+}
+
+// churnLabel names a churn-axis cell the way the paper's legends do.
+func churnLabel(c *Cell) string { return fmt.Sprintf("df=%.1f", c.Scenario.Churn) }
+
+// ChurnSweep is the single-replication compatibility adapter over
+// ChurnSweepRep: one full Result per dynamic factor, relabeled by df the
+// way the original figure runner did. It retains full runs; series
+// consumers that can live with reduced records should use ChurnSweepRep.
 func ChurnSweep(scale Scale, seed int64, dfs []float64, reschedule bool) ([]Result, error) {
-	base := NewSetting(scale, seed)
-	if _, err := base.BuildNet(); err != nil {
-		return nil, err
-	}
-	stable := scale.Nodes / 2
-	var jobs []job
-	for _, df := range dfs {
-		setting := base
-		setting.Homes = stable
-		// Keep the total workflow count equal to the static experiments:
-		// half the homes, twice the per-home load factor.
-		setting.Scale.LoadFactor = scale.LoadFactor * 2
-		setting.RescheduleFailed = reschedule
-		setting.Churn = grid.ChurnConfig{
-			DynamicFactor: df,
-			StableCount:   stable,
-			Seed:          stats.SplitSeed(seed, uint64(df*1000)),
-		}
-		jobs = append(jobs, job{setting, heuristics.NewDSMF})
-	}
-	results, err := runPool(jobs)
+	res, err := RunSweepStream(churnSweepSpec(scale, seed, dfs, reschedule, 1), RunOptions{RetainRuns: true})
 	if err != nil {
 		return nil, err
 	}
-	for i := range results {
-		results[i].Algo = fmt.Sprintf("df=%.1f", dfs[i])
+	results := make([]Result, len(res.Cells))
+	for i := range res.Cells {
+		results[i] = res.Cells[i].Runs[0]
+		results[i].Algo = churnLabel(&res.Cells[i])
 	}
 	return results, nil
 }
 
+// Figure titles shared by the single-run and replicated churn extractors.
+const (
+	fig12Title = "Fig. 12: Throughput of DSMF in Dynamic Environment"
+	fig13Title = "Fig. 13: Average Finish-Time of DSMF in Dynamic Environment"
+	fig14Title = "Fig. 14: Average Efficiency of DSMF in Dynamic Environment"
+)
+
+// Fig12Throughput, Fig13FinishTime and Fig14Efficiency on a SweepResult
+// extract the churn figures from a ChurnSweepRep run, one curve per
+// dynamic factor with error bars when replicated.
+func (r *SweepResult) Fig12Throughput() SeriesSet {
+	return r.SeriesBy(fig12Title, "hour", "# of workflows finished", statThroughput, churnLabel)
+}
+
+// Fig13FinishTime extracts the replicated churn ACT series.
+func (r *SweepResult) Fig13FinishTime() SeriesSet {
+	return r.SeriesBy(fig13Title, "hour", "ACT (s)", statACT, churnLabel)
+}
+
+// Fig14Efficiency extracts the replicated churn AE series.
+func (r *SweepResult) Fig14Efficiency() SeriesSet {
+	return r.SeriesBy(fig14Title, "hour", "AE", statAE, churnLabel)
+}
+
+// ChurnSummaryTable condenses a ChurnSweepRep result into the final-state
+// comparison, one row per dynamic factor.
+func (r *SweepResult) ChurnSummaryTable(title string) Table {
+	return r.summaryTable(title, churnLabel)
+}
+
 // Fig12Throughput, Fig13FinishTime and Fig14Efficiency extract the churn
-// series in the paper's figure layout.
+// series of a ChurnSweep batch (full Results) in the paper's figure layout.
 func Fig12Throughput(results []Result) SeriesSet {
 	set := SeriesSet{
-		Title:  "Fig. 12: Throughput of DSMF in Dynamic Environment",
+		Title:  fig12Title,
 		XLabel: "hour", YLabel: "# of workflows finished",
 		X: hoursAxis(results),
 	}
@@ -398,7 +441,7 @@ func Fig12Throughput(results []Result) SeriesSet {
 // Fig13FinishTime extracts the churn ACT series.
 func Fig13FinishTime(results []Result) SeriesSet {
 	set := SeriesSet{
-		Title:  "Fig. 13: Average Finish-Time of DSMF in Dynamic Environment",
+		Title:  fig13Title,
 		XLabel: "hour", YLabel: "ACT (s)",
 		X: hoursAxis(results),
 	}
@@ -411,7 +454,7 @@ func Fig13FinishTime(results []Result) SeriesSet {
 // Fig14Efficiency extracts the churn AE series.
 func Fig14Efficiency(results []Result) SeriesSet {
 	set := SeriesSet{
-		Title:  "Fig. 14: Average Efficiency of DSMF in Dynamic Environment",
+		Title:  fig14Title,
 		XLabel: "hour", YLabel: "AE",
 		X: hoursAxis(results),
 	}

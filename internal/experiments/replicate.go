@@ -28,22 +28,22 @@ func Replicate(setting Setting, algos []AlgoFactory, reps int) ([]Replicated, er
 	if reps < 1 {
 		return nil, fmt.Errorf("experiments: need at least 1 replication, got %d", reps)
 	}
-	// Build one setting per replication; topologies are generated lazily by
-	// the pool, shared across algorithms within the replication.
+	// One setting per replication; each replication's topology is built
+	// lazily on the pool by whichever of its algorithm jobs runs first and
+	// shared across the rest (paired comparisons within the replication).
 	repSettings := make([]Setting, reps)
+	nets := make([]*lazyNet, reps)
 	for r := 0; r < reps; r++ {
 		s := setting
 		s.Net = nil
 		s.Seed = stats.SplitSeed(setting.Seed, uint64(r)+0x5EED)
-		if _, err := s.BuildNet(); err != nil {
-			return nil, err
-		}
 		repSettings[r] = s
+		nets[r] = newLazyNet(s.Scale.Nodes, s.Seed)
 	}
 	var jobs []job
 	for r := 0; r < reps; r++ {
 		for _, f := range algos {
-			jobs = append(jobs, job{repSettings[r], f})
+			jobs = append(jobs, job{repSettings[r], f, nets[r].get})
 		}
 	}
 	results, err := runPool(jobs)

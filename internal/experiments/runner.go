@@ -1,0 +1,636 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/experiments/executor"
+	"repro/internal/heuristics"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// This file is the streaming runner: the execution half of the sweep API.
+// A normalized spec expands into a deterministic job matrix (sweep.go);
+// here jobs run behind the pluggable executor.Executor interface, each
+// (scenario, algorithm) cell is finalized and aggregated the moment its
+// last replication lands (CellObserver), per-run Results are dropped
+// immediately unless the caller opts into retention, topologies are built
+// lazily per (scale, replication) pair and released when the pair's last
+// job completes, and a content-addressed cell cache lets a re-run with one
+// changed axis execute only the missing cells. RunShard/MergeShards split
+// the same matrix across machines by job-ID range and reassemble partials
+// into a SweepResult that is byte-identical to a single-host run.
+
+// CellObserver receives each finalized cell as soon as its last
+// replication lands. Calls are serialized by the runner but arrive in
+// nondeterministic completion order — use Cell.Index to reorder. The
+// pointed-to Cell is owned by the runner's result; observers must not
+// mutate it.
+type CellObserver func(*Cell)
+
+// RunOptions configures one streaming run. The zero value executes the
+// whole matrix on the local bounded pool with no cache, no observer and no
+// run retention.
+type RunOptions struct {
+	// Executor runs the job matrix; nil means executor.Local{} (a bounded
+	// pool of GOMAXPROCS workers).
+	Executor executor.Executor
+
+	// Cache, when non-nil, memoizes finalized cells by content hash: a
+	// re-run of an overlapping spec loads hits (prefix replications
+	// included) and executes only the missing jobs.
+	Cache executor.Cache
+
+	// Observer streams finalized cells.
+	Observer CellObserver
+
+	// Progress is invoked serially after every accounted job (executed or
+	// cache-restored) with the running done count and the matrix total.
+	Progress func(done, total int)
+
+	// RetainRuns keeps every full per-run Result on its cell. Off by
+	// default: a paper-scale sweep's peak memory must not grow with the
+	// replication count.
+	RetainRuns bool
+}
+
+// sweepPlan is a normalized, validated spec with its expansion
+// precomputed: the pure-data side every runner entry point shares.
+type sweepPlan struct {
+	spec      SweepSpec // normalized
+	scens     []Scenario
+	pairSeeds map[pairKey]int64
+}
+
+func newSweepPlan(spec SweepSpec) (*sweepPlan, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	p := &sweepPlan{
+		spec:      spec,
+		scens:     spec.Scenarios(),
+		pairSeeds: make(map[pairKey]int64, len(spec.Scales)*spec.Reps),
+	}
+	for si := range spec.Scales {
+		for r := 0; r < spec.Reps; r++ {
+			p.pairSeeds[pairKey{si, r}] = sweepSeed(spec.Seed, si, r)
+		}
+	}
+	return p, nil
+}
+
+func (p *sweepPlan) numCells() int { return len(p.scens) * len(p.spec.Algorithms) }
+func (p *sweepPlan) numJobs() int  { return p.numCells() * p.spec.Reps }
+
+// job decodes a global job ID (cell-major, replication-minor).
+func (p *sweepPlan) job(id int) SweepJob {
+	cell := id / p.spec.Reps
+	rep := id % p.spec.Reps
+	sc := p.scens[cell/len(p.spec.Algorithms)]
+	return SweepJob{
+		ID:       id,
+		Cell:     cell,
+		Scenario: sc,
+		Algo:     p.spec.Algorithms[cell%len(p.spec.Algorithms)],
+		Rep:      rep,
+		Seed:     p.pairSeeds[pairKey{sc.ScaleIndex, rep}],
+	}
+}
+
+// cellSeeds returns the per-replication seeds of one cell.
+func (p *sweepPlan) cellSeeds(cell int) []int64 {
+	sc := p.scens[cell/len(p.spec.Algorithms)]
+	seeds := make([]int64, p.spec.Reps)
+	for r := range seeds {
+		seeds[r] = p.pairSeeds[pairKey{sc.ScaleIndex, r}]
+	}
+	return seeds
+}
+
+// cellKey is the warm-start cache key of one cell: a SHA-256 over the
+// code version and every parameter that determines the cell's runs —
+// scenario, algorithm, the seed-deriving tuple (root seed, scale index)
+// and the spec-level switches. The replication count is deliberately
+// excluded: rep seeds are a pure function of (root, scale index, rep), so
+// a higher-Reps run extends a cached prefix instead of missing it, which
+// is what adaptive replication batches rely on.
+func (p *sweepPlan) cellKey(cell int) string {
+	sc := p.scens[cell/len(p.spec.Algorithms)]
+	doc := struct {
+		Version    string
+		RootSeed   int64
+		Scenario   Scenario
+		Reschedule bool
+		Algo       string
+	}{CodeVersion, p.spec.Seed, sc, p.spec.Reschedule, p.spec.Algorithms[cell%len(p.spec.Algorithms)]}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: cell key: %v", err)) // plain data, cannot fail
+	}
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:])
+}
+
+// cellCacheJSON is the on-disk schema of one cached cell.
+type cellCacheJSON struct {
+	Schema string             `json:"schema"`
+	Stats  []metrics.RunStats `json:"stats"`
+}
+
+const cellCacheSchema = "p2pgridsim/cellcache/v1"
+
+// loadCellStats returns a cached cell's per-replication records, or nil on
+// any miss (absent, unreadable, or foreign schema — all treated the same:
+// the cell simply runs).
+func loadCellStats(cache executor.Cache, key string) []metrics.RunStats {
+	data, ok := cache.Get(key)
+	if !ok {
+		return nil
+	}
+	var doc cellCacheJSON
+	if err := json.Unmarshal(data, &doc); err != nil || doc.Schema != cellCacheSchema {
+		return nil
+	}
+	return doc.Stats
+}
+
+func storeCellStats(cache executor.Cache, key string, sts []metrics.RunStats) error {
+	data, err := json.Marshal(cellCacheJSON{Schema: cellCacheSchema, Stats: sts})
+	if err != nil {
+		return fmt.Errorf("experiments: cell cache encode: %w", err)
+	}
+	if err := cache.Put(key, data); err != nil {
+		return fmt.Errorf("experiments: cell cache store: %w", err)
+	}
+	return nil
+}
+
+// pairNet lazily materializes the shared topology of one (scale,
+// replication) pair on whichever pool worker needs it first, and releases
+// it once the pair's last scheduled job completes — a multi-scale sweep
+// holds at most one scale's replications' topologies at a time instead of
+// the whole matrix's.
+type pairNet struct {
+	once    sync.Once
+	net     *topology.Network
+	err     error
+	pending int // scheduled jobs not yet finished; guarded by sweepState.mu
+}
+
+// cellState tracks one cell mid-flight.
+type cellState struct {
+	acc       *metrics.CellAccumulator
+	runs      []Result // populated only under RetainRuns
+	cachedLen int      // replication count of the cache entry we loaded
+	final     *Cell    // set on finalization
+}
+
+// sweepState is one streaming execution in progress.
+type sweepState struct {
+	plan *sweepPlan
+	opts RunOptions
+
+	mu    sync.Mutex
+	cells []cellState
+	pairs map[pairKey]*pairNet
+	done  int
+}
+
+// runMatrix executes the [lo,hi) job-ID window of the plan: the shared
+// engine behind RunSweepStream (full window) and RunShard (partial).
+// Cache hits are restored first (whole cells and prefixes, regardless of
+// the window — restoring is free); only missing in-window jobs execute.
+func runMatrix(plan *sweepPlan, opts RunOptions, lo, hi int) (*sweepState, error) {
+	st := &sweepState{
+		plan:  plan,
+		opts:  opts,
+		cells: make([]cellState, plan.numCells()),
+		pairs: make(map[pairKey]*pairNet, len(plan.pairSeeds)),
+	}
+	reps := plan.spec.Reps
+	total := plan.numJobs()
+
+	// Cache pass: restore every hit, finalize fully-cached cells.
+	for c := range st.cells {
+		cs := &st.cells[c]
+		cs.acc = metrics.NewCellAccumulator(reps)
+		if opts.RetainRuns {
+			cs.runs = make([]Result, reps)
+		}
+		if opts.Cache == nil {
+			continue
+		}
+		cached := loadCellStats(opts.Cache, plan.cellKey(c))
+		if cached == nil {
+			continue
+		}
+		cs.cachedLen = len(cached)
+		for r := 0; r < len(cached) && r < reps; r++ {
+			if err := cs.acc.Add(r, cached[r]); err != nil {
+				return nil, err
+			}
+			st.done++
+		}
+		if cs.acc.Done() {
+			if toStore := st.finalizeCellLocked(c); toStore != nil {
+				if err := storeCellStats(opts.Cache, plan.cellKey(c), toStore.Stats); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if st.done > 0 && opts.Progress != nil {
+		opts.Progress(st.done, total)
+	}
+
+	// Schedule the missing in-window jobs and count them per pair so each
+	// pair's topology can be released the moment its last job finishes.
+	var ids []int
+	for id := lo; id < hi; id++ {
+		j := plan.job(id)
+		if st.cells[j.Cell].acc.Has(j.Rep) {
+			continue
+		}
+		ids = append(ids, id)
+		pk := pairKey{j.Scenario.ScaleIndex, j.Rep}
+		pn := st.pairs[pk]
+		if pn == nil {
+			pn = &pairNet{}
+			st.pairs[pk] = pn
+		}
+		pn.pending++
+	}
+	if len(ids) == 0 {
+		return st, nil
+	}
+	exec := opts.Executor
+	if exec == nil {
+		exec = executor.Local{}
+	}
+	if lo > 0 || hi < total {
+		// Belt and braces for shard windows: whatever executor the caller
+		// supplied must not run out-of-window jobs.
+		exec = executor.Shard{Lo: lo, Hi: hi, Inner: exec}
+	}
+	if err := exec.Execute(ids, st.runJob); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// runJob executes one job on a pool worker: build-or-reuse the pair
+// topology, simulate, reduce, and fold the outcome into the cell.
+func (st *sweepState) runJob(id int) error {
+	j := st.plan.job(id)
+	pk := pairKey{j.Scenario.ScaleIndex, j.Rep}
+	st.mu.Lock()
+	pn := st.pairs[pk]
+	st.mu.Unlock()
+	pn.once.Do(func() {
+		pn.net, pn.err = topology.Generate(topoConfig(j.Scenario.Scale.Nodes, j.Seed))
+	})
+	if pn.err != nil {
+		return fmt.Errorf("experiments: sweep topology (scale %s, rep %d): %w",
+			j.Scenario.Scale.Name, j.Rep, pn.err)
+	}
+
+	algo, err := heuristics.ByName(j.Algo)
+	if err != nil {
+		return err // unreachable after validate; belt and braces
+	}
+	res, err := Run(j.Scenario.setting(j.Seed, pn.net, st.plan.spec.Reschedule), algo)
+	if err != nil {
+		return err
+	}
+	sts := metrics.ReduceRun(&res.Collector, res.Final, res.Submitted, res.CCR)
+
+	st.mu.Lock()
+	cs := &st.cells[j.Cell]
+	if err := cs.acc.Add(j.Rep, sts); err != nil {
+		st.mu.Unlock()
+		return err
+	}
+	if st.opts.RetainRuns {
+		cs.runs[j.Rep] = res
+	}
+	st.done++
+	if st.opts.Progress != nil {
+		st.opts.Progress(st.done, st.plan.numJobs())
+	}
+	var toStore *Cell
+	if cs.acc.Done() {
+		toStore = st.finalizeCellLocked(j.Cell)
+	}
+	pn.pending--
+	if pn.pending == 0 {
+		// Last job of the pair: release the topology (each retained Result
+		// still references it when the caller opted into retention).
+		pn.net = nil
+	}
+	st.mu.Unlock()
+	if toStore != nil {
+		return storeCellStats(st.opts.Cache, st.plan.cellKey(j.Cell), toStore.Stats)
+	}
+	return nil
+}
+
+// finalizeCellLocked aggregates a completed cell and streams it to the
+// observer, returning the cell if the caller should persist it to the
+// cache. Caller holds st.mu (or is still single-goroutine in the cache
+// pass), which serializes observer calls; the cache write itself happens
+// outside the lock so disk latency never stalls the worker pool.
+func (st *sweepState) finalizeCellLocked(c int) (toStore *Cell) {
+	cs := &st.cells[c]
+	plan := st.plan
+	cell := &Cell{
+		Index:    c,
+		Scenario: plan.scens[c/len(plan.spec.Algorithms)],
+		Algo:     plan.spec.Algorithms[c%len(plan.spec.Algorithms)],
+		Seeds:    plan.cellSeeds(c),
+		Stats:    cs.acc.Stats(),
+		Runs:     cs.runs,
+		Agg:      cs.acc.Aggregate(),
+	}
+	cs.final = cell
+	if st.opts.Observer != nil {
+		st.opts.Observer(cell)
+	}
+	if st.opts.Cache != nil && len(cell.Stats) > cs.cachedLen {
+		return cell
+	}
+	return nil
+}
+
+// result assembles the finalized cells into a SweepResult.
+func (st *sweepState) result() (*SweepResult, error) {
+	res := &SweepResult{Spec: st.plan.spec, Scenarios: st.plan.scens}
+	res.Cells = make([]Cell, len(st.cells))
+	for c := range st.cells {
+		if st.cells[c].final == nil {
+			return nil, fmt.Errorf("experiments: cell %d incomplete (%d/%d replications) — executor did not cover the full job matrix",
+				c, st.cells[c].acc.Count(), st.plan.spec.Reps)
+		}
+		res.Cells[c] = *st.cells[c].final
+	}
+	return res, nil
+}
+
+// RunSweepStream executes the full job matrix through the streaming
+// runner. It is the primary entry point of the redesigned API: cells
+// finalize (aggregate + cache + observer) the moment their last
+// replication lands, and per-run Results are dropped immediately unless
+// opts.RetainRuns is set, so peak memory is bounded by the in-flight runs
+// rather than by the matrix size.
+func RunSweepStream(spec SweepSpec, opts RunOptions) (*SweepResult, error) {
+	plan, err := newSweepPlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	st, err := runMatrix(plan, opts, 0, plan.numJobs())
+	if err != nil {
+		return nil, err
+	}
+	return st.result()
+}
+
+// ShardResult is the mergeable partial result of one shard: the reduced
+// per-job records of the [Lo,Hi) window of a spec's job matrix, plus
+// enough of the spec to reassemble (and cross-check) the full sweep.
+type ShardResult struct {
+	Spec SweepSpec
+	Hash string // SpecHash of Spec at production time
+	Lo   int    // first job ID covered (inclusive)
+	Hi   int    // last job ID covered (exclusive)
+	Jobs int    // total job count of the full matrix
+	// Stats[i] is the record of job Lo+i.
+	Stats []metrics.RunStats
+}
+
+// RunShard executes only shard `shard` of `shards` over the spec's job
+// matrix: the [lo,hi) ID range of the canonical enumeration, as split by
+// executor.ShardRange. Cells that complete entirely inside the window
+// still finalize (observer and cache fire); boundary cells stay partial
+// and are completed by MergeShards.
+func RunShard(spec SweepSpec, shard, shards int, opts RunOptions) (*ShardResult, error) {
+	if shards < 1 || shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("experiments: shard %d/%d invalid (want 0 <= shard < shards)", shard, shards)
+	}
+	plan, err := newSweepPlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	total := plan.numJobs()
+	lo, hi := executor.ShardRange(total, shard, shards)
+	st, err := runMatrix(plan, opts, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	out := &ShardResult{
+		Spec:  plan.spec,
+		Hash:  plan.spec.SpecHash(),
+		Lo:    lo,
+		Hi:    hi,
+		Jobs:  total,
+		Stats: make([]metrics.RunStats, hi-lo),
+	}
+	for id := lo; id < hi; id++ {
+		j := plan.job(id)
+		sts, ok := st.cells[j.Cell].acc.Get(j.Rep)
+		if !ok {
+			return nil, fmt.Errorf("experiments: shard job %d missing after execution", id)
+		}
+		out.Stats[id-lo] = sts
+	}
+	return out, nil
+}
+
+// shardJSON is the on-disk schema of a shard partial result.
+type shardJSON struct {
+	Schema string             `json:"schema"`
+	Hash   string             `json:"spec_hash"`
+	Lo     int                `json:"lo"`
+	Hi     int                `json:"hi"`
+	Jobs   int                `json:"jobs"`
+	Spec   SweepSpec          `json:"spec"`
+	Stats  []metrics.RunStats `json:"stats"`
+}
+
+const shardSchema = "p2pgridsim/shard/v1"
+
+// JSON marshals the shard partial result (indented, trailing newline).
+func (s *ShardResult) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(shardJSON{
+		Schema: shardSchema,
+		Hash:   s.Hash,
+		Lo:     s.Lo,
+		Hi:     s.Hi,
+		Jobs:   s.Jobs,
+		Spec:   s.Spec,
+		Stats:  s.Stats,
+	}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: shard json: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeShard parses and verifies a shard partial result. The recorded
+// spec hash is recomputed from the embedded spec by the *decoding* binary:
+// a shard produced under different simulation semantics (CodeVersion) or a
+// different spec fails here instead of corrupting a merge.
+func DecodeShard(data []byte) (*ShardResult, error) {
+	var doc shardJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("experiments: shard decode: %w", err)
+	}
+	if doc.Schema != shardSchema {
+		return nil, fmt.Errorf("experiments: shard schema %q, want %q", doc.Schema, shardSchema)
+	}
+	s := &ShardResult{Spec: doc.Spec, Hash: doc.Hash, Lo: doc.Lo, Hi: doc.Hi, Jobs: doc.Jobs, Stats: doc.Stats}
+	if got := s.Spec.SpecHash(); got != s.Hash {
+		return nil, fmt.Errorf("experiments: shard spec hash %.12s… does not match recorded %.12s… (different spec or simulator version)", got, s.Hash)
+	}
+	if s.Hi-s.Lo != len(s.Stats) {
+		return nil, fmt.Errorf("experiments: shard window [%d,%d) holds %d stats", s.Lo, s.Hi, len(s.Stats))
+	}
+	if n, err := s.Spec.NumJobs(); err != nil {
+		return nil, err
+	} else if n != s.Jobs {
+		return nil, fmt.Errorf("experiments: shard records %d total jobs, spec expands to %d", s.Jobs, n)
+	}
+	return s, nil
+}
+
+// MergeShards reassembles shard partials into a complete SweepResult. The
+// shards must share one spec hash and their windows must tile [0,Jobs)
+// exactly — no gaps, no overlaps. Aggregation feeds the same records
+// through the same accumulators in the same replication order as a
+// single-host run, so the merged result's JSON is byte-identical to it.
+func MergeShards(parts ...*ShardResult) (*SweepResult, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("experiments: no shards to merge")
+	}
+	sorted := make([]*ShardResult, len(parts))
+	copy(sorted, parts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo < sorted[j].Lo })
+	first := sorted[0]
+	for _, p := range sorted[1:] {
+		if p.Hash != first.Hash {
+			return nil, fmt.Errorf("experiments: shard spec hashes differ (%.12s… vs %.12s…)", p.Hash, first.Hash)
+		}
+	}
+	next := 0
+	for _, p := range sorted {
+		switch {
+		case p.Lo > next:
+			return nil, fmt.Errorf("experiments: shard coverage gap: jobs [%d,%d) missing", next, p.Lo)
+		case p.Lo < next:
+			return nil, fmt.Errorf("experiments: shards overlap at job %d", p.Lo)
+		}
+		next = p.Hi
+	}
+	if next != first.Jobs {
+		return nil, fmt.Errorf("experiments: shard coverage gap: jobs [%d,%d) missing", next, first.Jobs)
+	}
+
+	plan, err := newSweepPlan(first.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if plan.numJobs() != first.Jobs {
+		return nil, fmt.Errorf("experiments: merged spec expands to %d jobs, shards cover %d", plan.numJobs(), first.Jobs)
+	}
+	accs := make([]*metrics.CellAccumulator, plan.numCells())
+	for c := range accs {
+		accs[c] = metrics.NewCellAccumulator(plan.spec.Reps)
+	}
+	for _, p := range sorted {
+		for i, sts := range p.Stats {
+			j := plan.job(p.Lo + i)
+			if err := accs[j.Cell].Add(j.Rep, sts); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res := &SweepResult{Spec: plan.spec, Scenarios: plan.scens}
+	res.Cells = make([]Cell, plan.numCells())
+	for c := range res.Cells {
+		res.Cells[c] = Cell{
+			Index:    c,
+			Scenario: plan.scens[c/len(plan.spec.Algorithms)],
+			Algo:     plan.spec.Algorithms[c%len(plan.spec.Algorithms)],
+			Seeds:    plan.cellSeeds(c),
+			Stats:    accs[c].Stats(),
+			Agg:      accs[c].Aggregate(),
+		}
+	}
+	return res, nil
+}
+
+// RunAdaptive grows the replication count in batches until every cell's
+// ACT 95% confidence half-width is at most precision × |mean ACT|, capped
+// at the spec's Reps (the first cut of sequential sampling: batches are
+// global, so every cell advances to the same replication count until all
+// converge). Batches reuse each other's work through the cell cache —
+// opts.Cache when provided, otherwise a process-local memory cache — so a
+// batch only executes the replications beyond the previous batch's.
+// The returned result is bit-identical to a direct run at its final Reps.
+func RunAdaptive(spec SweepSpec, precision float64, opts RunOptions) (*SweepResult, error) {
+	if precision <= 0 {
+		return nil, fmt.Errorf("experiments: adaptive precision must be positive, got %v", precision)
+	}
+	maxReps := spec.withDefaults().Reps
+	if opts.Cache == nil {
+		opts.Cache = executor.NewMemory()
+	}
+	reps := 3 // the smallest batch with a non-degenerate t-interval plus one
+	if reps > maxReps {
+		reps = maxReps
+	}
+	for {
+		spec.Reps = reps
+		res, err := RunSweepStream(spec, opts)
+		if err != nil {
+			return nil, err
+		}
+		if reps >= maxReps || adaptiveConverged(res, precision) {
+			return res, nil
+		}
+		reps *= 2
+		if reps > maxReps {
+			reps = maxReps
+		}
+	}
+}
+
+// adaptiveConverged reports whether every cell's ACT interval meets the
+// relative precision target. A zero mean only converges with a zero
+// half-width (no meaningful relative precision exists for it).
+func adaptiveConverged(res *SweepResult, precision float64) bool {
+	for i := range res.Cells {
+		e := res.Cells[i].Agg.ACT
+		if e.N < 2 {
+			return false
+		}
+		mean := e.Mean
+		if mean < 0 {
+			mean = -mean
+		}
+		if mean == 0 {
+			if e.CI95 > 0 {
+				return false
+			}
+			continue
+		}
+		if e.CI95 > precision*mean {
+			return false
+		}
+	}
+	return true
+}

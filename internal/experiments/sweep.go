@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 
@@ -12,13 +14,20 @@ import (
 	"repro/internal/workload"
 )
 
-// This file is the multi-seed scenario sweep engine. A SweepSpec declares a
-// matrix of scenario axes (scale x churn x load factor x CCR) crossed with
-// an algorithm axis and replicated over independent seeds; RunSweep expands
-// it into a job matrix, executes it on the shared worker pool, and
-// aggregates every (scenario, algorithm) cell into interval estimates. The
-// figure runners for Figs. 4-10 are thin adapters over this engine, so the
-// replicated variants gain error bars for free.
+// This file declares the multi-seed scenario sweep: a SweepSpec is a matrix
+// of scenario axes (scale x churn x load factor x CCR) crossed with an
+// algorithm axis and replicated over independent seeds. The spec side is
+// pure data — canonical expansion order (Scenarios, Jobs), seed derivation
+// and content hashing (SpecHash) — while execution lives in runner.go
+// behind the Executor interface. RunSweep survives as the batch-style
+// compatibility adapter over the streaming runner.
+
+// CodeVersion fingerprints the simulation semantics and participates in
+// SpecHash and in every warm-start cache key. Bump it whenever a change
+// moves the golden metrics (new RNG consumption, scheduling semantics,
+// metric definitions): stale cache entries and shard files from the old
+// semantics then miss/fail instead of silently mixing with new runs.
+const CodeVersion = "p2pgridsim-sim/v1"
 
 // SweepSpec declares one sweep. Zero values select sensible defaults:
 // nil Algorithms means all eight paper algorithms, nil axis slices collapse
@@ -49,6 +58,15 @@ type SweepSpec struct {
 	// half the nodes stay stable and host all homes at twice the load
 	// factor, keeping the submitted-workflow total equal to static cells.
 	ChurnFactors []float64
+
+	// ChurnLayout keeps the Fig. 12-14 half-homes layout even at churn
+	// factor 0, so a churn-axis sweep's static baseline (the paper's df=0
+	// curve) is directly comparable to its dynamic cells.
+	ChurnLayout bool
+
+	// Reschedule enables the failed-task rescheduling extension (the
+	// paper's future work) in every cell.
+	Reschedule bool
 
 	// CCRCases is the workload-shape axis; nil collapses to the default
 	// Table I generator.
@@ -97,6 +115,25 @@ func (sp SweepSpec) validate() error {
 	return nil
 }
 
+// SpecHash fingerprints the normalized spec: a SHA-256 over CodeVersion
+// plus the canonical JSON encoding of the spec with defaults applied.
+// Equal hashes mean byte-identical sweep output; the shard merger refuses
+// to combine partials whose hashes differ (different spec, different
+// flags, or a binary with different simulation semantics).
+func (sp SweepSpec) SpecHash() string {
+	data, err := json.Marshal(sp.withDefaults())
+	if err != nil {
+		// A SweepSpec is plain data (no cycles, channels or functions);
+		// Marshal cannot fail on it.
+		panic(fmt.Sprintf("experiments: spec hash: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(CodeVersion))
+	h.Write([]byte{'\n'})
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Scenario is one cell of the matrix minus the algorithm axis: every
 // algorithm faces the identical scenario (same topology, workload and churn
 // schedule per replication), so per-replication comparisons are paired.
@@ -106,6 +143,10 @@ type Scenario struct {
 	LoadFactor int     // 0 = the scale's default
 	Churn      float64 // 0 = static
 	CCR        CCRCase // zero Label = default Table I generator
+
+	// ChurnLayout forces the half-homes layout even at Churn == 0 (the
+	// df=0 cell of a churn-axis sweep, see SweepSpec.ChurnLayout).
+	ChurnLayout bool
 }
 
 // Label renders the scenario compactly for tables and JSON.
@@ -114,7 +155,7 @@ func (sc Scenario) Label() string {
 	if sc.LoadFactor > 0 {
 		s += fmt.Sprintf(" lf=%d", sc.LoadFactor)
 	}
-	if sc.Churn > 0 {
+	if sc.Churn > 0 || sc.ChurnLayout {
 		s += fmt.Sprintf(" churn=%.1f", sc.Churn)
 	}
 	if sc.CCR.Label != "" {
@@ -125,25 +166,28 @@ func (sc Scenario) Label() string {
 
 // setting materializes the scenario for one replication seed, sharing the
 // prebuilt topology.
-func (sc Scenario) setting(seed int64, net *topology.Network) Setting {
+func (sc Scenario) setting(seed int64, net *topology.Network, reschedule bool) Setting {
 	s := NewSetting(sc.Scale, seed)
 	s.Net = net
+	s.RescheduleFailed = reschedule
 	if sc.LoadFactor > 0 {
 		s.Scale.LoadFactor = sc.LoadFactor
 	}
 	if sc.CCR.Label != "" {
 		s.Gen = workload.CCRScenario(sc.CCR.LoadMI, sc.CCR.DataMb)
 	}
-	if sc.Churn > 0 {
+	if sc.Churn > 0 || sc.ChurnLayout {
 		stable := sc.Scale.Nodes / 2
 		s.Homes = stable
 		// Fig. 12-14 layout: half the homes at twice the load factor keeps
 		// the workflow total equal to the static cells of the same sweep.
 		s.Scale.LoadFactor *= 2
-		s.Churn = grid.ChurnConfig{
-			DynamicFactor: sc.Churn,
-			StableCount:   stable,
-			Seed:          stats.SplitSeed(seed, uint64(sc.Churn*1000)),
+		if sc.Churn > 0 {
+			s.Churn = grid.ChurnConfig{
+				DynamicFactor: sc.Churn,
+				StableCount:   stable,
+				Seed:          stats.SplitSeed(seed, uint64(sc.Churn*1000)),
+			}
 		}
 	}
 	return s
@@ -162,6 +206,7 @@ func (sp SweepSpec) Scenarios() []Scenario {
 					out = append(out, Scenario{
 						ScaleIndex: si, Scale: scale,
 						LoadFactor: lf, Churn: df, CCR: ccr,
+						ChurnLayout: sp.ChurnLayout,
 					})
 				}
 			}
@@ -169,6 +214,48 @@ func (sp SweepSpec) Scenarios() []Scenario {
 	}
 	return out
 }
+
+// SweepJob locates one replication of one cell in the canonical expansion
+// order. Job IDs are dense and global: scenario-major, then algorithm,
+// then replication, exactly the order Scenarios and the spec's Algorithms
+// declare. The ID space is the sharding contract — every worker derives
+// the same enumeration from the same spec, so a [lo,hi) ID range names the
+// same simulations on every machine.
+type SweepJob struct {
+	ID       int // global job ID, 0 <= ID < NumJobs
+	Cell     int // cell index: ID / Reps
+	Scenario Scenario
+	Algo     string
+	Rep      int   // replication index within the cell
+	Seed     int64 // the (scale, rep) pair seed this run consumes
+}
+
+// Jobs returns the full canonical job enumeration of the spec.
+func (sp SweepSpec) Jobs() ([]SweepJob, error) {
+	plan, err := newSweepPlan(sp)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]SweepJob, plan.numJobs())
+	for id := range jobs {
+		jobs[id] = plan.job(id)
+	}
+	return jobs, nil
+}
+
+// NumJobs returns the size of the spec's job matrix
+// (scenarios x algorithms x replications).
+func (sp SweepSpec) NumJobs() (int, error) {
+	plan, err := newSweepPlan(sp)
+	if err != nil {
+		return 0, err
+	}
+	return plan.numJobs(), nil
+}
+
+// pairKey identifies one (scale, replication) pair: the unit that shares a
+// topology and a derived seed across every scenario and algorithm.
+type pairKey struct{ scale, rep int }
 
 // sweepSeed derives the run seed of one (scale, replication) pair. The
 // first replication at the first scale uses the root seed unchanged, so
@@ -186,11 +273,22 @@ func sweepSeed(root int64, scaleIdx, rep int) int64 {
 
 // Cell is one aggregated (scenario, algorithm) cell of a completed sweep.
 type Cell struct {
+	Index    int // cell index in scenario-major, algorithm-minor order
 	Scenario Scenario
 	Algo     string
-	Seeds    []int64  // per-replication run seeds (shared across algorithms)
-	Runs     []Result // per-replication results, replication order
-	Agg      metrics.RunAggregate
+	Seeds    []int64 // per-replication run seeds (shared across algorithms)
+
+	// Stats holds the reduced per-replication records (replication order):
+	// everything aggregates, summary tables and figure series need.
+	Stats []metrics.RunStats
+
+	// Runs holds the full per-replication Results. The streaming runner
+	// drops them the moment the cell finalizes; they are populated only
+	// when the caller opts into retention (RunOptions.RetainRuns, which
+	// the batch RunSweep adapter does for compatibility).
+	Runs []Result
+
+	Agg metrics.RunAggregate
 }
 
 // SweepResult is a completed sweep: cells in scenario-major, algorithm-minor
@@ -206,112 +304,46 @@ type SweepResult struct {
 // callback is invoked serially after every completed run with (done, total).
 // The result is a pure function of the spec: the same spec produces
 // bit-identical metrics and byte-identical JSON.
+//
+// RunSweep is the batch-compatibility adapter over the streaming runner:
+// it retains every per-run Result on its cells (Cell.Runs), which is what
+// the single-replication figure extractors and the golden tests consume.
+// Callers that do not need full runs should use RunSweepStream, which
+// drops them as cells finalize.
 func RunSweep(spec SweepSpec, progress func(done, total int)) (*SweepResult, error) {
-	spec = spec.withDefaults()
-	if err := spec.validate(); err != nil {
-		return nil, err
-	}
-	scens := spec.Scenarios()
-
-	// One topology per (scale, replication) pair, shared by every scenario
-	// and algorithm of the pair: identical inputs make algorithm and axis
-	// comparisons paired within a replication.
-	type pairKey struct{ scale, rep int }
-	seeds := make(map[pairKey]int64)
-	nets := make(map[pairKey]*topology.Network)
-	for si, scale := range spec.Scales {
-		for r := 0; r < spec.Reps; r++ {
-			k := pairKey{si, r}
-			seeds[k] = sweepSeed(spec.Seed, si, r)
-			net, err := topology.Generate(topology.Config{
-				N:    scale.Nodes,
-				Seed: stats.SplitSeed(seeds[k], 0x70),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: sweep topology (scale %s, rep %d): %w", scale.Name, r, err)
-			}
-			nets[k] = net
-		}
-	}
-
-	// Job order mirrors cell order: scenario-major, algorithm, replication.
-	jobs := make([]job, 0, len(scens)*len(spec.Algorithms)*spec.Reps)
-	for _, sc := range scens {
-		for _, name := range spec.Algorithms {
-			name := name
-			for r := 0; r < spec.Reps; r++ {
-				k := pairKey{sc.ScaleIndex, r}
-				jobs = append(jobs, job{
-					setting: sc.setting(seeds[k], nets[k]),
-					make: func() grid.Algorithm {
-						a, _ := heuristics.ByName(name) // validated above
-						return a
-					},
-				})
-			}
-		}
-	}
-	results, err := runPoolProgress(jobs, progress)
-	if err != nil {
-		return nil, err
-	}
-
-	res := &SweepResult{Spec: spec, Scenarios: scens}
-	idx := 0
-	for _, sc := range scens {
-		cellSeeds := make([]int64, spec.Reps)
-		for r := 0; r < spec.Reps; r++ {
-			cellSeeds[r] = seeds[pairKey{sc.ScaleIndex, r}]
-		}
-		for _, name := range spec.Algorithms {
-			runs := results[idx : idx+spec.Reps]
-			idx += spec.Reps
-			finals := make([]metrics.Snapshot, len(runs))
-			submitted := make([]int, len(runs))
-			for i, r := range runs {
-				finals[i] = r.Final
-				submitted[i] = r.Submitted
-			}
-			res.Cells = append(res.Cells, Cell{
-				Scenario: sc,
-				Algo:     name,
-				Seeds:    cellSeeds,
-				Runs:     runs,
-				Agg:      metrics.AggregateRuns(finals, submitted),
-			})
-		}
-	}
-	return res, nil
+	return RunSweepStream(spec, RunOptions{Progress: progress, RetainRuns: true})
 }
 
 // Series extracts one error-bar curve per algorithm of a single-scenario
 // sweep: the pointwise mean across replications with 95% CI half-widths
 // (Err is nil for single-replication sweeps - no dispersion information).
-func (r *SweepResult) Series(title, xlabel, ylabel string, extract func(*Result) []float64) SeriesSet {
+func (r *SweepResult) Series(title, xlabel, ylabel string, extract func(*metrics.RunStats) []float64) SeriesSet {
+	return r.SeriesBy(title, xlabel, ylabel, extract, func(c *Cell) string { return c.Algo })
+}
+
+// SeriesBy is Series with a caller-chosen curve label per cell — the churn
+// figures label curves by dynamic factor rather than by algorithm.
+func (r *SweepResult) SeriesBy(title, xlabel, ylabel string, extract func(*metrics.RunStats) []float64, label func(*Cell) string) SeriesSet {
 	set := SeriesSet{Title: title, XLabel: xlabel, YLabel: ylabel}
-	if len(r.Cells) == 0 {
+	if len(r.Cells) == 0 || len(r.Cells[0].Stats) == 0 {
 		return set
 	}
-	if snaps := r.Cells[0].Runs[0].Collector.Snapshots; len(snaps) > 0 {
-		set.X = make([]float64, len(snaps))
-		for i, s := range snaps {
-			set.X[i] = s.TimeHours
-		}
-	}
-	for _, c := range r.Cells {
-		series := make([][]float64, len(c.Runs))
-		for i := range c.Runs {
-			series[i] = extract(&c.Runs[i])
+	set.X = append(set.X, r.Cells[0].Stats[0].Hours...)
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		series := make([][]float64, len(c.Stats))
+		for j := range c.Stats {
+			series[j] = extract(&c.Stats[j])
 		}
 		ests := metrics.EstimateSeries(series)
-		ls := LabeledSeries{Label: c.Algo, Y: make([]float64, len(ests))}
-		if len(c.Runs) > 1 {
+		ls := LabeledSeries{Label: label(c), Y: make([]float64, len(ests))}
+		if len(c.Stats) > 1 {
 			ls.Err = make([]float64, len(ests))
 		}
-		for i, e := range ests {
-			ls.Y[i] = e.Mean
+		for j, e := range ests {
+			ls.Y[j] = e.Mean
 			if ls.Err != nil {
-				ls.Err[i] = e.CI95
+				ls.Err[j] = e.CI95
 			}
 		}
 		set.Series = append(set.Series, ls)
@@ -340,23 +372,33 @@ func (r *SweepResult) Table(title string) Table {
 }
 
 // SummaryTable condenses a single-scenario sweep into the classic
-// final-state comparison; with one replication it matches SummaryTable's
-// single-run layout exactly, with more it reports mean ± 95% CI.
+// final-state comparison; with one replication it matches the single-run
+// layout exactly, with more it reports mean ± 95% CI.
 func (r *SweepResult) SummaryTable(title string) Table {
-	if r.Spec.Reps == 1 {
-		results := make([]Result, len(r.Cells))
-		for i, c := range r.Cells {
-			results[i] = c.Runs[0]
-		}
-		return SummaryTable(title, results)
-	}
+	return r.summaryTable(title, func(c *Cell) string { return c.Algo })
+}
+
+func (r *SweepResult) summaryTable(title string, label func(*Cell) string) Table {
 	t := Table{
 		Title:  title,
 		Header: []string{"algorithm", "completed", "failed", "ACT(s)", "AE"},
 	}
-	for _, c := range r.Cells {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if r.Spec.Reps == 1 {
+			// Single replication: the exact single-run layout (plain ints).
+			final := c.Stats[0].Final
+			t.Rows = append(t.Rows, []string{
+				label(c),
+				fmt.Sprintf("%d", final.Completed),
+				fmt.Sprintf("%d", final.Failed),
+				fmt.Sprintf("%.0f", final.ACT),
+				fmt.Sprintf("%.3f", final.AE),
+			})
+			continue
+		}
 		t.Rows = append(t.Rows, []string{
-			c.Algo,
+			label(c),
 			formatEstimate(c.Agg.Completed, 1),
 			formatEstimate(c.Agg.Failed, 1),
 			formatEstimate(c.Agg.ACT, 0),
@@ -377,7 +419,9 @@ func formatEstimate(e metrics.Estimate, prec int) string {
 
 // sweepJSON is the machine-readable schema of a completed sweep. Every
 // field is a pure function of the spec, so marshaling the same spec twice
-// produces byte-identical output (the CI snapshot contract).
+// produces byte-identical output (the CI snapshot contract) — whether the
+// cells came from one host, from merged shards, or from the warm-start
+// cache.
 type sweepJSON struct {
 	Schema     string          `json:"schema"`
 	Name       string          `json:"name,omitempty"`

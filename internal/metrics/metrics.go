@@ -13,16 +13,20 @@ import (
 	"repro/internal/stats"
 )
 
-// Snapshot is one sample of the running system.
+// Snapshot is one sample of the running system. The JSON tags pin the
+// serialized layout: snapshots travel inside the warm-start cell cache and
+// the shard partial-result files (`p2pgridsim/cellcache/v1`,
+// `p2pgridsim/shard/v1`), where renaming a Go field must not silently
+// invalidate every cached entry.
 type Snapshot struct {
-	TimeHours     float64
-	Completed     int
-	Failed        int
-	ACT           float64 // mean ct(f) over completed workflows, seconds
-	AE            float64 // mean e(f) over completed workflows
-	MeanRSS       float64 // mean |RSS(p)| over alive nodes
-	MeanIdleKnown float64 // mean idle entries known, Fig. 11(a)
-	AliveNodes    int
+	TimeHours     float64 `json:"time_hours"`
+	Completed     int     `json:"completed"`
+	Failed        int     `json:"failed"`
+	ACT           float64 `json:"act"`             // mean ct(f) over completed workflows, seconds
+	AE            float64 `json:"ae"`              // mean e(f) over completed workflows
+	MeanRSS       float64 `json:"mean_rss"`        // mean |RSS(p)| over alive nodes
+	MeanIdleKnown float64 `json:"mean_idle_known"` // mean idle entries known, Fig. 11(a)
+	AliveNodes    int     `json:"alive_nodes"`
 }
 
 // Collector accumulates periodic snapshots of one grid.
