@@ -30,22 +30,88 @@ func main() {
 	os.Exit(gateMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// baseline mirrors BENCH_baseline.json (schema p2pgridsim/bench-baseline/v2).
+// metricsBlock is one recorded measurement set.
+type metricsBlock struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// thresholdBlock is a pair of relative regression bounds.
+type thresholdBlock struct {
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+}
+
+// envBaseline is a per-environment baseline keyed by CPU model: hosted
+// runners and dev machines differ enough in ns/op that one recorded host
+// cannot gate them all sharply.
+type envBaseline struct {
+	CPU        string         `json:"cpu"`
+	Recorded   string         `json:"recorded,omitempty"`
+	Metrics    metricsBlock   `json:"metrics"`
+	Thresholds thresholdBlock `json:"thresholds,omitempty"`
+}
+
+// baseline mirrors BENCH_baseline.json (schema p2pgridsim/bench-baseline/v3;
+// v2 files, without the baselines array, load and gate exactly as before).
 type baseline struct {
 	Schema      string            `json:"schema"`
 	Benchmark   string            `json:"benchmark"`
 	Config      string            `json:"config"`
 	Environment map[string]string `json:"environment"`
-	Metrics     struct {
-		NsPerOp     float64 `json:"ns_per_op"`
-		BytesPerOp  float64 `json:"bytes_per_op"`
-		AllocsPerOp float64 `json:"allocs_per_op"`
-	} `json:"metrics"`
-	Thresholds struct {
-		NsPerOp    float64 `json:"ns_per_op"`
-		BytesPerOp float64 `json:"bytes_per_op"`
-	} `json:"thresholds"`
-	History []json.RawMessage `json:"history"`
+	Metrics     metricsBlock      `json:"metrics"`
+	Thresholds  thresholdBlock    `json:"thresholds"`
+	// Baselines holds per-CPU entries; the top-level metrics are the
+	// recorded-host fallback for CPUs without one.
+	Baselines []envBaseline     `json:"baselines,omitempty"`
+	History   []json.RawMessage `json:"history"`
+}
+
+// resolve selects the baseline for the given CPU model: the matching
+// per-CPU entry when one exists (its zero thresholds fall back to the
+// top-level ones), otherwise the recorded-host metrics. It rewrites
+// b.Metrics/b.Thresholds in place and returns a report note naming the
+// choice. Matching is case-insensitive on the trimmed model string.
+func (b *baseline) resolve(cpu string) string {
+	norm := strings.ToLower(strings.TrimSpace(cpu))
+	if norm != "" {
+		for _, e := range b.Baselines {
+			if strings.ToLower(strings.TrimSpace(e.CPU)) != norm {
+				continue
+			}
+			b.Metrics = e.Metrics
+			if e.Thresholds.NsPerOp > 0 {
+				b.Thresholds.NsPerOp = e.Thresholds.NsPerOp
+			}
+			if e.Thresholds.BytesPerOp > 0 {
+				b.Thresholds.BytesPerOp = e.Thresholds.BytesPerOp
+			}
+			return fmt.Sprintf("per-CPU baseline %q", e.CPU)
+		}
+	}
+	recorded := b.Environment["cpu"]
+	if norm == "" {
+		return fmt.Sprintf("recorded-host baseline (%s); local CPU model unknown", recorded)
+	}
+	return fmt.Sprintf("recorded-host baseline (%s); no per-CPU entry for %q", recorded, cpu)
+}
+
+// detectCPU reads the local CPU model (the per-CPU baseline key) from
+// /proc/cpuinfo; on platforms without it the empty string selects the
+// recorded-host fallback.
+func detectCPU() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if ok && strings.TrimSpace(key) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
 }
 
 // sample is one parsed benchmark result line.
@@ -62,6 +128,7 @@ func gateMain(args []string, stdout, stderr io.Writer) int {
 		baselinePath = fs.String("baseline", "BENCH_baseline.json", "baseline JSON file")
 		input        = fs.String("input", "-", "benchmark output file (- for stdin)")
 		threshold    = fs.Float64("threshold", 0, "override both regression thresholds (0 = use the baseline's)")
+		cpu          = fs.String("cpu", "", "CPU model selecting a per-CPU baseline entry (default: auto-detect from /proc/cpuinfo; unmatched models fall back to the recorded host)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,6 +143,12 @@ func gateMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchgate:", err)
 		return 2
 	}
+	model := *cpu
+	if model == "" {
+		model = detectCPU()
+	}
+	note := base.resolve(model)
+	fmt.Fprintf(stdout, "benchgate: using %s\n", note)
 	in := io.Reader(os.Stdin)
 	if *input != "-" {
 		f, err := os.Open(*input)

@@ -153,3 +153,82 @@ func TestParseBenchMedian(t *testing.T) {
 		t.Fatalf("even median %v, want 2.5", got)
 	}
 }
+
+const cpuKeyedBaselineJSON = `{
+  "schema": "p2pgridsim/bench-baseline/v3",
+  "benchmark": "BenchmarkSingleDSMFRun",
+  "environment": {"goos": "linux", "cpu": "Recorded Host CPU", "go": "go1.24"},
+  "metrics": {"ns_per_op": 100000000, "bytes_per_op": 2000000, "allocs_per_op": 20000},
+  "thresholds": {"ns_per_op": 0.20, "bytes_per_op": 0.20},
+  "baselines": [
+    {
+      "cpu": "Fast CI Runner v5",
+      "metrics": {"ns_per_op": 50000000, "bytes_per_op": 2000000, "allocs_per_op": 20000},
+      "thresholds": {"ns_per_op": 0.10}
+    }
+  ]
+}`
+
+func runGateCPU(t *testing.T, cpu, benchOutput string) (code int, stdout string) {
+	t.Helper()
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(basePath, []byte(cpuKeyedBaselineJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(inPath, []byte(benchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	code = gateMain([]string{"-baseline", basePath, "-input", inPath, "-cpu", cpu}, &out, &errBuf)
+	return code, out.String()
+}
+
+// TestGateSelectsPerCPUBaseline pins the CPU-keyed schema: a matching
+// model gates against its own entry (metrics AND tightened thresholds),
+// case-insensitively.
+func TestGateSelectsPerCPUBaseline(t *testing.T) {
+	// 100e6 ns/op is exactly the recorded host's baseline, but a +100%
+	// regression against the fast runner's 50e6 entry.
+	code, stdout := runGateCPU(t, "fast ci runner V5", benchLines(100e6, 2e6, 20000, 5))
+	if code != 1 {
+		t.Fatalf("per-CPU regression not caught (exit %d):\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, `per-CPU baseline "Fast CI Runner v5"`) {
+		t.Fatalf("report does not name the per-CPU baseline:\n%s", stdout)
+	}
+	// At the entry's own level it passes; its tightened 10% ns/op
+	// threshold is live (+15% fails where the recorded host's 20% would
+	// not).
+	if code, stdout = runGateCPU(t, "Fast CI Runner v5", benchLines(50e6, 2e6, 20000, 5)); code != 0 {
+		t.Fatalf("at-baseline run failed:\n%s", stdout)
+	}
+	if code, stdout = runGateCPU(t, "Fast CI Runner v5", benchLines(57.5e6, 2e6, 20000, 5)); code != 1 {
+		t.Fatalf("tightened per-CPU threshold not applied (exit %d):\n%s", code, stdout)
+	}
+}
+
+// TestGateFallsBackToRecordedHost pins the graceful fallback: an unknown
+// CPU gates against the top-level recorded-host metrics and the report
+// says so.
+func TestGateFallsBackToRecordedHost(t *testing.T) {
+	code, stdout := runGateCPU(t, "Mystery Engine 9000", benchLines(100e6, 2e6, 20000, 5))
+	if code != 0 {
+		t.Fatalf("fallback run failed (exit %d):\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "recorded-host baseline (Recorded Host CPU)") ||
+		!strings.Contains(stdout, `no per-CPU entry for "Mystery Engine 9000"`) {
+		t.Fatalf("fallback not explained:\n%s", stdout)
+	}
+}
+
+func TestDetectCPUNeverPanics(t *testing.T) {
+	// Whatever the platform, detection must return without error; on
+	// linux it should find a non-empty model name.
+	model := detectCPU()
+	if _, err := os.Stat("/proc/cpuinfo"); err == nil && model == "" {
+		t.Skip("cpuinfo present but modelless (container?); nothing to assert")
+	}
+	t.Logf("detected CPU model: %q", model)
+}

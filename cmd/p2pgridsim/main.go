@@ -19,6 +19,9 @@
 //	fig7-8        load factor sweep (ACT and AE tables; -reps adds ± CI)
 //	fig9-10       CCR sweep (ACT and AE tables; -reps adds ± CI)
 //	fig11         scalability sweep (gossip space bound, AE, ACT)
+//	arrival       ACT/AE vs arrival intensity (Poisson ladder up to the
+//	              batch endpoint, 95% CIs with -reps > 1); -trace FILE
+//	              adds a trace-replay column ("sample" = bundled trace)
 //	fig12-14      churn sweep (throughput/ACT/AE series per dynamic factor;
 //	              -reps N>1 replicates it over N seeds and adds error bars)
 //	reschedule    churn with the failed-task rescheduling extension
@@ -31,8 +34,14 @@
 //	              -reps the replications, -out the JSON destination
 //	all           everything above (except sweep) in sequence
 //
+// Workloads need not arrive in one batch: -arrival attaches an arrival
+// process (poisson:RATE, mmpp:RATE[:BURST], diurnal:RATE[:PERIODH], rates
+// in workflows/hour) to single runs and sweep cells, and -trace FILE
+// replays an SWF/GWA grid trace (submit times and job sizes mapped onto
+// Table I DAGs; see internal/workload/traces).
+//
 // The sweep experiment expands a declarative scenario matrix (axes from
-// -axes: algo, churn, lf, ccr, scale), replicates every cell over -reps
+// -axes: algo, churn, lf, ccr, scale, arrival), replicates every cell over -reps
 // independent seeds, and emits deterministic JSON with mean / stddev / 95%
 // CI per (scenario, algorithm) cell: the same invocation produces
 // byte-identical output. Progress streams to stderr. The matrix executes
@@ -49,6 +58,9 @@
 //	-precision r  adaptive replication: grow seed batches until every
 //	              cell's ACT 95% CI half-width is under r x |mean|,
 //	              capped at -reps (batches reuse the cache)
+//	-cache-gc     trim the -cache directory instead of running anything:
+//	              drop entries beyond -cache-budget MB or older than
+//	              -cache-days days, oldest access first
 //
 // With -artifacts DIR, series experiments additionally write
 // <figure>.csv/.dat/.gp files (gnuplot redraws the paper-style plots;
@@ -70,6 +82,8 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/experiments/executor"
+	"repro/internal/workload/arrival"
+	"repro/internal/workload/traces"
 )
 
 func main() {
@@ -94,7 +108,57 @@ type options struct {
 	cacheDir   string  // warm-start cell cache directory
 	precision  float64 // adaptive replication target (0 = off)
 
+	arrival    string  // arrival process (batch|poisson:R|mmpp:R[:B]|diurnal:R[:P]|trace)
+	tracePath  string  // SWF trace file ("sample" = the bundled demo trace)
+	traceScale float64 // submit-time multiplier compressing/stretching the trace
+
+	cacheGC     bool    // run a cache GC pass instead of an experiment
+	cacheBudget int64   // GC size budget in MB (0 = no size bound)
+	cacheDays   float64 // GC max entry age in days (0 = no age bound)
+
 	stdout, stderr io.Writer
+}
+
+// arrivalSetup resolves the -arrival/-trace flags into the pieces
+// experiments consume: a parsed arrival spec and/or a loaded trace.
+// "-trace sample" (or "-arrival trace" alone) selects the bundled demo
+// trace, anything else is an SWF file path.
+func (o options) arrivalSetup() (arrival.Spec, *traces.Trace, error) {
+	var spec arrival.Spec
+	if o.arrival != "" {
+		var err error
+		spec, err = arrival.Parse(o.arrival)
+		if err != nil {
+			return arrival.Spec{}, nil, err
+		}
+	}
+	var tr *traces.Trace
+	if o.tracePath == "sample" {
+		tr = traces.Sample()
+	} else if o.tracePath != "" {
+		var err error
+		tr, err = traces.Load(o.tracePath)
+		if err != nil {
+			return arrival.Spec{}, nil, err
+		}
+	}
+	if spec.Kind == arrival.KindTrace {
+		if tr == nil {
+			tr = traces.Sample()
+		}
+	} else if tr != nil && o.arrival != "" {
+		return arrival.Spec{}, nil, fmt.Errorf("-trace combines only with -arrival trace (or no -arrival), not %q", o.arrival)
+	}
+	if o.traceScale != 0 && o.traceScale != 1 {
+		if o.traceScale < 0 {
+			return arrival.Spec{}, nil, fmt.Errorf("-trace-scale must be positive, got %v", o.traceScale)
+		}
+		if tr == nil {
+			return arrival.Spec{}, nil, fmt.Errorf("-trace-scale needs a trace (-trace FILE or -arrival trace)")
+		}
+		tr = tr.Scale(o.traceScale)
+	}
+	return spec, tr, nil
 }
 
 // cliMain parses args and runs the selected experiment, returning the
@@ -110,12 +174,18 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		algo    = fs.String("algo", "DSMF", "algorithm for -experiment single")
 		maxLF   = fs.Int("maxlf", 8, "largest load factor for fig7-8 and the sweep lf axis")
 		reps    = fs.Int("reps", 1, "seed replications for fig4-6/fig7-8/fig9-10/sweep (error bars need > 1)")
-		axes    = fs.String("axes", "algo", "comma-separated sweep axes: algo,churn,lf,ccr,scale")
+		axes    = fs.String("axes", "algo", "comma-separated sweep axes: algo,churn,lf,ccr,scale,arrival")
 		out     = fs.String("out", "", "write sweep JSON to this file (default: stdout)")
 		shard   = fs.String("shard", "", "run only shard i/n of the sweep job matrix (e.g. 0/2) and emit a mergeable partial result")
 		merge   = fs.String("merge", "", "comma-separated shard JSON files to merge into the full sweep result (no simulation)")
 		cache   = fs.String("cache", "", "warm-start cell cache directory: re-runs execute only cells missing from it")
 		prec    = fs.Float64("precision", 0, "adaptive replication: grow seed batches until every cell's ACT 95% CI half-width is under this fraction of its mean (-reps is the cap)")
+		arr     = fs.String("arrival", "", "arrival process for single/sweep cells: batch|poisson:RATE|mmpp:RATE[:BURST]|diurnal:RATE[:PERIODH]|trace (rates in workflows/hour)")
+		trc     = fs.String("trace", "", "SWF/GWF trace file for trace replay (\"sample\" = the bundled demo trace)")
+		trscale = fs.Float64("trace-scale", 1, "multiply trace submit times by this factor (compress a multi-day trace into the horizon)")
+		cgc     = fs.Bool("cache-gc", false, "garbage-collect the -cache directory (needs -cache-budget and/or -cache-days) and exit")
+		cbudget = fs.Int64("cache-budget", 0, "cache GC size budget in MB, oldest-access entries dropped first (0 = no size bound)")
+		cdays   = fs.Float64("cache-days", 0, "cache GC max entry age in days (0 = no age bound)")
 		arts    = fs.String("artifacts", "", "directory for CSV/DAT/gnuplot artifacts (series experiments, sweep)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -150,22 +220,48 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	o := options{
-		experiment: *name,
-		scale:      sc,
-		seed:       *seed,
-		algo:       *algo,
-		maxLF:      *maxLF,
-		reps:       *reps,
-		repsSet:    repsSet,
-		axes:       *axes,
-		out:        *out,
-		artifacts:  *arts,
-		shard:      *shard,
-		merge:      *merge,
-		cacheDir:   *cache,
-		precision:  *prec,
-		stdout:     stdout,
-		stderr:     stderr,
+		experiment:  *name,
+		scale:       sc,
+		seed:        *seed,
+		algo:        *algo,
+		maxLF:       *maxLF,
+		reps:        *reps,
+		repsSet:     repsSet,
+		axes:        *axes,
+		out:         *out,
+		artifacts:   *arts,
+		shard:       *shard,
+		merge:       *merge,
+		cacheDir:    *cache,
+		precision:   *prec,
+		arrival:     *arr,
+		tracePath:   *trc,
+		traceScale:  *trscale,
+		cacheGC:     *cgc,
+		cacheBudget: *cbudget,
+		cacheDays:   *cdays,
+		stdout:      stdout,
+		stderr:      stderr,
+	}
+	if o.cacheGC {
+		if err := runCacheGC(o); err != nil {
+			fmt.Fprintln(stderr, "p2pgridsim:", err)
+			return 1
+		}
+		return 0
+	}
+	if o.arrival != "" || o.tracePath != "" || (o.traceScale != 0 && o.traceScale != 1) {
+		// Validate eagerly: a malformed spec or unreadable trace must fail
+		// even when the selected experiment would never consume it.
+		if _, _, err := o.arrivalSetup(); err != nil {
+			fmt.Fprintln(stderr, "p2pgridsim:", err)
+			return 2
+		}
+		switch o.experiment {
+		case "single", "sweep", "arrival":
+		default:
+			fmt.Fprintf(stderr, "p2pgridsim: -arrival/-trace only apply to single, sweep and arrival; %q runs the batch workload\n", o.experiment)
+		}
 	}
 	// run (not cliMain) owns the profile lifecycles so they close properly
 	// on error paths too.
@@ -243,12 +339,25 @@ func dispatch(o options, name string) error {
 	case "table1":
 		fmt.Fprintln(stdout, experiments.TableI().Format())
 	case "single":
-		res, err := experiments.SingleRun(o.scale, o.seed, o.algo)
+		aspec, tr, err := o.arrivalSetup()
+		if err != nil {
+			return err
+		}
+		setting := experiments.NewSetting(o.scale, o.seed)
+		setting.Arrival = aspec
+		if tr != nil {
+			setting.Trace = tr.Jobs
+		}
+		res, err := experiments.SingleRunWith(setting, o.algo)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "%s at %s scale (%d nodes, %d workflows, %.0f h):\n",
 			res.Algo, o.scale.Name, o.scale.Nodes, res.Submitted, o.scale.HorizonHours)
+		if res.Unsubmitted > 0 || res.Dropped > 0 {
+			fmt.Fprintf(stdout, "note: %d workflows arrived after the horizon (never entered the grid) and %d were dropped at dead homes; completion is relative to all %d\n",
+				res.Unsubmitted, res.Dropped, res.Submitted)
+		}
 		fmt.Fprintln(stdout, res.Collector.FormatSeries())
 	case "fig3":
 		fmt.Fprintln(stdout, experiments.Fig3Report())
@@ -320,6 +429,8 @@ func dispatch(o options, name string) error {
 			return err
 		}
 		fmt.Fprintln(stdout, table.Format())
+	case "arrival":
+		return runArrival(o)
 	case "sweep":
 		return runSweep(o)
 	case "all":
@@ -363,6 +474,8 @@ func sweepSpecFromAxes(axes string, sc experiments.Scale, seed int64, reps, maxL
 			spec.LoadFactors = lfs
 		case "ccr":
 			spec.CCRCases = experiments.CCRCases()
+		case "arrival":
+			spec.Arrivals = experiments.ArrivalCasesFor(sc)
 		case "scale":
 			var scales []experiments.Scale
 			for _, n := range experiments.ScalabilitySizes(sc) {
@@ -375,7 +488,7 @@ func sweepSpecFromAxes(axes string, sc experiments.Scale, seed int64, reps, maxL
 		case "":
 			// Empty axes list (or a trailing comma): keep the defaults.
 		default:
-			return spec, fmt.Errorf("unknown sweep axis %q (algo|churn|lf|ccr|scale)", ax)
+			return spec, fmt.Errorf("unknown sweep axis %q (algo|churn|lf|ccr|scale|arrival)", ax)
 		}
 	}
 	return spec, nil
@@ -400,6 +513,24 @@ func runSweep(o options) error {
 	spec, err := sweepSpecFromAxes(o.axes, o.scale, o.seed, o.reps, o.maxLF)
 	if err != nil {
 		return err
+	}
+	if o.arrival != "" || o.tracePath != "" {
+		aspec, tr, err := o.arrivalSetup()
+		if err != nil {
+			return err
+		}
+		if spec.Arrivals != nil {
+			// The arrival axis carries its own intensity ladder; -trace
+			// adds a replay column, but a single -arrival case conflicts.
+			if o.arrival != "" {
+				return fmt.Errorf("-arrival does not combine with -axes arrival (the axis is the intensity ladder); use -trace to add a replay cell")
+			}
+			spec.Arrivals = append(spec.Arrivals, experiments.TraceCase(tr))
+		} else if tr != nil {
+			spec.Arrivals = []experiments.ArrivalCase{experiments.TraceCase(tr)}
+		} else if !aspec.IsBatch() {
+			spec.Arrivals = []experiments.ArrivalCase{{Label: o.arrival, Spec: aspec}}
+		}
 	}
 	opts := experiments.RunOptions{
 		Progress: func(done, total int) {
@@ -449,6 +580,51 @@ func runSweep(o options) error {
 		return err
 	}
 	return writeSweepResult(o, res)
+}
+
+// runArrival prints the new arrival-intensity figure: every algorithm's
+// converged ACT and AE across the scale's Poisson intensity ladder (plus
+// a trace-replay column when -trace is given), with 95% CIs at -reps > 1.
+func runArrival(o options) error {
+	if o.arrival != "" {
+		return fmt.Errorf("-experiment arrival runs a fixed intensity ladder; -arrival only applies to single/sweep (use -trace to add a replay column)")
+	}
+	_, tr, err := o.arrivalSetup()
+	if err != nil {
+		return err
+	}
+	act, ae, err := experiments.ArrivalSweepRep(o.scale, o.seed, o.reps, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.stdout, act.Format())
+	fmt.Fprintln(o.stdout, ae.Format())
+	return nil
+}
+
+// runCacheGC trims the warm-start cell cache under the -cache-budget /
+// -cache-days bounds, oldest access first (see executor.Disk.GC).
+func runCacheGC(o options) error {
+	if o.cacheDir == "" {
+		return fmt.Errorf("-cache-gc needs -cache DIR")
+	}
+	if o.cacheBudget < 0 || o.cacheDays < 0 {
+		return fmt.Errorf("-cache-budget and -cache-days must be non-negative")
+	}
+	if o.cacheBudget == 0 && o.cacheDays == 0 {
+		return fmt.Errorf("-cache-gc needs a bound: -cache-budget MB and/or -cache-days N")
+	}
+	st, err := executor.Disk{Dir: o.cacheDir}.GC(executor.GCOptions{
+		MaxBytes: o.cacheBudget * 1 << 20,
+		MaxAge:   time.Duration(o.cacheDays * 24 * float64(time.Hour)),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.stdout, "cache-gc %s: %d entries scanned, %d deleted, %.1f MB -> %.1f MB\n",
+		o.cacheDir, st.Scanned, st.Deleted,
+		float64(st.BytesBefore)/(1<<20), float64(st.BytesAfter)/(1<<20))
+	return nil
 }
 
 // parseShard splits the -shard flag's "i/n" form. Strict: trailing or

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -49,6 +50,19 @@ func TestErrorPathsExitNonZero(t *testing.T) {
 		{"merge without files", []string{"-experiment", "sweep", "-merge", " , "}},
 		{"merge unreadable file", []string{"-experiment", "sweep", "-merge", "/nonexistent-dir/shard.json"}},
 		{"negative precision", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "", "-precision", "-0.5"}},
+		{"malformed arrival spec", []string{"-experiment", "single", "-scale", "tiny", "-arrival", "poisson"}},
+		{"malformed arrival on non-consuming experiment", []string{"-arrival", "poisson"}},
+		{"missing trace on non-consuming experiment", []string{"-trace", "/nonexistent-dir/t.swf"}},
+		{"unknown arrival kind", []string{"-experiment", "single", "-scale", "tiny", "-arrival", "gamma:3"}},
+		{"missing trace file", []string{"-experiment", "single", "-scale", "tiny", "-trace", "/nonexistent-dir/t.swf"}},
+		{"trace with non-trace arrival", []string{"-experiment", "single", "-scale", "tiny", "-arrival", "poisson:10", "-trace", "sample"}},
+		{"arrival with arrival axis", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "arrival", "-arrival", "poisson:10"}},
+		{"arrival experiment with -arrival", []string{"-experiment", "arrival", "-scale", "tiny", "-arrival", "poisson:10"}},
+		{"negative trace-scale", []string{"-experiment", "single", "-scale", "tiny", "-trace", "sample", "-trace-scale", "-2"}},
+		{"trace-scale without trace", []string{"-experiment", "single", "-scale", "tiny", "-trace-scale", "0.5"}},
+		{"cache-gc without cache", []string{"-cache-gc", "-cache-budget", "1"}},
+		{"cache-gc without bounds", []string{"-cache-gc", "-cache", "somewhere"}},
+		{"cache-gc negative budget", []string{"-cache-gc", "-cache", "somewhere", "-cache-budget", "-2"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -226,21 +240,148 @@ func TestSweepAdaptivePrecision(t *testing.T) {
 	}
 }
 
+// TestArrivalExperimentAndFlags drives the arrival subsystem through the
+// CLI: the arrival figure (with the bundled trace column), a single run
+// under a Poisson process, and a trace-replay sweep cell.
+func TestArrivalExperimentAndFlags(t *testing.T) {
+	code, stdout, stderr := runCLI("-experiment", "arrival", "-scale", "tiny", "-reps", "1", "-trace", "sample")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, frag := range []string{"arrival intensity", "batch", "poisson:", "trace:sample.swf", "DSMF"} {
+		if !strings.Contains(stdout, frag) {
+			t.Fatalf("arrival figure missing %q:\n%s", frag, stdout)
+		}
+	}
+
+	code, stdout, stderr = runCLI("-experiment", "single", "-scale", "tiny", "-arrival", "poisson:30")
+	if code != 0 {
+		t.Fatalf("single with arrival: exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "DSMF at tiny scale") {
+		t.Fatalf("single output:\n%s", stdout)
+	}
+
+	code, stdout, stderr = runCLI("-experiment", "single", "-scale", "tiny", "-arrival", "trace", "-trace-scale", "0.5")
+	if code != 0 {
+		t.Fatalf("single with trace replay: exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "42 workflows") {
+		t.Fatalf("trace replay should submit one workflow per sample job:\n%s", stdout)
+	}
+
+	// A process far slower than the horizon leaves an unsubmitted tail,
+	// and the single-run output reports it instead of hiding it.
+	code, stdout, stderr = runCLI("-experiment", "single", "-scale", "tiny", "-arrival", "poisson:1")
+	if code != 0 {
+		t.Fatalf("slow arrivals: exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "arrived after the horizon") {
+		t.Fatalf("unsubmitted tail not reported:\n%s", stdout)
+	}
+
+	// Valid flags on an experiment that ignores them warn but still run.
+	code, _, stderr = runCLI("-experiment", "table1", "-scale", "tiny", "-arrival", "poisson:10")
+	if code != 0 || !strings.Contains(stderr, "only apply to single, sweep and arrival") {
+		t.Fatalf("ignored-flag warning missing (exit %d):\n%s", code, stderr)
+	}
+
+	// A sweep pinned to one arrival case labels its cells with it.
+	code, stdout, stderr = runCLI("-experiment", "sweep", "-scale", "tiny", "-axes", "", "-arrival", "poisson:30")
+	if code != 0 {
+		t.Fatalf("sweep with arrival: exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, `"arrival": "poisson:30"`) {
+		t.Fatalf("sweep JSON missing arrival label:\n%s", stdout)
+	}
+}
+
+// TestSweepArrivalAxisDeterministic pins the CLI arrival axis: two
+// invocations are byte-identical and the JSON carries one cell per rung
+// of the intensity ladder plus the batch endpoint.
+func TestSweepArrivalAxisDeterministic(t *testing.T) {
+	args := []string{"-experiment", "sweep", "-scale", "tiny", "-reps", "1", "-axes", "arrival"}
+	code, first, stderr := runCLI(args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	code, second, _ := runCLI(args...)
+	if code != 0 || first != second {
+		t.Fatalf("arrival-axis sweep JSON not reproducible (exit %d)", code)
+	}
+	var doc struct {
+		Cells []struct {
+			Arrival string `json:"arrival"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(first), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Cells) != 5 {
+		t.Fatalf("%d cells, want 5 (4 poisson rungs + batch)", len(doc.Cells))
+	}
+	if doc.Cells[len(doc.Cells)-1].Arrival != "" {
+		t.Fatalf("last cell should be the batch endpoint, got %q", doc.Cells[len(doc.Cells)-1].Arrival)
+	}
+	if !strings.HasPrefix(doc.Cells[0].Arrival, "poisson:") {
+		t.Fatalf("first cell %q not a poisson rung", doc.Cells[0].Arrival)
+	}
+}
+
+// TestCacheGCFlag drives the -cache-gc pass end to end: populate the cell
+// cache via a sweep, then trim it to a tiny budget.
+func TestCacheGCFlag(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cells")
+	code, _, stderr := runCLI("-experiment", "sweep", "-scale", "tiny", "-reps", "1", "-axes", "", "-cache", cacheDir)
+	if code != 0 {
+		t.Fatalf("populate run: exit %d, stderr:\n%s", code, stderr)
+	}
+	entries, _ := filepath.Glob(filepath.Join(cacheDir, "*", "*.json"))
+	if len(entries) == 0 {
+		t.Fatal("no cache entries to GC")
+	}
+	code, stdout, stderr := runCLI("-cache-gc", "-cache", cacheDir, "-cache-budget", "0", "-cache-days", "30")
+	if code != 0 {
+		t.Fatalf("age-only GC: exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "0 deleted") {
+		t.Fatalf("fresh entries should survive a 30-day bound:\n%s", stdout)
+	}
+	// Backdate every entry two days, then a 1-day bound must clear them.
+	past := time.Now().Add(-48 * time.Hour)
+	for _, e := range entries {
+		if err := os.Chtimes(e, past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, stdout, stderr = runCLI("-cache-gc", "-cache", cacheDir, "-cache-days", "1")
+	if code != 0 {
+		t.Fatalf("tight GC: exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, fmt.Sprintf("%d deleted", len(entries))) {
+		t.Fatalf("tight age bound should delete all %d entries:\n%s", len(entries), stdout)
+	}
+	left, _ := filepath.Glob(filepath.Join(cacheDir, "*", "*.json"))
+	if len(left) != 0 {
+		t.Fatalf("%d entries survived the tight bound", len(left))
+	}
+}
+
 func TestSweepSpecFromAxes(t *testing.T) {
 	sc, err := experiments.ScaleByName("tiny")
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec, err := sweepSpecFromAxes("algo,churn,lf,ccr", sc, 1, 2, 3)
+	spec, err := sweepSpecFromAxes("algo,churn,lf,ccr,arrival", sc, 1, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if spec.Algorithms != nil {
 		t.Errorf("algo axis should select all algorithms, got %v", spec.Algorithms)
 	}
-	if len(spec.ChurnFactors) != 5 || len(spec.LoadFactors) != 3 || len(spec.CCRCases) != 4 {
-		t.Errorf("axes wrong: churn=%d lf=%d ccr=%d",
-			len(spec.ChurnFactors), len(spec.LoadFactors), len(spec.CCRCases))
+	if len(spec.ChurnFactors) != 5 || len(spec.LoadFactors) != 3 || len(spec.CCRCases) != 4 || len(spec.Arrivals) != 5 {
+		t.Errorf("axes wrong: churn=%d lf=%d ccr=%d arrivals=%d",
+			len(spec.ChurnFactors), len(spec.LoadFactors), len(spec.CCRCases), len(spec.Arrivals))
 	}
 	spec, err = sweepSpecFromAxes("scale", sc, 1, 1, 8)
 	if err != nil {

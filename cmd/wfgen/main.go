@@ -1,73 +1,200 @@
 // Command wfgen generates workflow DAGs from the paper's Table I parameters
 // or the structured scientific families, emitting Graphviz DOT or JSON plus
 // an analysis summary (task/edge counts, expected finish time, critical
-// path).
+// path) — or, with -format schedule, an arrival schedule pairing each
+// workflow with its virtual submit time under an arrival process or a
+// replayed SWF/GWA grid trace.
 //
 // Usage:
 //
 //	wfgen [-family random|pipeline|forkjoin|montage|epigenomics]
-//	      [-scale N] [-count N] [-seed N] [-format dot|json|summary]
+//	      [-scale N] [-count N] [-seed N] [-format dot|json|summary|schedule]
+//	      [-mips M] [-bw B]
+//	      [-arrival batch|poisson:R|mmpp:R[:B]|diurnal:R[:P]|trace] [-trace FILE]
 //
 // Examples:
 //
 //	wfgen -family montage -scale 6 -format dot | dot -Tpng > montage.png
 //	wfgen -family random -count 5 -format summary
+//	wfgen -count 20 -format schedule -arrival poisson:120
+//	wfgen -format schedule -arrival trace -trace sample
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/dag"
 	"repro/internal/stats"
+	"repro/internal/workload/arrival"
+	"repro/internal/workload/traces"
 )
 
 func main() {
-	var (
-		family = flag.String("family", "random", "random|pipeline|forkjoin|montage|epigenomics")
-		scale  = flag.Int("scale", 5, "family size parameter (stages/width/images/lanes)")
-		count  = flag.Int("count", 1, "number of workflows to generate")
-		seed   = flag.Int64("seed", 1, "random seed")
-		format = flag.String("format", "summary", "dot|json|summary")
-	)
-	flag.Parse()
-	rng := stats.NewRand(*seed, 0x17F)
-	est := dag.Estimates{AvgCapacityMIPS: 6.2, AvgBandwidthMbs: 5.05}
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	for i := 0; i < *count; i++ {
-		name := fmt.Sprintf("%s-%d", *family, i)
+// cliMain parses args and generates the requested output, returning the
+// process exit code (testable without a subprocess, like cmd/p2pgridsim).
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wfgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		family  = fs.String("family", "random", "random|pipeline|forkjoin|montage|epigenomics")
+		scale   = fs.Int("scale", 5, "family size parameter (stages/width/images/lanes)")
+		count   = fs.Int("count", 1, "number of workflows to generate (defaults to the trace length under -arrival trace)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		format  = fs.String("format", "summary", "dot|json|summary|schedule")
+		mips    = fs.Float64("mips", dag.PaperAvgCapacityMIPS, "average node capacity (MIPS) pricing summary estimates")
+		bw      = fs.Float64("bw", dag.PaperAvgBandwidthMbs, "average bandwidth (Mb/s) pricing summary estimates")
+		arr     = fs.String("arrival", "poisson:60", "arrival process for -format schedule (batch|poisson:R|mmpp:R[:B]|diurnal:R[:P]|trace; rates in workflows/hour)")
+		trcPath = fs.String("trace", "", "SWF/GWF trace for -arrival trace (\"sample\" = the bundled demo trace)")
+		trscale = fs.Float64("trace-scale", 1, "multiply trace submit times by this factor")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "wfgen: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	countSet, arrivalSet := false, false
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "count":
+			countSet = true
+		case "arrival":
+			arrivalSet = true
+		}
+	})
+	if (arrivalSet || *trcPath != "") && *format != "schedule" {
+		// Validation below still runs (a typo must fail), but the flags
+		// have no effect outside the schedule format — say so.
+		fmt.Fprintf(stderr, "wfgen: -arrival/-trace only affect -format schedule; %q ignores them\n", *format)
+	}
+	if err := run(genOptions{
+		family: *family, scale: *scale, count: *count, countSet: countSet,
+		seed: *seed, format: *format, mips: *mips, bw: *bw,
+		arrival: *arr, tracePath: *trcPath, traceScale: *trscale,
+	}, stdout); err != nil {
+		fmt.Fprintln(stderr, "wfgen:", err)
+		return 1
+	}
+	return 0
+}
+
+type genOptions struct {
+	family     string
+	scale      int
+	count      int
+	countSet   bool
+	seed       int64
+	format     string
+	mips, bw   float64
+	arrival    string
+	tracePath  string
+	traceScale float64
+}
+
+func run(o genOptions, stdout io.Writer) error {
+	switch o.format {
+	case "dot", "json", "summary", "schedule":
+	default:
+		return fmt.Errorf("unknown format %q (dot|json|summary|schedule)", o.format)
+	}
+	if o.mips <= 0 || o.bw <= 0 {
+		return fmt.Errorf("-mips and -bw must be positive, got %v / %v", o.mips, o.bw)
+	}
+	est := dag.Estimates{AvgCapacityMIPS: o.mips, AvgBandwidthMbs: o.bw}
+
+	// Resolve the arrival spec and trace eagerly — a typo in either flag
+	// must fail for every format, not only for -format schedule.
+	spec, err := arrival.Parse(o.arrival)
+	if err != nil {
+		return err
+	}
+	var tr *traces.Trace
+	if spec.Kind == arrival.KindTrace {
+		tr = traces.Sample()
+		if o.tracePath != "" && o.tracePath != "sample" {
+			if tr, err = traces.Load(o.tracePath); err != nil {
+				return err
+			}
+		}
+	} else if o.tracePath != "" {
+		return fmt.Errorf("-trace combines only with -arrival trace, not %q", o.arrival)
+	}
+	if o.traceScale <= 0 {
+		return fmt.Errorf("-trace-scale must be positive, got %v", o.traceScale)
+	}
+	if tr != nil && o.traceScale != 1 {
+		tr = tr.Scale(o.traceScale)
+	}
+
+	// Resolve the schedule before generating, so -arrival trace can set
+	// the workflow count from the trace length.
+	var times []float64
+	if o.format == "schedule" {
+		if tr != nil {
+			spec = tr.ArrivalSpec()
+			if !o.countSet {
+				o.count = len(spec.Times)
+			}
+		}
+		if times, err = spec.Schedule(o.count, stats.SplitSeed(o.seed, 0x35)); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "# arrival schedule: %d workflows, %s, seed %d\n", o.count, spec, o.seed)
+		fmt.Fprintf(stdout, "# %10s  %-20s %6s %12s %10s\n", "submit(s)", "name", "tasks", "load(MI)", "eft(s)")
+	}
+
+	rng := stats.NewRand(o.seed, 0x17F)
+	for i := 0; i < o.count; i++ {
+		name := fmt.Sprintf("%s-%d", o.family, i)
 		var w *dag.Workflow
 		var err error
-		if *family == "random" {
+		if o.family == "random" {
 			w, err = dag.Generate(name, dag.DefaultGenConfig(), rng)
 		} else {
-			w, err = dag.FamilyByName(*family, name, *scale, dag.DefaultWeights(rng))
+			w, err = dag.FamilyByName(o.family, name, o.scale, dag.DefaultWeights(rng))
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wfgen:", err)
-			os.Exit(1)
+			return err
 		}
-		switch *format {
+		if o.format == "schedule" && tr != nil {
+			// Mirror the simulator's replay scaling rule (workload.Generate):
+			// total task load = runtime x procs x reference MIPS, so the
+			// printed load/eft columns describe what a replay actually runs.
+			job := tr.Jobs[i%len(tr.Jobs)]
+			if total := w.TotalLoad(); total > 0 {
+				if w, err = w.ScaleLoads(job.CPUSeconds() * o.mips / total); err != nil {
+					return err
+				}
+			}
+		}
+		switch o.format {
 		case "dot":
-			fmt.Print(w.DOT())
+			fmt.Fprint(stdout, w.DOT())
 		case "json":
 			data, err := json.MarshalIndent(w, "", "  ")
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "wfgen:", err)
-				os.Exit(1)
+				return err
 			}
-			fmt.Println(string(data))
+			fmt.Fprintln(stdout, string(data))
 		case "summary":
 			path, eft := dag.CriticalPath(w, est)
 			shape := dag.ShapeOf(w)
-			fmt.Printf("%s: %d tasks, %d edges, total load %.0f MI, eft %.0f s, critical path %d tasks, depth %d, max width %d, parallelism %.1f\n",
+			fmt.Fprintf(stdout, "%s: %d tasks, %d edges, total load %.0f MI, eft %.0f s, critical path %d tasks, depth %d, max width %d, parallelism %.1f\n",
 				w.Name, w.Len(), w.Edges(), w.TotalLoad(), eft, len(path),
 				shape.Depth, shape.MaxWidth, shape.Parallelism)
-		default:
-			fmt.Fprintf(os.Stderr, "wfgen: unknown format %q\n", *format)
-			os.Exit(1)
+		case "schedule":
+			_, eft := dag.CriticalPath(w, est)
+			fmt.Fprintf(stdout, "%12.1f  %-20s %6d %12.0f %10.0f\n",
+				times[i], w.Name, w.Len(), w.TotalLoad(), eft)
 		}
 	}
+	return nil
 }

@@ -12,6 +12,20 @@ type Estimates struct {
 	AvgBandwidthMbs float64 // system-wide average end-to-end bandwidth
 }
 
+// The paper's system-wide averages under the Table I setting: node
+// capacities drawn from {1,2,4,8,16} MIPS average 6.2, and the 0.1-10 Mb/s
+// bandwidth range averages about 5.05 Mb/s. Shared by the CLI defaults and
+// the trace-replay scaling rule.
+const (
+	PaperAvgCapacityMIPS = 6.2
+	PaperAvgBandwidthMbs = 5.05
+)
+
+// PaperEstimates returns the Table I averages as an Estimates value.
+func PaperEstimates() Estimates {
+	return Estimates{AvgCapacityMIPS: PaperAvgCapacityMIPS, AvgBandwidthMbs: PaperAvgBandwidthMbs}
+}
+
 // EET is the expected execution time of a task on an average node.
 func (e Estimates) EET(t Task) float64 {
 	if t.Load == 0 {

@@ -8,7 +8,10 @@
 // workflow generator following Table I.
 package dag
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // TaskID indexes a task inside one workflow.
 type TaskID int
@@ -82,6 +85,35 @@ func (w *Workflow) TotalLoad() float64 {
 		sum += t.Load
 	}
 	return sum
+}
+
+// ScaleLoads returns a copy of w with every real task's computational load
+// multiplied by factor (virtual normalization tasks stay zero-cost and the
+// edge data volumes are untouched). It is the trace-replay shaping rule's
+// workhorse: a generated Table I DAG is rescaled so its total load matches
+// a trace job's recorded work. Virtual tasks are re-derived by Build, which
+// appends them after the real tasks exactly as the original construction
+// did, so real task IDs are preserved.
+func (w *Workflow) ScaleLoads(factor float64) (*Workflow, error) {
+	if factor <= 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("dag: load scale factor %v out of range", factor)
+	}
+	b := NewBuilder(w.Name)
+	for _, t := range w.tasks {
+		if t.Virtual {
+			continue
+		}
+		b.AddTask(t.Name, t.Load*factor, t.ImageMb)
+	}
+	for _, es := range w.succ {
+		for _, e := range es {
+			if w.tasks[e.From].Virtual || w.tasks[e.To].Virtual {
+				continue
+			}
+			b.AddEdge(e.From, e.To, e.DataMb)
+		}
+	}
+	return b.Build()
 }
 
 // Builder accumulates tasks and edges and validates them into a Workflow.

@@ -183,3 +183,75 @@ func TestDOTContainsTasksAndEdges(t *testing.T) {
 		}
 	}
 }
+
+func TestScaleLoadsPreservesStructure(t *testing.T) {
+	w := diamond(t)
+	scaled, err := w.ScaleLoads(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Len() != w.Len() || scaled.Edges() != w.Edges() {
+		t.Fatalf("structure changed: %d tasks/%d edges vs %d/%d",
+			scaled.Len(), scaled.Edges(), w.Len(), w.Edges())
+	}
+	if got := scaled.TotalLoad(); got != 250 {
+		t.Fatalf("TotalLoad = %v, want 250", got)
+	}
+	for id := TaskID(0); int(id) < w.Len(); id++ {
+		if scaled.Task(id).Load != w.Task(id).Load*2.5 {
+			t.Fatalf("task %d load %v, want %v", id, scaled.Task(id).Load, w.Task(id).Load*2.5)
+		}
+		if scaled.Task(id).ImageMb != w.Task(id).ImageMb {
+			t.Fatalf("task %d image size changed", id)
+		}
+	}
+	for id := TaskID(0); int(id) < w.Len(); id++ {
+		se, we := scaled.Successors(id), w.Successors(id)
+		if len(se) != len(we) {
+			t.Fatalf("task %d successor count changed", id)
+		}
+		for i := range se {
+			if se[i] != we[i] {
+				t.Fatalf("task %d edge %d changed: %+v vs %+v", id, i, se[i], we[i])
+			}
+		}
+	}
+	for _, bad := range []float64{0, -1} {
+		if _, err := w.ScaleLoads(bad); err == nil {
+			t.Errorf("factor %v accepted", bad)
+		}
+	}
+}
+
+// TestScaleLoadsRederivesVirtualTasks checks the multi-entry case: the
+// virtual entry added by normalization is rebuilt, real task IDs are
+// preserved, and virtual tasks stay zero-cost.
+func TestScaleLoadsRederivesVirtualTasks(t *testing.T) {
+	b := NewBuilder("multi")
+	a := b.AddTask("a", 10, 1)
+	c := b.AddTask("b", 20, 1)
+	exit := b.AddTask("exit", 30, 1)
+	b.AddEdge(a, exit, 5)
+	b.AddEdge(c, exit, 6)
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 4 {
+		t.Fatalf("expected a virtual entry, Len = %d", w.Len())
+	}
+	scaled, err := w.ScaleLoads(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Len() != w.Len() || scaled.Entry() != w.Entry() || scaled.Exit() != w.Exit() {
+		t.Fatalf("normalization diverged: %d tasks entry=%d exit=%d vs %d/%d/%d",
+			scaled.Len(), scaled.Entry(), scaled.Exit(), w.Len(), w.Entry(), w.Exit())
+	}
+	if got := scaled.TotalLoad(); got != 180 {
+		t.Fatalf("TotalLoad = %v, want 180", got)
+	}
+	if !scaled.Task(scaled.Entry()).Virtual || scaled.Task(scaled.Entry()).Load != 0 {
+		t.Fatal("virtual entry must stay zero-cost")
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/workload/arrival"
+	"repro/internal/workload/traces"
+)
+
+// This file is the arrival-process side of the sweep engine: the
+// ArrivalCase axis value, the default intensity ladder of the new
+// `-experiment arrival` figure (ACT/AE versus arrival intensity with 95%
+// CIs), and the trace-replay bridge. Arrivals are a first-class scenario
+// axis: they flow through Scenario, Label, Jobs, SpecHash, the warm-start
+// cell cache and shard partials exactly like churn, load factor and CCR.
+
+// ArrivalCase is one point of the arrival axis. The zero value is the
+// batch load (everything submitted at t=0), the paper's setting and the
+// default axis point — batch cells are bit-identical to sweeps that
+// predate the arrival subsystem. A non-zero case needs a Label (it names
+// the cell in sweep JSON and tables). When Trace is set the case replays
+// the trace (Spec is ignored; the trace is both the schedule and the
+// workload shape, see workload.Generate's scaling rule).
+type ArrivalCase struct {
+	Label string       `json:"label,omitempty"`
+	Spec  arrival.Spec `json:"spec,omitempty"`
+	Trace []traces.Job `json:"trace,omitempty"`
+}
+
+// IsBatch reports whether the case is the default batch point.
+func (ac ArrivalCase) IsBatch() bool { return len(ac.Trace) == 0 && ac.Spec.IsBatch() }
+
+func (ac ArrivalCase) validate() error {
+	if ac.IsBatch() {
+		return nil
+	}
+	if ac.Label == "" {
+		return fmt.Errorf("non-batch arrival case needs a label")
+	}
+	if len(ac.Trace) > 0 {
+		return nil // the workload generator validates trace jobs
+	}
+	return ac.Spec.Validate()
+}
+
+// TraceCase wraps a parsed trace into an arrival axis point.
+func TraceCase(t *traces.Trace) ArrivalCase {
+	return ArrivalCase{Label: "trace:" + t.Name, Trace: t.Jobs}
+}
+
+// ArrivalCasesFor returns the default arrival-intensity axis of a scale:
+// Poisson arrivals at rates that spread the scale's workload
+// (Nodes x LoadFactor workflows) over 1x, 1/2x, 1/4x and 1/8x of the
+// horizon, then the batch load as the infinite-intensity endpoint. The
+// ladder is the x-axis of the `-experiment arrival` figure and of the
+// CLI sweep's arrival axis.
+//
+// The 1x rung is deliberately the open-system regime: its expected last
+// arrival lands at the horizon, so (seed-dependently) some tail
+// workflows never enter the grid and others have no time to finish.
+// That is the regime's point — completion rates are measured against
+// the offered load (Result.Submitted), exactly like the churn figures
+// measure throughput within the fixed 36 h window. Result.Unsubmitted
+// reports the tail explicitly.
+func ArrivalCasesFor(scale Scale) []ArrivalCase {
+	n := scale.Nodes * scale.LoadFactor
+	base := float64(n) / scale.HorizonHours
+	cases := make([]ArrivalCase, 0, 5)
+	for _, mult := range []float64{1, 2, 4, 8} {
+		spec := arrival.Spec{Kind: arrival.KindPoisson, RatePerHour: base * mult}
+		cases = append(cases, ArrivalCase{Label: spec.String(), Spec: spec})
+	}
+	return append(cases, ArrivalCase{}) // batch: intensity -> infinity
+}
+
+// arrivalColumn names a ladder column: the case label, or "batch" for the
+// default point.
+func arrivalColumn(ac ArrivalCase) string {
+	if ac.IsBatch() && ac.Label == "" {
+		return "batch"
+	}
+	return ac.Label
+}
+
+// ArrivalSweepRep runs the arrival-intensity figure through the sweep
+// engine: every algorithm across the scale's intensity ladder (plus an
+// optional trace-replay column), replicated over reps independent seeds.
+// With reps > 1 every cell reports mean ± 95% CI, exactly like the other
+// replicated figures.
+func ArrivalSweepRep(scale Scale, seed int64, reps int, trace *traces.Trace) (actTable, aeTable Table, err error) {
+	cases := ArrivalCasesFor(scale)
+	if trace != nil {
+		cases = append(cases, TraceCase(trace))
+	}
+	res, err := RunSweepStream(SweepSpec{
+		Name:     "arrival",
+		Scales:   []Scale{scale},
+		Seed:     seed,
+		Reps:     reps,
+		Arrivals: cases,
+	}, RunOptions{})
+	if err != nil {
+		return
+	}
+	algos := res.Spec.Algorithms
+	actTable = Table{Title: "Arrival: average finish-time vs arrival intensity", Header: []string{"algorithm"}}
+	aeTable = Table{Title: "Arrival: average efficiency vs arrival intensity", Header: []string{"algorithm"}}
+	for _, ac := range cases {
+		actTable.Header = append(actTable.Header, arrivalColumn(ac))
+		aeTable.Header = append(aeTable.Header, arrivalColumn(ac))
+	}
+	for ai, a := range algos {
+		actRow := []string{a}
+		aeRow := []string{a}
+		for ci := range cases {
+			c := res.Cells[ci*len(algos)+ai]
+			actRow = append(actRow, formatEstimate(c.Agg.ACT, 0))
+			aeRow = append(aeRow, formatEstimate(c.Agg.AE, 3))
+		}
+		actTable.Rows = append(actTable.Rows, actRow)
+		aeTable.Rows = append(aeTable.Rows, aeRow)
+	}
+	return actTable, aeTable, nil
+}

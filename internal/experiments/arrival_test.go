@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments/executor"
+	"repro/internal/workload/arrival"
+	"repro/internal/workload/traces"
+)
+
+func arrivalSpec(reps int, seed int64) SweepSpec {
+	return SweepSpec{
+		Name:       "arrival-axis",
+		Scales:     []Scale{microScale},
+		Algorithms: []string{"DSMF", "SMF"}, // one just-in-time, one full-ahead planner
+		Reps:       reps,
+		Seed:       seed,
+		Arrivals: []ArrivalCase{
+			{}, // batch default
+			{Label: "poisson", Spec: arrival.Spec{Kind: arrival.KindPoisson, RatePerHour: 30}},
+			{Label: "mmpp", Spec: arrival.Spec{Kind: arrival.KindMMPP, RatePerHour: 30}},
+			TraceCase(traces.Sample().Scale(0.5)),
+		},
+	}
+}
+
+// TestArrivalAxisSweep is the arrival-axis acceptance test: the axis is
+// deterministic (two runs produce byte-identical JSON), shard-mergeable
+// (a 2-shard split merges byte-identically), warm-cache-correct (a second
+// cached run executes zero jobs), and its batch cells are bit-identical
+// to a sweep without the axis.
+func TestArrivalAxisSweep(t *testing.T) {
+	spec := arrivalSpec(2, 7)
+
+	a, err := RunSweepStream(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSweepStream(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustJSON(t, a)
+	if !bytes.Equal(want, mustJSON(t, b)) {
+		t.Fatal("arrival-axis sweep not deterministic")
+	}
+
+	// Non-batch cells actually differ from batch ones (the axis is live).
+	if a.Cells[0].Agg.ACT.Mean == a.Cells[2].Agg.ACT.Mean {
+		t.Fatal("poisson cell identical to batch cell: arrival axis had no effect")
+	}
+
+	// Shard-mergeable: split across a cell boundary and reassemble.
+	var parts []*ShardResult
+	for i := 0; i < 2; i++ {
+		part, err := RunShard(spec, i, 2, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := part.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := DecodeShard(data)
+		if err != nil {
+			t.Fatalf("shard %d round trip: %v", i, err)
+		}
+		parts = append(parts, decoded)
+	}
+	merged, err := MergeShards(parts[1], parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, mustJSON(t, merged)) {
+		t.Fatal("merged arrival-axis shards differ from the single-host run")
+	}
+
+	// Warm-cache-correct: cold run populates, second run executes zero jobs.
+	cache := executor.Disk{Dir: t.TempDir()}
+	ce := &countingExecutor{}
+	cold, err := RunSweepStream(spec, RunOptions{Executor: ce, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantJobs := 4 * 2 * 2; ce.jobs != wantJobs {
+		t.Fatalf("cold run executed %d jobs, want %d", ce.jobs, wantJobs)
+	}
+	ce2 := &countingExecutor{}
+	warm, err := RunSweepStream(spec, RunOptions{Executor: ce2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce2.jobs != 0 {
+		t.Fatalf("warm run executed %d jobs, want 0", ce2.jobs)
+	}
+	if !bytes.Equal(want, mustJSON(t, cold)) || !bytes.Equal(want, mustJSON(t, warm)) {
+		t.Fatal("cached arrival-axis runs differ from the cold run")
+	}
+
+	// Batch cells are bit-identical to a sweep without the arrival axis:
+	// pre-existing cells do not move when the axis is introduced.
+	noAxis := spec
+	noAxis.Arrivals = nil
+	plain, err := RunSweepStream(noAxis, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ai := range spec.Algorithms {
+		batchCell := a.Cells[0*len(spec.Algorithms)+ai] // arrival case 0 = batch
+		refCell := plain.Cells[ai]
+		for r := range batchCell.Stats {
+			if batchCell.Stats[r].Final != refCell.Stats[r].Final {
+				t.Fatalf("batch cell (algo %s, rep %d) moved when the arrival axis was added:\n%+v\nvs\n%+v",
+					batchCell.Algo, r, batchCell.Stats[r].Final, refCell.Stats[r].Final)
+			}
+		}
+	}
+}
+
+func TestArrivalAxisSpecHashAndLabels(t *testing.T) {
+	base := arrivalSpec(1, 7)
+	noAxis := base
+	noAxis.Arrivals = nil
+	if base.SpecHash() == noAxis.SpecHash() {
+		t.Fatal("arrival axis does not move the spec hash")
+	}
+	edited := arrivalSpec(1, 7)
+	edited.Arrivals[1].Spec.RatePerHour = 60
+	if base.SpecHash() == edited.SpecHash() {
+		t.Fatal("arrival rate edit does not move the spec hash")
+	}
+
+	scens := base.withDefaults().Scenarios()
+	if len(scens) != 4 {
+		t.Fatalf("%d scenarios, want 4", len(scens))
+	}
+	if scens[0].Label() != "scale=micro" {
+		t.Fatalf("batch scenario label %q gained an arrival tag", scens[0].Label())
+	}
+	if want := "scale=micro arrival=poisson"; scens[1].Label() != want {
+		t.Fatalf("label %q, want %q", scens[1].Label(), want)
+	}
+	if !strings.Contains(scens[3].Label(), "arrival=trace:") {
+		t.Fatalf("trace label %q", scens[3].Label())
+	}
+
+	// Validation: non-batch cases need labels; broken specs are rejected.
+	bad := base
+	bad.Arrivals = []ArrivalCase{{Spec: arrival.Spec{Kind: arrival.KindPoisson, RatePerHour: 5}}}
+	if err := bad.withDefaults().validate(); err == nil {
+		t.Fatal("unlabeled non-batch arrival case accepted")
+	}
+	bad.Arrivals = []ArrivalCase{{Label: "x", Spec: arrival.Spec{Kind: "nope"}}}
+	if err := bad.withDefaults().validate(); err == nil {
+		t.Fatal("invalid arrival spec accepted")
+	}
+}
+
+// TestArrivalSweepRepTables smoke-tests the `-experiment arrival` figure:
+// the ladder renders one column per intensity plus batch (and a trace
+// column when given), with CI-carrying cells at reps > 1.
+func TestArrivalSweepRepTables(t *testing.T) {
+	act, ae, err := ArrivalSweepRep(microScale, 11, 2, traces.Sample().Scale(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(act.Header) != 1+6 { // algorithm + 4 poisson rungs + batch + trace
+		t.Fatalf("ACT header %v, want 7 columns", act.Header)
+	}
+	if act.Header[len(act.Header)-2] != "batch" || !strings.HasPrefix(act.Header[len(act.Header)-1], "trace:") {
+		t.Fatalf("ladder column order wrong: %v", act.Header)
+	}
+	if len(act.Rows) != 8 || len(ae.Rows) != 8 {
+		t.Fatalf("rows %d/%d, want 8 algorithms", len(act.Rows), len(ae.Rows))
+	}
+	if !strings.Contains(act.Rows[0][1], "±") {
+		t.Fatalf("replicated cell %q missing the CI half-width", act.Rows[0][1])
+	}
+	if out := act.Format(); !strings.Contains(out, "batch") {
+		t.Fatalf("formatted table missing batch column:\n%s", out)
+	}
+}
+
+// TestSlowArrivalsReportUnsubmittedTail pins the open-system accounting:
+// a process far slower than the horizon leaves tail workflows outside
+// the grid, and the Result says so instead of silently absorbing them.
+func TestSlowArrivalsReportUnsubmittedTail(t *testing.T) {
+	setting := NewSetting(microScale, 5)
+	// 1/h over a 4 h horizon: 30 workflows offered, only ~4 can arrive.
+	setting.Arrival = arrival.Spec{Kind: arrival.KindPoisson, RatePerHour: 1}
+	res, err := SingleRunWith(setting, "DSMF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != microScale.Nodes*microScale.LoadFactor {
+		t.Fatalf("Submitted = %d, want the offered load %d", res.Submitted, microScale.Nodes)
+	}
+	if res.Unsubmitted == 0 {
+		t.Fatal("slow arrivals should leave an unsubmitted tail")
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("no churn, but Dropped = %d", res.Dropped)
+	}
+	entered := res.Submitted - res.Unsubmitted
+	if entered <= 0 || res.Final.Completed > entered {
+		t.Fatalf("accounting inconsistent: %d entered, %d completed", entered, res.Final.Completed)
+	}
+	// Batch runs report a zero tail.
+	batch, err := SingleRunWith(NewSetting(microScale, 5), "DSMF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Unsubmitted != 0 || batch.Dropped != 0 {
+		t.Fatalf("batch run reports tail %d / dropped %d", batch.Unsubmitted, batch.Dropped)
+	}
+}
+
+func TestArrivalCasesForLadder(t *testing.T) {
+	cases := ArrivalCasesFor(microScale)
+	if len(cases) != 5 {
+		t.Fatalf("%d cases, want 5", len(cases))
+	}
+	if !cases[len(cases)-1].IsBatch() {
+		t.Fatal("ladder must end at the batch endpoint")
+	}
+	n := float64(microScale.Nodes * microScale.LoadFactor)
+	base := n / microScale.HorizonHours
+	for i, mult := range []float64{1, 2, 4, 8} {
+		if got := cases[i].Spec.RatePerHour; got != base*mult {
+			t.Fatalf("rung %d rate %v, want %v", i, got, base*mult)
+		}
+		if cases[i].Label == "" || cases[i].validate() != nil {
+			t.Fatalf("rung %d malformed: %+v", i, cases[i])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // Cache is the byte-level store behind the warm-start result cache. Keys
@@ -36,15 +37,22 @@ func (d Disk) path(key string) string {
 	return filepath.Join(d.Dir, prefix, key+".json")
 }
 
-// Get reads an entry, reporting a miss for any unreadable file.
+// Get reads an entry, reporting a miss for any unreadable file. A hit
+// bumps the entry's modification time (best-effort), which is what the GC
+// pass orders evictions by — mtime doubles as a portable last-access
+// stamp, so a warm cell a sweep keeps restoring stays young while stale
+// axes age out.
 func (d Disk) Get(key string) ([]byte, bool) {
 	if !validKey(key) {
 		return nil, false
 	}
-	data, err := os.ReadFile(d.path(key))
+	path := d.path(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 	return data, true
 }
 

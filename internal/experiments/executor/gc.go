@@ -1,0 +1,122 @@
+package executor
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the maintenance side of the Disk cache: entries are
+// content-addressed and never updated in place, so a shared cache
+// directory only ever grows. GC trims it back under a size budget and an
+// age bound, oldest-access first. "Access" is approximated portably by
+// the file modification time: Get bumps an entry's mtime on every hit
+// (atime is unreliable or disabled on most filesystems), so the deletion
+// order is LRU-ish without any sidecar index.
+
+// GCOptions bounds a GC pass. At least one bound must be set.
+type GCOptions struct {
+	// MaxBytes is the total size budget across all entries; after the
+	// pass the surviving entries sum to at most this many bytes
+	// (oldest-access entries are dropped first). 0 = no size bound.
+	MaxBytes int64
+
+	// MaxAge drops every entry whose last access is older than this,
+	// regardless of the size budget. 0 = no age bound.
+	MaxAge time.Duration
+
+	// now is a test seam; zero means time.Now().
+	now time.Time
+}
+
+// GCStats reports what a GC pass did.
+type GCStats struct {
+	Scanned     int   // entries found
+	Deleted     int   // entries removed
+	BytesBefore int64 // total entry bytes before the pass
+	BytesAfter  int64 // total entry bytes after the pass
+}
+
+// gcEntry is one cache file during a GC pass.
+type gcEntry struct {
+	path  string
+	size  int64
+	atime time.Time
+}
+
+// GC removes entries beyond the options' bounds, oldest access first.
+// Unreadable or foreign files under the cache directory are left alone; a
+// missing cache directory is an empty cache, not an error. Emptied
+// fan-out subdirectories are removed best-effort.
+func (d Disk) GC(opt GCOptions) (GCStats, error) {
+	var st GCStats
+	if opt.MaxBytes <= 0 && opt.MaxAge <= 0 {
+		return st, os.ErrInvalid
+	}
+	now := opt.now
+	if now.IsZero() {
+		now = time.Now()
+	}
+	var entries []gcEntry
+	err := filepath.WalkDir(d.Dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return nil // skip unreadable subtrees; foreign dirs are harmless
+		}
+		key, isJSON := strings.CutSuffix(de.Name(), ".json")
+		if !isJSON || !validKey(key) || path != d.path(key) {
+			return nil // not one of ours
+		}
+		info, err := de.Info()
+		if err != nil {
+			return nil
+		}
+		entries = append(entries, gcEntry{path: path, size: info.Size(), atime: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, nil
+		}
+		return st, err
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].atime.Equal(entries[j].atime) {
+			return entries[i].atime.Before(entries[j].atime)
+		}
+		return entries[i].path < entries[j].path
+	})
+	st.Scanned = len(entries)
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	st.BytesBefore = total
+	st.BytesAfter = total
+	cutoff := time.Time{}
+	if opt.MaxAge > 0 {
+		cutoff = now.Add(-opt.MaxAge)
+	}
+	for _, e := range entries {
+		expired := opt.MaxAge > 0 && e.atime.Before(cutoff)
+		over := opt.MaxBytes > 0 && st.BytesAfter > opt.MaxBytes
+		if !expired && !over {
+			// Entries are oldest-first and the budget only improves as we
+			// delete, so the rest survive too.
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			if os.IsNotExist(err) {
+				continue // racing run already took it
+			}
+			return st, err
+		}
+		st.Deleted++
+		st.BytesAfter -= e.size
+		// Drop the fan-out directory when this was its last entry.
+		_ = os.Remove(filepath.Dir(e.path)) // fails (kept) while non-empty
+	}
+	return st, nil
+}

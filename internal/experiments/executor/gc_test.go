@@ -1,0 +1,139 @@
+package executor
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// gcKey builds a distinct valid (hex) cache key.
+func gcKey(i int) string {
+	return fmt.Sprintf("%064x", 0xabc000+i)
+}
+
+// putAged stores an entry and pins its mtime to the given age before now.
+func putAged(t *testing.T, d Disk, key string, size int, age time.Duration, now time.Time) {
+	t.Helper()
+	if err := d.Put(key, make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	at := now.Add(-age)
+	if err := os.Chtimes(d.path(key), at, at); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCRequiresABound(t *testing.T) {
+	d := Disk{Dir: t.TempDir()}
+	if _, err := d.GC(GCOptions{}); err == nil {
+		t.Fatal("unbounded GC accepted")
+	}
+}
+
+func TestGCSizeBudgetDropsOldestFirst(t *testing.T) {
+	d := Disk{Dir: t.TempDir()}
+	now := time.Now()
+	// Four 100-byte entries, ages 4h..1h (key 0 oldest).
+	for i := 0; i < 4; i++ {
+		putAged(t, d, gcKey(i), 100, time.Duration(4-i)*time.Hour, now)
+	}
+	st, err := d.GC(GCOptions{MaxBytes: 250, now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 4 || st.Deleted != 2 || st.BytesBefore != 400 || st.BytesAfter != 200 {
+		t.Fatalf("stats %+v, want 4 scanned / 2 deleted / 400 -> 200 bytes", st)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := d.Get(gcKey(i)); ok {
+			t.Fatalf("oldest entry %d survived the budget", i)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if _, ok := d.Get(gcKey(i)); !ok {
+			t.Fatalf("young entry %d was deleted", i)
+		}
+	}
+}
+
+func TestGCMaxAgeDropsExpiredRegardlessOfBudget(t *testing.T) {
+	d := Disk{Dir: t.TempDir()}
+	now := time.Now()
+	putAged(t, d, gcKey(0), 10, 72*time.Hour, now)
+	putAged(t, d, gcKey(1), 10, time.Hour, now)
+	st, err := d.GC(GCOptions{MaxAge: 48 * time.Hour, now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deleted != 1 {
+		t.Fatalf("deleted %d, want 1", st.Deleted)
+	}
+	if _, ok := d.Get(gcKey(0)); ok {
+		t.Fatal("expired entry survived")
+	}
+	if _, ok := d.Get(gcKey(1)); !ok {
+		t.Fatal("fresh entry deleted")
+	}
+}
+
+// TestGCGetBumpKeepsWarmEntries pins the LRU approximation: reading an
+// entry refreshes its access stamp, so the entry a warm sweep keeps
+// hitting outlives colder siblings under the same budget.
+func TestGCGetBumpKeepsWarmEntries(t *testing.T) {
+	d := Disk{Dir: t.TempDir()}
+	now := time.Now()
+	putAged(t, d, gcKey(0), 100, 4*time.Hour, now)
+	putAged(t, d, gcKey(1), 100, 2*time.Hour, now)
+	// Touch the older entry: it becomes the youngest.
+	if _, ok := d.Get(gcKey(0)); !ok {
+		t.Fatal("warm read missed")
+	}
+	st, err := d.GC(GCOptions{MaxBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deleted != 1 {
+		t.Fatalf("deleted %d, want 1", st.Deleted)
+	}
+	if _, ok := d.Get(gcKey(0)); !ok {
+		t.Fatal("recently read entry was evicted")
+	}
+	if _, ok := d.Get(gcKey(1)); ok {
+		t.Fatal("cold entry survived over the recently read one")
+	}
+}
+
+func TestGCIgnoresForeignFilesAndMissingDir(t *testing.T) {
+	d := Disk{Dir: t.TempDir()}
+	now := time.Now()
+	putAged(t, d, gcKey(0), 10, time.Hour, now)
+	// Foreign files: wrong name shape, wrong location.
+	if err := os.WriteFile(filepath.Join(d.Dir, "README.txt"), []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(d.Dir, "notakey.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.GC(GCOptions{MaxBytes: 1, now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 1 || st.Deleted != 1 {
+		t.Fatalf("stats %+v, want exactly the one real entry scanned and deleted", st)
+	}
+	if _, err := os.Stat(filepath.Join(d.Dir, "README.txt")); err != nil {
+		t.Fatal("foreign file was deleted")
+	}
+	// Emptied fan-out dir is removed.
+	if _, err := os.Stat(filepath.Dir(d.path(gcKey(0)))); !os.IsNotExist(err) {
+		t.Fatalf("emptied fan-out dir not cleaned: %v", err)
+	}
+
+	// A missing cache directory is an empty cache.
+	gone := Disk{Dir: filepath.Join(t.TempDir(), "never-created")}
+	if st, err := gone.GC(GCOptions{MaxBytes: 1}); err != nil || st.Scanned != 0 {
+		t.Fatalf("missing dir: %+v, %v", st, err)
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/workload"
+	"repro/internal/workload/arrival"
+	"repro/internal/workload/traces"
 )
 
 // Scale selects the experiment size. PaperScale mirrors Section IV.A
@@ -71,6 +73,13 @@ type Setting struct {
 	// algorithm faces the identical network. Built on demand when nil.
 	Net *topology.Network
 
+	// Arrival spreads the workload over virtual time (zero value: the
+	// paper's batch load at t=0). Trace switches to trace replay (one
+	// workflow per trace job, see workload.Generate's scaling rule);
+	// when set, Arrival is ignored.
+	Arrival arrival.Spec
+	Trace   []traces.Job
+
 	// Ablation switches.
 	OracleBandwidth  bool
 	OracleAverages   bool
@@ -115,7 +124,19 @@ type Result struct {
 	Collector metrics.Collector
 	Final     metrics.Snapshot
 	CCR       float64 // estimated communication-to-computation ratio
+
+	// Submitted is the offered load: every workflow the workload
+	// generator scheduled, whether or not it entered the grid before the
+	// horizon. Completion rates are relative to it (an open-system view:
+	// work that never got in still counts against the system).
 	Submitted int
+
+	// Dropped counts timed arrivals whose home node had churned away at
+	// the arrival instant; Unsubmitted counts timed arrivals still
+	// pending when the horizon ended (an arrival process slower than the
+	// horizon, or a long trace). Both are 0 under the batch default.
+	Dropped     int
+	Unsubmitted int
 }
 
 // Run executes one simulation with the given algorithm. The workload and
@@ -148,11 +169,22 @@ func Run(setting Setting, algo grid.Algorithm) (Result, error) {
 		LoadFactor: setting.Scale.LoadFactor,
 		Gen:        setting.Gen,
 		Seed:       stats.SplitSeed(setting.Seed, 0x71),
+		Arrival:    setting.Arrival,
+		Trace:      setting.Trace,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("experiments: workload: %w", err)
 	}
 	for _, sub := range subs {
+		if sub.SubmitAt > 0 {
+			// Timed arrival: the workflow enters the system when its
+			// submission event fires during the run.
+			g.SubmitAt(sub.SubmitAt, sub.Home, sub.Workflow)
+			continue
+		}
+		// Batch (t=0) submissions keep the historical pre-Start path:
+		// full-ahead planners see them as one central batch, exactly as
+		// before the arrival subsystem existed.
 		if _, err := g.Submit(sub.Home, sub.Workflow); err != nil {
 			return Result{}, fmt.Errorf("experiments: submit: %w", err)
 		}
@@ -170,12 +202,14 @@ func Run(setting Setting, algo grid.Algorithm) (Result, error) {
 
 	avgCap, avgBW := g.TrueAverages()
 	return Result{
-		Algo:      algo.Label,
-		Setting:   setting,
-		Collector: col,
-		Final:     metrics.Sample(g, engine.Now()),
-		CCR:       workload.EstimateCCR(setting.Gen, avgCap, avgBW),
-		Submitted: len(subs),
+		Algo:        algo.Label,
+		Setting:     setting,
+		Collector:   col,
+		Final:       metrics.Sample(g, engine.Now()),
+		CCR:         workload.EstimateCCR(setting.Gen, avgCap, avgBW),
+		Submitted:   len(subs),
+		Dropped:     g.DroppedSubmissions,
+		Unsubmitted: len(subs) - len(g.Workflows) - g.DroppedSubmissions,
 	}, nil
 }
 
@@ -183,11 +217,18 @@ func Run(setting Setting, algo grid.Algorithm) (Result, error) {
 // heuristics.ByName) under the default Table I setting - the unit of every
 // sweep, exposed directly for profiling and scale checks.
 func SingleRun(scale Scale, seed int64, algo string) (Result, error) {
+	return SingleRunWith(NewSetting(scale, seed), algo)
+}
+
+// SingleRunWith is SingleRun over a caller-built Setting, for runs that
+// deviate from the Table I defaults (arrival processes, trace replay,
+// ablation switches).
+func SingleRunWith(setting Setting, algo string) (Result, error) {
 	a, err := heuristics.ByName(algo)
 	if err != nil {
 		return Result{}, err
 	}
-	return Run(NewSetting(scale, seed), a)
+	return Run(setting, a)
 }
 
 // newEngine is a seam for tests.

@@ -15,7 +15,7 @@ import (
 )
 
 // This file declares the multi-seed scenario sweep: a SweepSpec is a matrix
-// of scenario axes (scale x churn x load factor x CCR) crossed with an
+// of scenario axes (scale x churn x load factor x CCR x arrival) crossed with an
 // algorithm axis and replicated over independent seeds. The spec side is
 // pure data — canonical expansion order (Scenarios, Jobs), seed derivation
 // and content hashing (SpecHash) — while execution lives in runner.go
@@ -71,6 +71,12 @@ type SweepSpec struct {
 	// CCRCases is the workload-shape axis; nil collapses to the default
 	// Table I generator.
 	CCRCases []CCRCase
+
+	// Arrivals is the arrival-process axis; nil collapses to the batch
+	// load (everything submitted at t=0, the paper's setting and this
+	// simulator's historical behavior — cells with the zero ArrivalCase
+	// are bit-identical to pre-arrival sweeps).
+	Arrivals []ArrivalCase
 }
 
 // withDefaults normalizes the spec without mutating the caller's slices.
@@ -89,6 +95,9 @@ func (sp SweepSpec) withDefaults() SweepSpec {
 	}
 	if len(sp.CCRCases) == 0 {
 		sp.CCRCases = []CCRCase{{}}
+	}
+	if len(sp.Arrivals) == 0 {
+		sp.Arrivals = []ArrivalCase{{}}
 	}
 	return sp
 }
@@ -110,6 +119,11 @@ func (sp SweepSpec) validate() error {
 	for _, lf := range sp.LoadFactors {
 		if lf < 0 {
 			return fmt.Errorf("experiments: negative load factor %d", lf)
+		}
+	}
+	for i, ac := range sp.Arrivals {
+		if err := ac.validate(); err != nil {
+			return fmt.Errorf("experiments: arrival case %d: %w", i, err)
 		}
 	}
 	return nil
@@ -144,6 +158,10 @@ type Scenario struct {
 	Churn      float64 // 0 = static
 	CCR        CCRCase // zero Label = default Table I generator
 
+	// Arrival is the arrival-process cell; the zero value is the batch
+	// load at t=0 (the default axis point).
+	Arrival ArrivalCase
+
 	// ChurnLayout forces the half-homes layout even at Churn == 0 (the
 	// df=0 cell of a churn-axis sweep, see SweepSpec.ChurnLayout).
 	ChurnLayout bool
@@ -161,6 +179,9 @@ func (sc Scenario) Label() string {
 	if sc.CCR.Label != "" {
 		s += " ccr=" + sc.CCR.Label
 	}
+	if sc.Arrival.Label != "" {
+		s += " arrival=" + sc.Arrival.Label
+	}
 	return s
 }
 
@@ -176,6 +197,8 @@ func (sc Scenario) setting(seed int64, net *topology.Network, reschedule bool) S
 	if sc.CCR.Label != "" {
 		s.Gen = workload.CCRScenario(sc.CCR.LoadMI, sc.CCR.DataMb)
 	}
+	s.Arrival = sc.Arrival.Spec
+	s.Trace = sc.Arrival.Trace
 	if sc.Churn > 0 || sc.ChurnLayout {
 		stable := sc.Scale.Nodes / 2
 		s.Homes = stable
@@ -194,8 +217,8 @@ func (sc Scenario) setting(seed int64, net *topology.Network, reschedule bool) S
 }
 
 // Scenarios expands the spec's scenario axes in a fixed documented order:
-// scale (outer), churn, load factor, CCR (inner). The order is part of the
-// determinism contract - cells, seeds and JSON all follow it.
+// scale (outer), churn, load factor, CCR, arrival (inner). The order is
+// part of the determinism contract - cells, seeds and JSON all follow it.
 func (sp SweepSpec) Scenarios() []Scenario {
 	sp = sp.withDefaults()
 	var out []Scenario
@@ -203,11 +226,14 @@ func (sp SweepSpec) Scenarios() []Scenario {
 		for _, df := range sp.ChurnFactors {
 			for _, lf := range sp.LoadFactors {
 				for _, ccr := range sp.CCRCases {
-					out = append(out, Scenario{
-						ScaleIndex: si, Scale: scale,
-						LoadFactor: lf, Churn: df, CCR: ccr,
-						ChurnLayout: sp.ChurnLayout,
-					})
+					for _, ac := range sp.Arrivals {
+						out = append(out, Scenario{
+							ScaleIndex: si, Scale: scale,
+							LoadFactor: lf, Churn: df, CCR: ccr,
+							Arrival:     ac,
+							ChurnLayout: sp.ChurnLayout,
+						})
+					}
 				}
 			}
 		}
@@ -438,6 +464,7 @@ type sweepCellJSON struct {
 	LoadFactor int                  `json:"load_factor"`
 	Churn      float64              `json:"churn"`
 	CCR        string               `json:"ccr,omitempty"`
+	Arrival    string               `json:"arrival,omitempty"`
 	Algo       string               `json:"algo"`
 	Seeds      []int64              `json:"seeds"`
 	Aggregate  metrics.RunAggregate `json:"aggregate"`
@@ -465,6 +492,7 @@ func (r *SweepResult) JSON() ([]byte, error) {
 			LoadFactor: lf,
 			Churn:      c.Scenario.Churn,
 			CCR:        c.Scenario.CCR.Label,
+			Arrival:    c.Scenario.Arrival.Label,
 			Algo:       c.Algo,
 			Seeds:      c.Seeds,
 			Aggregate:  c.Agg,

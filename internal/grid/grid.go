@@ -165,6 +165,10 @@ type Grid struct {
 	FailedTasks    int
 	Rescheduled    int
 	HandedBack     int
+
+	// DroppedSubmissions counts timed submissions (SubmitAt) whose home
+	// node was no longer alive at the arrival instant.
+	DroppedSubmissions int
 }
 
 // Node is one peer: home node for its submitted workflows and resource node

@@ -490,3 +490,51 @@ func TestQueueDelay(t *testing.T) {
 		t.Fatal("zero capacity must give infinite delay")
 	}
 }
+
+// TestSubmitAtTimedArrival exercises the timed-submission path of the
+// arrival subsystem: a workflow scheduled for t=3000 enters the system at
+// that instant (not before), records its submit time, and still completes.
+func TestSubmitAtTimedArrival(t *testing.T) {
+	engine, g := newTestGrid(t, 5, 7)
+	g.SubmitAt(3000, 0, chainWorkflow(t, 3))
+	g.Start()
+	engine.RunUntil(2999)
+	if len(g.Workflows) != 0 {
+		t.Fatalf("workflow present before its arrival time (%d registered)", len(g.Workflows))
+	}
+	engine.RunUntil(36 * 3600)
+	if len(g.Workflows) != 1 {
+		t.Fatalf("%d workflows after arrival, want 1", len(g.Workflows))
+	}
+	wf := g.Workflows[0]
+	if wf.SubmittedAt != 3000 {
+		t.Fatalf("SubmittedAt = %v, want 3000", wf.SubmittedAt)
+	}
+	if wf.State != WorkflowCompleted {
+		t.Fatalf("state %v, want completed", wf.State)
+	}
+	if ct := wf.CompletionTime(); ct <= 0 || wf.CompletedAt < 3000 {
+		t.Fatalf("completion bookkeeping wrong: at %v, ct %v", wf.CompletedAt, ct)
+	}
+	if g.DroppedSubmissions != 0 {
+		t.Fatalf("DroppedSubmissions = %d", g.DroppedSubmissions)
+	}
+}
+
+// TestSubmitAtDropsWhenHomeDead pins the churn interaction: a timed
+// arrival whose home node has left by the arrival instant is dropped and
+// counted rather than panicking or resurrecting the node.
+func TestSubmitAtDropsWhenHomeDead(t *testing.T) {
+	engine, g := newTestGrid(t, 4, 9)
+	g.SubmitAt(1000, 2, chainWorkflow(t, 2))
+	g.SubmitAt(1000, 99, chainWorkflow(t, 2)) // out of range: also dropped
+	g.Nodes[2].Alive = false
+	g.Start()
+	engine.RunUntil(2000)
+	if len(g.Workflows) != 0 {
+		t.Fatalf("%d workflows submitted to a dead home", len(g.Workflows))
+	}
+	if g.DroppedSubmissions != 2 {
+		t.Fatalf("DroppedSubmissions = %d, want 2", g.DroppedSubmissions)
+	}
+}

@@ -211,6 +211,28 @@ func (g *Grid) activate(t *TaskInstance, now float64) {
 	}
 }
 
+// SubmitAt schedules a workflow submission at absolute simulated time at
+// (clamped to now by the engine): the timed-arrival counterpart of Submit.
+// The workflow enters the system only when the event fires — under
+// just-in-time algorithms its entry becomes a schedule point for the next
+// scheduling cycle, under full-ahead planners it is planned on arrival
+// (the "workflows submitted after Start" path). If the home node has
+// churned away by the arrival instant the submission is dropped and
+// counted in DroppedSubmissions, mirroring a user whose access point left
+// the grid.
+func (g *Grid) SubmitAt(at float64, home int, w *dag.Workflow) {
+	g.Engine.At(at, func(now float64) {
+		if home < 0 || home >= len(g.Nodes) || !g.Nodes[home].Alive {
+			g.DroppedSubmissions++
+			return
+		}
+		// Submit errors only for dead/out-of-range homes, checked above.
+		if _, err := g.Submit(home, w); err != nil {
+			panic(fmt.Sprintf("grid: timed submission: %v", err))
+		}
+	})
+}
+
 // completeLocally finishes a zero-cost virtual task at the home node and
 // propagates readiness to its successors.
 func (g *Grid) completeLocally(t *TaskInstance, now float64) {

@@ -1,0 +1,173 @@
+package traces
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/workload/arrival"
+)
+
+func TestParseSWFBasics(t *testing.T) {
+	in := `; comment header
+; UnixStartTime: 0
+
+1 100 -1 60 2 -1 -1 2 -1 -1 1 1 1 -1 1 -1 -1 -1
+2 160 -1 120 1 -1 -1 1 -1 -1 1 2 1 -1 1 -1 -1 -1
+# hash comments too
+3 400 -1 30 4 -1 -1 4 -1 -1 1 1 1 -1 1 -1 -1 -1
+`
+	tr, err := ParseSWF("basics", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Job{
+		{ID: 1, Submit: 0, Runtime: 60, Procs: 2},
+		{ID: 2, Submit: 60, Runtime: 120, Procs: 1},
+		{ID: 3, Submit: 300, Runtime: 30, Procs: 4},
+	}
+	if !reflect.DeepEqual(tr.Jobs, want) {
+		t.Fatalf("jobs %+v, want %+v (normalized offsets)", tr.Jobs, want)
+	}
+	if tr.Span() != 300 {
+		t.Fatalf("span %v, want 300", tr.Span())
+	}
+	if tr.Skipped != 0 {
+		t.Fatalf("skipped %d, want 0", tr.Skipped)
+	}
+}
+
+func TestParseSWFSkipsSentinelsAndFallsBackToRequestedProcs(t *testing.T) {
+	in := `1 0 -1 -1 1 -1 -1 1
+2 10 -1 50 -1 -1 -1 4
+3 20 -1 50 0 -1 -1 -1
+`
+	tr, err := ParseSWF("sentinels", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 1: unknown runtime, skipped. Job 2: procs -1 falls back to
+	// requested 4. Job 3: both unknown, skipped.
+	if len(tr.Jobs) != 1 || tr.Jobs[0].ID != 2 || tr.Jobs[0].Procs != 4 {
+		t.Fatalf("jobs %+v, want only job 2 with procs 4", tr.Jobs)
+	}
+	if tr.Skipped != 2 {
+		t.Fatalf("skipped %d, want 2", tr.Skipped)
+	}
+	if got := tr.Jobs[0].CPUSeconds(); got != 200 {
+		t.Fatalf("CPUSeconds %v, want 200", got)
+	}
+}
+
+func TestParseSWFSortsOutOfOrderTimestamps(t *testing.T) {
+	in := `2 500 -1 10 1
+1 100 -1 20 1
+3 300 -1 30 1
+`
+	tr, err := ParseSWF("ooo", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{tr.Jobs[0].ID, tr.Jobs[1].ID, tr.Jobs[2].ID}
+	if !reflect.DeepEqual(ids, []int{1, 3, 2}) {
+		t.Fatalf("ids %v, want sorted by submit [1 3 2]", ids)
+	}
+	if tr.Jobs[0].Submit != 0 || tr.Jobs[2].Submit != 400 {
+		t.Fatalf("offsets %v, want normalized to first arrival", tr.Jobs)
+	}
+}
+
+func TestParseSWFErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty file":      "",
+		"comments only":   "; nothing here\n",
+		"all skipped":     "1 0 -1 -1 1\n",
+		"too few fields":  "1 0 -1\n",
+		"bad job number":  "x 0 -1 10 1\n",
+		"bad submit":      "1 huh -1 10 1\n",
+		"negative submit": "1 -5 -1 10 1\n",
+		"bad runtime":     "1 0 -1 ten 1\n",
+		"bad procs":       "1 0 -1 10 p\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseSWF(name, strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Errors carry the file name and line number.
+	_, err := ParseSWF("lined", strings.NewReader("1 0 -1 10 1\nbroken line here\n"))
+	if err == nil || !strings.Contains(err.Error(), "lined:2") {
+		t.Fatalf("error %v does not name file:line", err)
+	}
+}
+
+func TestRoundTripParseEmitParse(t *testing.T) {
+	orig := Sample()
+	var buf bytes.Buffer
+	if err := orig.WriteSWF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseSWF("reparsed", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-emitted trace does not parse: %v", err)
+	}
+	if !reflect.DeepEqual(orig.Jobs, again.Jobs) {
+		t.Fatalf("round trip changed jobs:\n%+v\nvs\n%+v", orig.Jobs[:3], again.Jobs[:3])
+	}
+}
+
+func TestSampleTraceShape(t *testing.T) {
+	tr := Sample()
+	if len(tr.Jobs) != 42 {
+		t.Fatalf("sample has %d jobs, want 42", len(tr.Jobs))
+	}
+	if tr.Skipped != 2 {
+		t.Fatalf("sample skipped %d records, want 2 (the -1 sentinels)", tr.Skipped)
+	}
+	if tr.Jobs[0].Submit != 0 {
+		t.Fatalf("sample not normalized: first submit %v", tr.Jobs[0].Submit)
+	}
+	spec := tr.ArrivalSpec()
+	if spec.Kind != arrival.KindTrace || len(spec.Times) != 42 {
+		t.Fatalf("ArrivalSpec %+v malformed", spec)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleCompressesSubmitTimes(t *testing.T) {
+	tr := Sample().Scale(0.5)
+	if got, want := tr.Span(), Sample().Span()/2; got != want {
+		t.Fatalf("scaled span %v, want %v", got, want)
+	}
+	if rt := tr.Jobs[1].Runtime; rt != Sample().Jobs[1].Runtime {
+		t.Fatalf("Scale must not touch runtimes, got %v", rt)
+	}
+}
+
+// FuzzParseSWFLine pins the line parser's contract: any input either
+// parses to a usable job, is skipped, or errors — it never panics, and
+// accepted jobs always carry positive runtime and procs and a
+// non-negative submit time.
+func FuzzParseSWFLine(f *testing.F) {
+	f.Add("1 100 -1 60 2 -1 -1 2 -1 -1 1 1 1 -1 1 -1 -1 -1")
+	f.Add("; comment")
+	f.Add("")
+	f.Add("2 10 -1 50 -1 -1 -1 4")
+	f.Add("1 0 -1 -1 1")
+	f.Add("x y z")
+	f.Add("1 1e309 -1 10 1")
+	f.Fuzz(func(t *testing.T, line string) {
+		j, ok, err := parseSWFLine(line)
+		if err != nil && ok {
+			t.Fatalf("both ok and error for %q", line)
+		}
+		if ok && (j.Runtime <= 0 || j.Procs <= 0 || j.Submit < 0 ||
+			math.IsNaN(j.Submit) || math.IsInf(j.Submit, 0) || math.IsInf(j.Runtime, 0)) {
+			t.Fatalf("accepted unusable job %+v from %q", j, line)
+		}
+	})
+}

@@ -1,7 +1,12 @@
 // Package workload generates the experimental workloads of Table I: every
 // node receives loadFactor workflows drawn from the random DAG generator,
 // with the per-experiment load/data ranges that control the communication-
-// to-computation ratio (CCR).
+// to-computation ratio (CCR). Beyond the paper's batch load, a Config may
+// carry an arrival process (Poisson, bursty MMPP, diurnal — see
+// internal/workload/arrival) that spreads the submissions over virtual
+// time, or replay a parsed grid trace (internal/workload/traces) whose
+// jobs are mapped onto Table I DAGs by the scaling rule documented on
+// Generate.
 package workload
 
 import (
@@ -9,6 +14,8 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/stats"
+	"repro/internal/workload/arrival"
+	"repro/internal/workload/traces"
 )
 
 // Config describes one experiment's workload.
@@ -17,18 +24,53 @@ type Config struct {
 	LoadFactor int // workflows submitted per node ("average load factor")
 	Gen        dag.GenConfig
 	Seed       int64
+
+	// Arrival spreads the submissions over virtual time. The zero value
+	// is the paper's batch load (everything at t=0) and consumes no
+	// randomness, so pre-arrival workloads are bit-identical.
+	Arrival arrival.Spec
+
+	// Trace, when non-empty, switches to trace replay: one workflow per
+	// trace job (Nodes*LoadFactor is ignored), submitted at the job's
+	// recorded offset from a home node drawn uniformly from [0, Nodes).
+	// Arrival is ignored in trace mode — the trace IS the schedule.
+	Trace []traces.Job
+
+	// RefMIPS is the trace scaling rule's reference capacity; 0 picks
+	// the paper's average node capacity (6.2 MIPS).
+	RefMIPS float64
 }
 
-// Submission pairs a workflow with its home node.
+// Submission pairs a workflow with its home node and its virtual submit
+// time (seconds; 0 = present at the start of the run, the batch default).
 type Submission struct {
 	Home     int
+	SubmitAt float64
 	Workflow *dag.Workflow
 }
 
-// Generate draws LoadFactor workflows for each of Nodes home nodes.
+// Generate draws the workload of cfg.
+//
+// Batch/synthetic mode draws LoadFactor workflows for each of Nodes home
+// nodes exactly as before — the generator stream is untouched by the
+// arrival process, which draws its submit times from an independent
+// derived stream (so the batch default remains bit-identical to the
+// pre-arrival workload generator).
+//
+// Trace mode (cfg.Trace non-empty) replays a parsed grid trace with the
+// scaling rule: each trace job becomes one Table I DAG whose task loads
+// are uniformly rescaled so the DAG's total computational amount equals
+// the job's recorded work priced at the reference capacity —
+// totalMI = runtime_s x procs x RefMIPS — preserving each job's relative
+// weight while keeping the paper's DAG shapes, image sizes and data
+// volumes. Submit times are the trace's normalized offsets; homes are
+// drawn uniformly per job from an independent stream.
 func Generate(cfg Config) ([]Submission, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("workload: need positive node count, got %d", cfg.Nodes)
+	}
+	if len(cfg.Trace) > 0 {
+		return generateTrace(cfg)
 	}
 	if cfg.LoadFactor <= 0 {
 		return nil, fmt.Errorf("workload: need positive load factor, got %d", cfg.LoadFactor)
@@ -43,6 +85,55 @@ func Generate(cfg Config) ([]Submission, error) {
 			}
 			subs = append(subs, Submission{Home: home, Workflow: w})
 		}
+	}
+	times, err := cfg.Arrival.Schedule(len(subs), stats.SplitSeed(cfg.Seed, 0x35))
+	if err != nil {
+		return nil, fmt.Errorf("workload: arrival schedule: %w", err)
+	}
+	for i := range subs {
+		subs[i].SubmitAt = times[i]
+	}
+	return subs, nil
+}
+
+// generateTrace implements trace-replay mode; see Generate for the rule.
+func generateTrace(cfg Config) ([]Submission, error) {
+	ref := cfg.RefMIPS
+	if ref == 0 {
+		ref = dag.PaperAvgCapacityMIPS
+	}
+	if ref < 0 {
+		return nil, fmt.Errorf("workload: negative reference capacity %v", ref)
+	}
+	rng := stats.NewRand(cfg.Seed, 0x33)
+	homeRng := stats.NewRand(cfg.Seed, 0x36)
+	subs := make([]Submission, 0, len(cfg.Trace))
+	prev := 0.0
+	for i, job := range cfg.Trace {
+		if job.Runtime <= 0 || job.Procs <= 0 {
+			return nil, fmt.Errorf("workload: trace job %d has runtime %v, procs %d (parse should have skipped it)",
+				i, job.Runtime, job.Procs)
+		}
+		if job.Submit < prev {
+			return nil, fmt.Errorf("workload: trace submit times decrease at job %d", i)
+		}
+		prev = job.Submit
+		w, err := dag.Generate(fmt.Sprintf("tr-%d", i), cfg.Gen, rng)
+		if err != nil {
+			return nil, err
+		}
+		targetMI := job.Runtime * float64(job.Procs) * ref
+		if total := w.TotalLoad(); total > 0 {
+			w, err = w.ScaleLoads(targetMI / total)
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace job %d: %w", i, err)
+			}
+		}
+		subs = append(subs, Submission{
+			Home:     homeRng.Intn(cfg.Nodes),
+			SubmitAt: job.Submit,
+			Workflow: w,
+		})
 	}
 	return subs, nil
 }

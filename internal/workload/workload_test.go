@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/stats"
+	"repro/internal/workload/arrival"
+	"repro/internal/workload/traces"
 )
 
 func TestGenerateCountsAndHomes(t *testing.T) {
@@ -53,6 +55,131 @@ func TestGenerateDeterministic(t *testing.T) {
 		if a[i].Workflow.Len() != b[i].Workflow.Len() ||
 			a[i].Workflow.Edges() != b[i].Workflow.Edges() {
 			t.Fatalf("submission %d differs between identical runs", i)
+		}
+	}
+}
+
+// TestBatchArrivalLeavesWorkloadUntouched pins the compatibility
+// contract of the arrival subsystem: the zero-value (batch) arrival spec
+// assigns SubmitAt 0 everywhere and consumes no randomness, so the
+// generated workflows are bit-identical to a pre-arrival Generate.
+func TestBatchArrivalLeavesWorkloadUntouched(t *testing.T) {
+	cfg := Config{Nodes: 6, LoadFactor: 2, Gen: dag.DefaultGenConfig(), Seed: 17}
+	batch, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := cfg
+	explicit.Arrival = arrival.Spec{Kind: arrival.KindBatch}
+	again, err := Generate(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if batch[i].SubmitAt != 0 || again[i].SubmitAt != 0 {
+			t.Fatalf("batch submission %d carries time %v/%v", i, batch[i].SubmitAt, again[i].SubmitAt)
+		}
+		if batch[i].Workflow.TotalLoad() != again[i].Workflow.TotalLoad() {
+			t.Fatalf("submission %d workflow differs between implicit and explicit batch", i)
+		}
+	}
+}
+
+func TestPoissonArrivalSpreadsSameWorkflows(t *testing.T) {
+	cfg := Config{Nodes: 6, LoadFactor: 2, Gen: dag.DefaultGenConfig(), Seed: 17}
+	batch, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Arrival = arrival.Spec{Kind: arrival.KindPoisson, RatePerHour: 30}
+	spread, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spread) != len(batch) {
+		t.Fatalf("arrival process changed the submission count: %d vs %d", len(spread), len(batch))
+	}
+	positive := 0
+	prev := 0.0
+	for i := range spread {
+		// Same generator stream: workflows identical, only times differ.
+		if spread[i].Workflow.TotalLoad() != batch[i].Workflow.TotalLoad() ||
+			spread[i].Home != batch[i].Home {
+			t.Fatalf("submission %d workload differs under an arrival process", i)
+		}
+		if spread[i].SubmitAt < prev {
+			t.Fatalf("submit times decrease at %d", i)
+		}
+		prev = spread[i].SubmitAt
+		if spread[i].SubmitAt > 0 {
+			positive++
+		}
+	}
+	if positive < len(spread)-1 {
+		t.Fatalf("only %d/%d submissions spread over time", positive, len(spread))
+	}
+	if _, err := Generate(Config{Nodes: 2, LoadFactor: 1, Gen: dag.DefaultGenConfig(),
+		Arrival: arrival.Spec{Kind: "nope"}}); err == nil {
+		t.Fatal("invalid arrival spec accepted")
+	}
+}
+
+// TestTraceReplayScalingRule pins the documented mapping: one workflow
+// per usable trace job, submitted at the job's offset, with total task
+// load runtime x procs x RefMIPS.
+func TestTraceReplayScalingRule(t *testing.T) {
+	jobs := []traces.Job{
+		{ID: 1, Submit: 0, Runtime: 100, Procs: 2},
+		{ID: 2, Submit: 300, Runtime: 50, Procs: 1},
+		{ID: 3, Submit: 900, Runtime: 600, Procs: 8},
+	}
+	cfg := Config{Nodes: 5, LoadFactor: 3, Gen: dag.DefaultGenConfig(), Seed: 4, Trace: jobs}
+	subs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != len(jobs) {
+		t.Fatalf("%d submissions, want one per trace job (%d)", len(subs), len(jobs))
+	}
+	for i, s := range subs {
+		if s.SubmitAt != jobs[i].Submit {
+			t.Fatalf("job %d submitted at %v, want trace offset %v", i, s.SubmitAt, jobs[i].Submit)
+		}
+		if s.Home < 0 || s.Home >= cfg.Nodes {
+			t.Fatalf("job %d home %d outside [0,%d)", i, s.Home, cfg.Nodes)
+		}
+		want := jobs[i].CPUSeconds() * dag.PaperAvgCapacityMIPS
+		if got := s.Workflow.TotalLoad(); math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("job %d total load %v, want %v (runtime x procs x 6.2)", i, got, want)
+		}
+	}
+	// Deterministic.
+	again, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range subs {
+		if subs[i].Home != again[i].Home || subs[i].Workflow.TotalLoad() != again[i].Workflow.TotalLoad() {
+			t.Fatalf("trace replay not deterministic at job %d", i)
+		}
+	}
+	// A custom reference capacity scales proportionally.
+	cfg.RefMIPS = 12.4
+	doubled, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := doubled[0].Workflow.TotalLoad() / subs[0].Workflow.TotalLoad(); math.Abs(r-2) > 1e-9 {
+		t.Fatalf("RefMIPS doubling scaled loads by %v, want 2", r)
+	}
+	// Unusable or unordered trace jobs are rejected.
+	for _, bad := range [][]traces.Job{
+		{{ID: 1, Submit: 0, Runtime: -1, Procs: 1}},
+		{{ID: 1, Submit: 0, Runtime: 10, Procs: 0}},
+		{{ID: 1, Submit: 50, Runtime: 10, Procs: 1}, {ID: 2, Submit: 0, Runtime: 10, Procs: 1}},
+	} {
+		if _, err := Generate(Config{Nodes: 2, Gen: dag.DefaultGenConfig(), Trace: bad}); err == nil {
+			t.Fatalf("bad trace %+v accepted", bad)
 		}
 	}
 }
