@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 func main() {
@@ -53,8 +54,17 @@ type envBaseline struct {
 	Thresholds thresholdBlock `json:"thresholds,omitempty"`
 }
 
+// calibrationBlock records the fixed-work calibration kernel's pass time
+// on the recorded host (see calibrate.go). When present, the recorded-host
+// fallback scales its ns/op baseline by (local pass time / recorded pass
+// time) so unknown CPUs gate at the normal threshold instead of loosely.
+type calibrationBlock struct {
+	NsPerPass float64 `json:"ns_per_pass"`
+}
+
 // baseline mirrors BENCH_baseline.json (schema p2pgridsim/bench-baseline/v3;
-// v2 files, without the baselines array, load and gate exactly as before).
+// v2 files, without the baselines array, load and gate exactly as before,
+// as do v3 files without the calibration block).
 type baseline struct {
 	Schema      string            `json:"schema"`
 	Benchmark   string            `json:"benchmark"`
@@ -62,6 +72,7 @@ type baseline struct {
 	Environment map[string]string `json:"environment"`
 	Metrics     metricsBlock      `json:"metrics"`
 	Thresholds  thresholdBlock    `json:"thresholds"`
+	Calibration calibrationBlock  `json:"calibration,omitempty"`
 	// Baselines holds per-CPU entries; the top-level metrics are the
 	// recorded-host fallback for CPUs without one.
 	Baselines []envBaseline     `json:"baselines,omitempty"`
@@ -72,8 +83,10 @@ type baseline struct {
 // per-CPU entry when one exists (its zero thresholds fall back to the
 // top-level ones), otherwise the recorded-host metrics. It rewrites
 // b.Metrics/b.Thresholds in place and returns a report note naming the
-// choice. Matching is case-insensitive on the trimmed model string.
-func (b *baseline) resolve(cpu string) string {
+// choice, plus whether the recorded-host fallback was selected (the case
+// calibration then normalizes). Matching is case-insensitive on the
+// trimmed model string.
+func (b *baseline) resolve(cpu string) (note string, fallback bool) {
 	norm := strings.ToLower(strings.TrimSpace(cpu))
 	if norm != "" {
 		for _, e := range b.Baselines {
@@ -87,14 +100,14 @@ func (b *baseline) resolve(cpu string) string {
 			if e.Thresholds.BytesPerOp > 0 {
 				b.Thresholds.BytesPerOp = e.Thresholds.BytesPerOp
 			}
-			return fmt.Sprintf("per-CPU baseline %q", e.CPU)
+			return fmt.Sprintf("per-CPU baseline %q", e.CPU), false
 		}
 	}
 	recorded := b.Environment["cpu"]
 	if norm == "" {
-		return fmt.Sprintf("recorded-host baseline (%s); local CPU model unknown", recorded)
+		return fmt.Sprintf("recorded-host baseline (%s); local CPU model unknown", recorded), true
 	}
-	return fmt.Sprintf("recorded-host baseline (%s); no per-CPU entry for %q", recorded, cpu)
+	return fmt.Sprintf("recorded-host baseline (%s); no per-CPU entry for %q", recorded, cpu), true
 }
 
 // detectCPU reads the local CPU model (the per-CPU baseline key) from
@@ -129,6 +142,10 @@ func gateMain(args []string, stdout, stderr io.Writer) int {
 		input        = fs.String("input", "-", "benchmark output file (- for stdin)")
 		threshold    = fs.Float64("threshold", 0, "override both regression thresholds (0 = use the baseline's)")
 		cpu          = fs.String("cpu", "", "CPU model selecting a per-CPU baseline entry (default: auto-detect from /proc/cpuinfo; unmatched models fall back to the recorded host)")
+		calOnly      = fs.Bool("calibrate", false, "measure the fixed-work calibration kernel on this host, print its pass time, and exit (record it as the baseline's calibration.ns_per_pass)")
+		calNS        = fs.Float64("calibration-ns", 0, "use this as the local calibration pass time instead of measuring (tests and pre-measured hosts)")
+		calPasses    = fs.Int("calibration-passes", 5, "calibration kernel repetitions (the median is used)")
+		candidate    = fs.String("record-candidate", "", "write a per-CPU baseline candidate entry (this host's medians + calibration) to this file, for hand promotion into the baseline's baselines array")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -136,6 +153,24 @@ func gateMain(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "benchgate: unexpected arguments %q\n", fs.Args())
 		return 2
+	}
+	if *calPasses < 1 {
+		fmt.Fprintf(stderr, "benchgate: -calibration-passes must be positive, got %d\n", *calPasses)
+		return 2
+	}
+	if *calNS < 0 {
+		fmt.Fprintf(stderr, "benchgate: -calibration-ns must be non-negative, got %v\n", *calNS)
+		return 2
+	}
+	localCal := func() float64 {
+		if *calNS > 0 {
+			return *calNS
+		}
+		return calibrate(*calPasses)
+	}
+	if *calOnly {
+		fmt.Fprintf(stdout, "benchgate: calibration %.0f ns/pass (median of %d)\n", localCal(), *calPasses)
+		return 0
 	}
 
 	base, err := loadBaseline(*baselinePath)
@@ -147,8 +182,20 @@ func gateMain(args []string, stdout, stderr io.Writer) int {
 	if model == "" {
 		model = detectCPU()
 	}
-	note := base.resolve(model)
+	note, fallback := base.resolve(model)
 	fmt.Fprintf(stdout, "benchgate: using %s\n", note)
+	measuredCal := 0.0
+	if (fallback && base.Calibration.NsPerPass > 0) || *candidate != "" {
+		measuredCal = localCal()
+	}
+	if fallback && base.Calibration.NsPerPass > 0 {
+		// Calibrated fallback: scale the recorded ns/op to this host's
+		// speed so the normal threshold gates sharply on unknown CPUs.
+		ratio := measuredCal / base.Calibration.NsPerPass
+		base.Metrics.NsPerOp *= ratio
+		fmt.Fprintf(stdout, "benchgate: calibration %.2f ms/pass vs recorded %.2f ms/pass (ratio %.3f) — ns/op baseline normalized to this host\n",
+			measuredCal/1e6, base.Calibration.NsPerPass/1e6, ratio)
+	}
 	in := io.Reader(os.Stdin)
 	if *input != "-" {
 		f, err := os.Open(*input)
@@ -164,6 +211,12 @@ func gateMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchgate:", err)
 		return 2
 	}
+	if *candidate != "" {
+		if err := writeCandidate(*candidate, base.Benchmark, model, samples, measuredCal, stdout); err != nil {
+			fmt.Fprintln(stderr, "benchgate:", err)
+			return 2
+		}
+	}
 
 	nsThresh, bThresh := base.Thresholds.NsPerOp, base.Thresholds.BytesPerOp
 	if *threshold > 0 {
@@ -175,6 +228,64 @@ func gateMain(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// candidateJSON is the -record-candidate artifact: the entry object is
+// exactly the envBaseline shape, so promoting a new runner class is a
+// copy-paste of that object into the baseline's baselines array once its
+// medians have been observed across enough runs.
+type candidateJSON struct {
+	Schema         string      `json:"schema"`
+	Benchmark      string      `json:"benchmark"`
+	Samples        int         `json:"samples"`
+	CalibrationNs  float64     `json:"calibration_ns_per_pass,omitempty"`
+	PromoteComment string      `json:"promote"`
+	Entry          envBaseline `json:"entry"`
+}
+
+// writeCandidate records this host's medians as a promotable per-CPU
+// baseline entry and prints a human summary (CI surfaces it as a step
+// summary next to the uploaded artifact).
+func writeCandidate(path, benchmark, cpu string, samples []sample, calNs float64, stdout io.Writer) error {
+	ns := make([]float64, len(samples))
+	bs := make([]float64, len(samples))
+	al := make([]float64, len(samples))
+	for i, s := range samples {
+		ns[i], bs[i], al[i] = s.nsPerOp, s.bytesPerOp, s.allocsPerOp
+	}
+	if cpu == "" {
+		cpu = "unknown-cpu"
+	}
+	doc := candidateJSON{
+		Schema:         "p2pgridsim/bench-candidate/v1",
+		Benchmark:      benchmark,
+		Samples:        len(samples),
+		CalibrationNs:  calNs,
+		PromoteComment: "append \"entry\" to the baselines array of BENCH_baseline.json once this runner class's medians look stable across runs",
+		Entry: envBaseline{
+			CPU:      cpu,
+			Recorded: time.Now().UTC().Format("2006-01-02"),
+			Metrics: metricsBlock{
+				NsPerOp:     median(ns),
+				BytesPerOp:  median(bs),
+				AllocsPerOp: median(al),
+			},
+		},
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "benchgate: candidate baseline for %q written to %s\n", cpu, path)
+	fmt.Fprintf(stdout, "  ns/op median %14.0f  (%d samples)\n", doc.Entry.Metrics.NsPerOp, len(samples))
+	fmt.Fprintf(stdout, "  B/op  median %14.0f  allocs/op median %.0f\n", doc.Entry.Metrics.BytesPerOp, doc.Entry.Metrics.AllocsPerOp)
+	if calNs > 0 {
+		fmt.Fprintf(stdout, "  calibration  %11.2f ms/pass\n", calNs/1e6)
+	}
+	return nil
 }
 
 func loadBaseline(path string) (baseline, error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -231,4 +232,142 @@ func TestDetectCPUNeverPanics(t *testing.T) {
 		t.Skip("cpuinfo present but modelless (container?); nothing to assert")
 	}
 	t.Logf("detected CPU model: %q", model)
+}
+
+const calibratedBaselineJSON = `{
+  "schema": "p2pgridsim/bench-baseline/v3",
+  "benchmark": "BenchmarkSingleDSMFRun",
+  "environment": {"goos": "linux", "cpu": "Recorded Host CPU", "go": "go1.24"},
+  "metrics": {"ns_per_op": 100000000, "bytes_per_op": 2000000, "allocs_per_op": 20000},
+  "thresholds": {"ns_per_op": 0.20, "bytes_per_op": 0.20},
+  "calibration": {"ns_per_pass": 10000000},
+  "baselines": [
+    {
+      "cpu": "Known Runner",
+      "metrics": {"ns_per_op": 50000000, "bytes_per_op": 2000000, "allocs_per_op": 20000}
+    }
+  ]
+}`
+
+func runGateArgs(t *testing.T, baselineJSON, benchOutput string, extra ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(basePath, []byte(baselineJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(inPath, []byte(benchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	args := append([]string{"-baseline", basePath, "-input", inPath}, extra...)
+	code = gateMain(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+// TestGateCalibratedFallback pins the calibration satellite: on an unknown
+// CPU whose calibration pass runs 2x slower than the recorded host's, a
+// 2x-slower ns/op median is at baseline (passes), while 2.5x slower is a
+// +25% normalized regression and fails — the fallback now gates at the
+// same 20% as a known CPU.
+func TestGateCalibratedFallback(t *testing.T) {
+	// Local pass 20ms vs recorded 10ms: ratio 2. Measured 190e6 ns/op
+	// against the normalized 200e6 baseline: -5%, pass.
+	code, stdout, _ := runGateArgs(t, calibratedBaselineJSON, benchLines(190e6, 2e6, 20000, 5),
+		"-cpu", "Mystery Engine 9000", "-calibration-ns", "20000000")
+	if code != 0 {
+		t.Fatalf("calibrated at-baseline run failed (exit %d):\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "ratio 2.000") || !strings.Contains(stdout, "normalized") {
+		t.Fatalf("calibration not reported:\n%s", stdout)
+	}
+	// 250e6 vs normalized 200e6: +25%, fail — loose no more.
+	code, stdout, _ = runGateArgs(t, calibratedBaselineJSON, benchLines(250e6, 2e6, 20000, 5),
+		"-cpu", "Mystery Engine 9000", "-calibration-ns", "20000000")
+	if code != 1 {
+		t.Fatalf("calibrated fallback missed a +25%% regression (exit %d):\n%s", code, stdout)
+	}
+	// A per-CPU match never calibrates, even with -calibration-ns given.
+	code, stdout, _ = runGateArgs(t, calibratedBaselineJSON, benchLines(50e6, 2e6, 20000, 5),
+		"-cpu", "Known Runner", "-calibration-ns", "20000000")
+	if code != 0 {
+		t.Fatalf("per-CPU run failed (exit %d):\n%s", code, stdout)
+	}
+	if strings.Contains(stdout, "normalized") {
+		t.Fatalf("per-CPU match applied calibration:\n%s", stdout)
+	}
+	// A baseline without a calibration block keeps the uncalibrated
+	// fallback behavior (2x "regression" passes loosely on a faster host —
+	// nothing to normalize against).
+	code, stdout, _ = runGateArgs(t, cpuKeyedBaselineJSON, benchLines(100e6, 2e6, 20000, 5),
+		"-cpu", "Mystery Engine 9000", "-calibration-ns", "20000000")
+	if code != 0 || strings.Contains(stdout, "normalized") {
+		t.Fatalf("calibration applied without a recorded pass time (exit %d):\n%s", code, stdout)
+	}
+}
+
+// TestCalibrateFlagAndKernel: -calibrate measures and reports without
+// gating, the kernel is deterministic work (two passes agree to sane
+// bounds is NOT asserted — wall time varies — but the flag contract is).
+func TestCalibrateFlagAndKernel(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := gateMain([]string{"-calibrate", "-calibration-passes", "1"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("-calibrate exited %d, stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "ns/pass") {
+		t.Fatalf("calibration output: %q", out.String())
+	}
+	if ns := calibrate(1); ns <= 0 {
+		t.Fatalf("calibration time %v", ns)
+	}
+	if code := gateMain([]string{"-calibration-passes", "0"}, &out, &errBuf); code != 2 {
+		t.Fatalf("non-positive passes exited %d", code)
+	}
+	if code := gateMain([]string{"-calibration-ns", "-5"}, &out, &errBuf); code != 2 {
+		t.Fatalf("negative calibration-ns exited %d", code)
+	}
+}
+
+// TestRecordCandidate pins the baseline auto-append satellite: the
+// candidate file carries a promotable envBaseline entry with this run's
+// medians, and the summary names the CPU.
+func TestRecordCandidate(t *testing.T) {
+	dir := t.TempDir()
+	candPath := filepath.Join(dir, "candidate.json")
+	code, stdout, stderr := runGateArgs(t, calibratedBaselineJSON, benchLines(190e6, 2e6, 20000, 5),
+		"-cpu", "New Runner Class", "-calibration-ns", "20000000", "-record-candidate", candPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, `candidate baseline for "New Runner Class"`) {
+		t.Fatalf("candidate summary missing:\n%s", stdout)
+	}
+	data, err := os.ReadFile(candPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc candidateJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("candidate not valid JSON: %v", err)
+	}
+	if doc.Schema != "p2pgridsim/bench-candidate/v1" || doc.Samples != 5 {
+		t.Fatalf("candidate header: %+v", doc)
+	}
+	if doc.Entry.CPU != "New Runner Class" || doc.Entry.Metrics.NsPerOp != 190e6 ||
+		doc.Entry.Metrics.BytesPerOp != 2e6 || doc.Entry.Metrics.AllocsPerOp != 20000 {
+		t.Fatalf("candidate entry: %+v", doc.Entry)
+	}
+	if doc.CalibrationNs != 20000000 {
+		t.Fatalf("candidate calibration %v, want the supplied 20ms", doc.CalibrationNs)
+	}
+	if doc.Entry.Recorded == "" {
+		t.Fatal("candidate entry missing a recorded date")
+	}
+	// An unwritable candidate path fails loudly.
+	if code, _, stderr := runGateArgs(t, calibratedBaselineJSON, benchLines(190e6, 2e6, 20000, 5),
+		"-cpu", "x", "-calibration-ns", "1", "-record-candidate", "/nonexistent-dir/c.json"); code != 2 || stderr == "" {
+		t.Fatalf("unwritable candidate exited %d", code)
+	}
 }

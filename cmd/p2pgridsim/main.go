@@ -50,17 +50,40 @@
 //
 //	-shard i/n    run only shard i of n (a [lo,hi) range of the canonical
 //	              job enumeration) and emit a mergeable partial result —
-//	              the distributed-sweep building block
+//	              the static distributed-sweep building block
 //	-merge a,b    reassemble shard files into the full sweep JSON,
 //	              byte-identical to a single-host run (no simulation)
+//	-coordinate DIR
+//	              run the sweep through a shared work-stealing directory:
+//	              initialize DIR (one claimable work unit per cell, lease
+//	              TTL from -lease-ttl), participate as a worker until the
+//	              directory drains, then merge the per-cell partials into
+//	              the full sweep JSON — byte-identical to a single-host
+//	              run. Point any number of `p2pgridsim -worker DIR`
+//	              processes (other machines included, via a shared
+//	              filesystem) at the same DIR to drain it faster; crashed
+//	              workers' cells are re-leased automatically
 //	-cache DIR    warm-start cell cache: re-runs execute only the cells
 //	              (or added replications) missing from DIR
-//	-precision r  adaptive replication: grow seed batches until every
-//	              cell's ACT 95% CI half-width is under r x |mean|,
-//	              capped at -reps (batches reuse the cache)
+//	-precision r  per-cell adaptive replication: each cell draws seeds
+//	              (3, 6, 12, ...) until its ACT 95% CI half-width is under
+//	              r x |mean|, stopping converged cells while noisy ones
+//	              keep sampling. -reps caps every cell when given
+//	              explicitly; without it cells run until they converge.
+//	              The JSON records ragged per-cell rep counts
 //	-cache-gc     trim the -cache directory instead of running anything:
 //	              drop entries beyond -cache-budget MB or older than
 //	              -cache-days days, oldest access first
+//
+// Worker mode runs no experiment of its own:
+//
+//	p2pgridsim -worker DIR [-cache DIR] [-sleep-per-job D]
+//
+// joins the sweep whose work directory is DIR (created by -coordinate):
+// claim a cell, run its replications, publish its partial, repeat —
+// stealing cells from expired leases — until the directory drains.
+// -sleep-per-job inserts an artificial delay before every replication (a
+// test hook that makes this worker slow enough to be stolen from).
 //
 // With -artifacts DIR, series experiments additionally write
 // <figure>.csv/.dat/.gp files (gnuplot redraws the paper-style plots;
@@ -107,6 +130,11 @@ type options struct {
 	merge      string  // comma-separated shard files to merge (no simulation)
 	cacheDir   string  // warm-start cell cache directory
 	precision  float64 // adaptive replication target (0 = off)
+	coordinate string  // work-stealing coordinator directory for the sweep
+	worker     string  // drain an existing work directory instead of running an experiment
+
+	sleepPerJob time.Duration // artificial per-replication delay (worker test hook)
+	leaseTTL    time.Duration // work-unit lease expiry recorded at -coordinate init
 
 	arrival    string  // arrival process (batch|poisson:R|mmpp:R[:B]|diurnal:R[:P]|trace)
 	tracePath  string  // SWF trace file ("sample" = the bundled demo trace)
@@ -178,8 +206,12 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		out     = fs.String("out", "", "write sweep JSON to this file (default: stdout)")
 		shard   = fs.String("shard", "", "run only shard i/n of the sweep job matrix (e.g. 0/2) and emit a mergeable partial result")
 		merge   = fs.String("merge", "", "comma-separated shard JSON files to merge into the full sweep result (no simulation)")
+		coord   = fs.String("coordinate", "", "run the sweep through this shared work-stealing directory: init, participate as a worker, then merge (see package doc)")
+		work    = fs.String("worker", "", "drain the sweep work directory DIR (created by -coordinate) instead of running an experiment")
+		slpj    = fs.Duration("sleep-per-job", 0, "worker test hook: sleep this long before every replication (makes the worker slow enough to be stolen from)")
+		lttl    = fs.Duration("lease-ttl", 2*time.Minute, "work-unit lease expiry recorded when -coordinate initializes a directory; workers heartbeat between replications, so set it comfortably above the longest single replication (crashed or wedged workers' cells are re-leased and re-run after this long without progress)")
 		cache   = fs.String("cache", "", "warm-start cell cache directory: re-runs execute only cells missing from it")
-		prec    = fs.Float64("precision", 0, "adaptive replication: grow seed batches until every cell's ACT 95% CI half-width is under this fraction of its mean (-reps is the cap)")
+		prec    = fs.Float64("precision", 0, "per-cell adaptive replication: each cell draws seeds until its ACT 95% CI half-width is under this fraction of its mean (an explicit -reps caps every cell)")
 		arr     = fs.String("arrival", "", "arrival process for single/sweep cells: batch|poisson:RATE|mmpp:RATE[:BURST]|diurnal:RATE[:PERIODH]|trace (rates in workflows/hour)")
 		trc     = fs.String("trace", "", "SWF/GWF trace file for trace replay (\"sample\" = the bundled demo trace)")
 		trscale = fs.Float64("trace-scale", 1, "multiply trace submit times by this factor (compress a multi-day trace into the horizon)")
@@ -198,17 +230,55 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 			fs.Args(), fs.Arg(0))
 		return 2
 	}
-	repsSet := false
+	repsSet, sleepSet, ttlSet := false, false, false
+	var setFlags []string
 	fs.Visit(func(f *flag.Flag) {
+		setFlags = append(setFlags, f.Name)
 		switch f.Name {
 		case "algo":
-			if *name != "single" {
+			if *name != "single" && *work == "" {
 				fmt.Fprintf(stderr, "p2pgridsim: -algo only applies to -experiment single; %q runs its fixed algorithm set\n", *name)
 			}
 		case "reps":
 			repsSet = true
+		case "sleep-per-job":
+			sleepSet = true
+		case "lease-ttl":
+			ttlSet = true
 		}
 	})
+	if *work != "" {
+		// Worker mode reads everything (spec, scale, reps, TTL) from the
+		// work directory; an experiment flag alongside -worker would be
+		// silently discarded, so reject the combination loudly.
+		allowed := map[string]bool{"worker": true, "sleep-per-job": true, "cache": true}
+		for _, f := range setFlags {
+			if !allowed[f] {
+				fmt.Fprintf(stderr, "p2pgridsim: -%s does not combine with -worker (workers take their entire configuration from the work directory; only -cache and -sleep-per-job apply)\n", f)
+				return 2
+			}
+		}
+	}
+	if sleepSet && *work == "" && *coord == "" {
+		fmt.Fprintln(stderr, "p2pgridsim: -sleep-per-job only applies to -worker or -coordinate")
+		return 2
+	}
+	if ttlSet && *coord == "" {
+		fmt.Fprintln(stderr, "p2pgridsim: -lease-ttl only applies to -coordinate (workers read the TTL from the work directory)")
+		return 2
+	}
+	if *work != "" && *coord != "" {
+		fmt.Fprintln(stderr, "p2pgridsim: -worker and -coordinate are exclusive (the coordinator already participates as a worker)")
+		return 2
+	}
+	if *lttl <= 0 {
+		fmt.Fprintf(stderr, "p2pgridsim: -lease-ttl must be positive, got %v\n", *lttl)
+		return 2
+	}
+	if *slpj < 0 {
+		fmt.Fprintf(stderr, "p2pgridsim: -sleep-per-job must be non-negative, got %v\n", *slpj)
+		return 2
+	}
 	if *reps < 1 {
 		fmt.Fprintf(stderr, "p2pgridsim: -reps must be at least 1, got %d\n", *reps)
 		return 2
@@ -234,6 +304,10 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		merge:       *merge,
 		cacheDir:    *cache,
 		precision:   *prec,
+		coordinate:  *coord,
+		worker:      *work,
+		sleepPerJob: *slpj,
+		leaseTTL:    *lttl,
 		arrival:     *arr,
 		tracePath:   *trc,
 		traceScale:  *trscale,
@@ -245,6 +319,13 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if o.cacheGC {
 		if err := runCacheGC(o); err != nil {
+			fmt.Fprintln(stderr, "p2pgridsim:", err)
+			return 1
+		}
+		return 0
+	}
+	if o.worker != "" {
+		if err := runWorker(o); err != nil {
 			fmt.Fprintln(stderr, "p2pgridsim:", err)
 			return 1
 		}
@@ -502,13 +583,21 @@ func sweepSpecFromAxes(axes string, sc experiments.Scale, seed int64, reps, maxL
 // -precision grows replication batches adaptively up to the -reps cap.
 func runSweep(o options) error {
 	if o.merge != "" {
-		if o.shard != "" || o.precision > 0 || o.cacheDir != "" {
-			return fmt.Errorf("-merge does not combine with -shard, -precision or -cache (merging never simulates)")
+		if o.shard != "" || o.precision > 0 || o.cacheDir != "" || o.coordinate != "" {
+			return fmt.Errorf("-merge does not combine with -shard, -precision, -cache or -coordinate (merging never simulates)")
 		}
 		return runMerge(o)
 	}
 	if o.precision < 0 {
 		return fmt.Errorf("-precision must be positive, got %v", o.precision)
+	}
+	if o.coordinate != "" {
+		if o.shard != "" {
+			return fmt.Errorf("-coordinate does not combine with -shard (the work directory already partitions the matrix)")
+		}
+		if o.precision > 0 {
+			return fmt.Errorf("-coordinate does not combine with -precision (work units are fixed-replication cells)")
+		}
 	}
 	spec, err := sweepSpecFromAxes(o.axes, o.scale, o.seed, o.reps, o.maxLF)
 	if err != nil {
@@ -567,11 +656,32 @@ func runSweep(o options) error {
 		fmt.Fprintf(o.stderr, "shard %d/%d: jobs [%d,%d) of %d\n", idx, n, part.Lo, part.Hi, part.Jobs)
 		return writeOutput(o, data)
 	}
+	if o.coordinate != "" {
+		res, stats, err := experiments.CoordinateSweep(o.coordinate, spec, o.leaseTTL, experiments.WorkerOptions{
+			Cache:       opts.Cache,
+			SleepPerJob: o.sleepPerJob,
+			Log:         o.stderr,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(o.stderr, "coordinate %s: %d cells merged (this process completed %d, stole %d, lost %d)\n",
+			o.coordinate, len(res.Cells), stats.Completed, stats.Stolen, stats.Lost)
+		return writeSweepResult(o, res)
+	}
 	var res *experiments.SweepResult
 	if o.precision > 0 {
-		res, err = experiments.RunAdaptive(spec, o.precision, opts)
+		// Per-cell sequential stopping: an explicit -reps caps every cell,
+		// otherwise cells sample until they individually converge.
+		cap := 0
+		if o.repsSet {
+			cap = o.reps
+		}
+		res, err = experiments.RunAdaptiveCells(spec, o.precision, cap, opts)
 		if err == nil {
-			fmt.Fprintf(o.stderr, "adaptive: stopped at %d replications (cap %d)\n", res.Spec.Reps, o.reps)
+			minReps, maxReps, issued := adaptiveShape(res)
+			fmt.Fprintf(o.stderr, "adaptive: %d replications across %d cells (per-cell %d..%d)\n",
+				issued, len(res.Cells), minReps, maxReps)
 		}
 	} else {
 		res, err = experiments.RunSweepStream(spec, opts)
@@ -580,6 +690,42 @@ func runSweep(o options) error {
 		return err
 	}
 	return writeSweepResult(o, res)
+}
+
+// adaptiveShape summarizes a ragged adaptive result for the stderr note.
+func adaptiveShape(res *experiments.SweepResult) (minReps, maxReps, issued int) {
+	for i := range res.Cells {
+		n := res.Cells[i].Agg.Reps
+		issued += n
+		if i == 0 || n < minReps {
+			minReps = n
+		}
+		if n > maxReps {
+			maxReps = n
+		}
+	}
+	return minReps, maxReps, issued
+}
+
+// runWorker joins an existing sweep work directory (see -coordinate) and
+// drains it: the body of `p2pgridsim -worker DIR`.
+func runWorker(o options) error {
+	var wopts experiments.WorkerOptions
+	wopts.SleepPerJob = o.sleepPerJob
+	wopts.Log = o.stderr
+	if o.cacheDir != "" {
+		if err := os.MkdirAll(o.cacheDir, 0o755); err != nil {
+			return err
+		}
+		wopts.Cache = executor.Disk{Dir: o.cacheDir}
+	}
+	stats, err := experiments.RunSweepWorker(o.worker, wopts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.stdout, "worker %s: %d cells completed, %d stolen, %d lost\n",
+		o.worker, stats.Completed, stats.Stolen, stats.Lost)
+	return nil
 }
 
 // runArrival prints the new arrival-intensity figure: every algorithm's

@@ -63,6 +63,15 @@ func TestErrorPathsExitNonZero(t *testing.T) {
 		{"cache-gc without cache", []string{"-cache-gc", "-cache-budget", "1"}},
 		{"cache-gc without bounds", []string{"-cache-gc", "-cache", "somewhere"}},
 		{"cache-gc negative budget", []string{"-cache-gc", "-cache", "somewhere", "-cache-budget", "-2"}},
+		{"worker on missing dir", []string{"-worker", "/nonexistent-dir/work"}},
+		{"worker with coordinate", []string{"-worker", "w", "-coordinate", "c"}},
+		{"sleep-per-job without worker", []string{"-experiment", "table1", "-sleep-per-job", "1ms"}},
+		{"negative sleep-per-job", []string{"-worker", "w", "-sleep-per-job", "-1s"}},
+		{"lease-ttl without coordinate", []string{"-worker", "w", "-lease-ttl", "5s"}},
+		{"non-positive lease-ttl", []string{"-experiment", "sweep", "-coordinate", "c", "-lease-ttl", "0s"}},
+		{"coordinate with shard", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "", "-coordinate", "c", "-shard", "0/2"}},
+		{"coordinate with precision", []string{"-experiment", "sweep", "-scale", "tiny", "-axes", "", "-coordinate", "c", "-precision", "0.1"}},
+		{"coordinate with merge", []string{"-experiment", "sweep", "-merge", "a.json", "-coordinate", "c"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -219,14 +228,15 @@ func TestSweepCacheWarmStart(t *testing.T) {
 }
 
 // TestSweepAdaptivePrecision checks the -precision flag: a loose target
-// stops at the initial batch below the -reps cap and reports it.
+// stops every cell at the 3-replication floor (below the -reps cap) and
+// reports the ragged shape.
 func TestSweepAdaptivePrecision(t *testing.T) {
 	code, stdout, stderr := runCLI(
 		"-experiment", "sweep", "-scale", "tiny", "-reps", "6", "-axes", "", "-precision", "100")
 	if code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
 	}
-	if !strings.Contains(stderr, "adaptive: stopped at 3 replications (cap 6)") {
+	if !strings.Contains(stderr, "adaptive: 3 replications across 1 cells (per-cell 3..3)") {
 		t.Fatalf("no adaptive note on stderr:\n%s", stderr)
 	}
 	var doc struct {
@@ -395,5 +405,95 @@ func TestSweepSpecFromAxes(t *testing.T) {
 	}
 	if _, err := sweepSpecFromAxes("hyperdrive", sc, 1, 1, 8); err == nil {
 		t.Error("unknown axis accepted")
+	}
+}
+
+// TestCoordinatedSweepCLI drives the work-stealing coordinator end to end
+// through the CLI: a coordinator process (which participates as a worker)
+// and a concurrent -worker process drain one directory, and the merged
+// JSON is byte-identical to the single-host artifact. A late worker on the
+// drained directory finds nothing to do, and re-coordinating merges again
+// without simulating.
+func TestCoordinatedSweepCLI(t *testing.T) {
+	tmp := t.TempDir()
+	single := filepath.Join(tmp, "single.json")
+	merged := filepath.Join(tmp, "merged.json")
+	work := filepath.Join(tmp, "work")
+
+	code, _, stderr := runCLI("-experiment", "sweep", "-scale", "tiny", "-reps", "2", "-out", single)
+	if code != 0 {
+		t.Fatalf("single-host run: exit %d, stderr:\n%s", code, stderr)
+	}
+
+	// Initialize the work dir up front so the concurrent worker never
+	// races the coordinator's first write.
+	sc, err := experiments.ScaleByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sweepSpecFromAxes("algo", sc, 2010, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := experiments.InitSweepWork(work, spec, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	workerDone := make(chan struct{})
+	var wcode int
+	var wout, werr string
+	go func() {
+		defer close(workerDone)
+		wcode, wout, werr = runCLI("-worker", work)
+	}()
+	code, _, stderr = runCLI("-experiment", "sweep", "-scale", "tiny", "-reps", "2", "-coordinate", work, "-out", merged)
+	<-workerDone
+	if code != 0 {
+		t.Fatalf("coordinate: exit %d, stderr:\n%s", code, stderr)
+	}
+	if wcode != 0 {
+		t.Fatalf("worker: exit %d, stderr:\n%s", wcode, werr)
+	}
+	if !strings.Contains(wout, "cells completed") {
+		t.Fatalf("worker summary missing:\n%s", wout)
+	}
+	if !strings.Contains(stderr, "coordinate "+work) {
+		t.Fatalf("coordinator summary missing:\n%s", stderr)
+	}
+	singleJSON, err := os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedJSON, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(singleJSON, mergedJSON) {
+		t.Fatal("coordinated sweep JSON differs from single-host artifact")
+	}
+
+	// The drained directory: a late worker completes nothing, and
+	// re-coordinating just re-merges.
+	code, stdout, _ := runCLI("-worker", work)
+	if code != 0 || !strings.Contains(stdout, "0 cells completed") {
+		t.Fatalf("late worker: exit %d, stdout:\n%s", code, stdout)
+	}
+	remerged := filepath.Join(tmp, "remerged.json")
+	code, _, _ = runCLI("-experiment", "sweep", "-scale", "tiny", "-reps", "2", "-coordinate", work, "-out", remerged)
+	if code != 0 {
+		t.Fatalf("re-coordinate failed: %d", code)
+	}
+	again, err := os.ReadFile(remerged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(singleJSON, again) {
+		t.Fatal("re-coordinated merge differs from single-host artifact")
+	}
+
+	// A different spec refuses the used directory.
+	code, _, stderr = runCLI("-experiment", "sweep", "-scale", "tiny", "-reps", "3", "-coordinate", work)
+	if code == 0 || stderr == "" {
+		t.Fatalf("foreign spec accepted by used work dir (exit %d)", code)
 	}
 }

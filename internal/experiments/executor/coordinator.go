@@ -1,0 +1,377 @@
+package executor
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// This file is the work-stealing coordinator: a shared directory of work
+// units that any number of heterogeneous workers drain concurrently. A
+// unit is a dense integer ID (the experiments layer maps units onto sweep
+// cells); its lifecycle is
+//
+//	unleased --claim--> leased --Complete--> results/unit-N.json
+//	              ^         |
+//	              +--expiry--+   (crash / wedge: the lease file's mtime
+//	                              stops advancing and the unit is stolen)
+//
+// Everything is plain files under one directory — the only infrastructure
+// a pile of mismatched machines reliably shares is a filesystem — and
+// every transition is a single atomic filesystem operation (O_EXCL create
+// or rename), so workers need no coordination channel beyond the
+// directory itself. The layout:
+//
+//	DIR/workdir.json     unit count, lease TTL, opaque caller metadata
+//	DIR/leases/          one lease file per in-flight unit (lease.go)
+//	DIR/results/         one result file per completed unit
+//	DIR/steals/          one marker per successful steal (observability)
+//
+// Results are written first-wins with atomic renames; the coordinator
+// assumes unit results are deterministic (every worker computes identical
+// bytes for a unit), which is what makes duplicated completion after a
+// steal harmless rather than corrupting.
+
+// workDirSchema versions the workdir.json envelope.
+const workDirSchema = "p2pgridsim/workdir/v1"
+
+// workDirJSON is the on-disk description of a work directory.
+type workDirJSON struct {
+	Schema          string          `json:"schema"`
+	Units           int             `json:"units"`
+	LeaseTTLSeconds float64         `json:"lease_ttl_seconds"`
+	Meta            json.RawMessage `json:"meta,omitempty"`
+}
+
+// Coordinator is one work directory opened for claiming, completing or
+// finalizing. The struct is immutable after Init/Open; all mutable state
+// lives in the directory, so any number of Coordinator values (across any
+// number of processes) may drive the same directory.
+type Coordinator struct {
+	Dir   string
+	Units int
+	TTL   time.Duration
+	Meta  json.RawMessage // opaque caller metadata recorded at Init
+}
+
+// DefaultLeaseTTL is the lease expiry used when Init is given a
+// non-positive TTL. Liveness is progress-based: a worker renews its lease
+// between jobs, not on a wall-clock timer, so a worker stuck inside one
+// job for a whole TTL is treated as wedged and stolen from — which is
+// safe (the stealer recomputes identical bytes) but wasteful. Size the
+// TTL comfortably above the longest single job: the default covers
+// paper-scale replications (~15 s each) several times over while still
+// re-leasing a crashed machine's units within a couple of minutes.
+const DefaultLeaseTTL = 2 * time.Minute
+
+// InitWorkDir creates (or idempotently re-opens) a work directory for the
+// given unit count. The first caller writes workdir.json atomically;
+// concurrent and repeat initializers with the same unit count and metadata
+// open the existing directory, while a mismatch — a different sweep
+// pointed at a used directory — is an error rather than silent corruption.
+func InitWorkDir(dir string, units int, ttl time.Duration, meta json.RawMessage) (*Coordinator, error) {
+	if units < 1 {
+		return nil, fmt.Errorf("executor: work dir needs at least one unit, got %d", units)
+	}
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	for _, sub := range []string{"", "leases", "results", "steals"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	doc := workDirJSON{Schema: workDirSchema, Units: units, LeaseTTLSeconds: ttl.Seconds(), Meta: meta}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("executor: work dir encode: %w", err)
+	}
+	data = append(data, '\n')
+	// Exclusive AND atomic: write the full document to a temp file, then
+	// link(2) it into place — exactly one initializer wins (EEXIST for the
+	// rest) and workers that poll for workdir.json never observe a torn or
+	// empty document (they start the moment the file appears).
+	path := filepath.Join(dir, "workdir.json")
+	tmp, err := os.CreateTemp(dir, ".workdir-tmp-")
+	if err != nil {
+		return nil, err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, err
+	}
+	switch err := os.Link(tmpName, path); {
+	case err == nil:
+		return &Coordinator{Dir: dir, Units: units, TTL: ttl, Meta: meta}, nil
+	case !os.IsExist(err):
+		return nil, err
+	}
+	c, err := OpenWorkDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if c.Units != units {
+		return nil, fmt.Errorf("executor: work dir %s holds %d units, want %d (different sweep?)", dir, c.Units, units)
+	}
+	if !sameJSON(c.Meta, meta) {
+		return nil, fmt.Errorf("executor: work dir %s was initialized for a different sweep (metadata mismatch)", dir)
+	}
+	return c, nil
+}
+
+// sameJSON compares two raw JSON documents up to whitespace (the indented
+// workdir.json reflows embedded metadata, so byte equality is too strict).
+func sameJSON(a, b json.RawMessage) bool {
+	var ca, cb bytes.Buffer
+	if json.Compact(&ca, a) != nil || json.Compact(&cb, b) != nil {
+		return string(a) == string(b)
+	}
+	return ca.String() == cb.String()
+}
+
+// OpenWorkDir opens an existing work directory.
+func OpenWorkDir(dir string) (*Coordinator, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "workdir.json"))
+	if err != nil {
+		return nil, fmt.Errorf("executor: open work dir: %w", err)
+	}
+	var doc workDirJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("executor: work dir %s: %w", dir, err)
+	}
+	if doc.Schema != workDirSchema {
+		return nil, fmt.Errorf("executor: work dir %s schema %q, want %q", dir, doc.Schema, workDirSchema)
+	}
+	if doc.Units < 1 || doc.LeaseTTLSeconds <= 0 {
+		return nil, fmt.Errorf("executor: work dir %s malformed (units %d, ttl %vs)", dir, doc.Units, doc.LeaseTTLSeconds)
+	}
+	return &Coordinator{
+		Dir:   dir,
+		Units: doc.Units,
+		TTL:   time.Duration(doc.LeaseTTLSeconds * float64(time.Second)),
+		Meta:  doc.Meta,
+	}, nil
+}
+
+func (c *Coordinator) leasePath(unit int) string {
+	return filepath.Join(c.Dir, "leases", fmt.Sprintf("unit-%06d.lease", unit))
+}
+
+func (c *Coordinator) resultPath(unit int) string {
+	return filepath.Join(c.Dir, "results", fmt.Sprintf("unit-%06d.json", unit))
+}
+
+// HasResult reports whether the unit's result has been published.
+func (c *Coordinator) HasResult(unit int) bool {
+	_, err := os.Stat(c.resultPath(unit))
+	return err == nil
+}
+
+// Result reads a published unit result.
+func (c *Coordinator) Result(unit int) ([]byte, error) {
+	data, err := os.ReadFile(c.resultPath(unit))
+	if err != nil {
+		return nil, fmt.Errorf("executor: unit %d result: %w", unit, err)
+	}
+	return data, nil
+}
+
+// Claim scans the units in order and takes the first claimable one: no
+// published result and no live lease (a fresh unit, or an expired lease to
+// steal). It returns ok=false when nothing is claimable right now — which
+// means either every unit is done, or the remaining units are leased by
+// workers that still look alive (poll Done, or wait for an expiry).
+func (c *Coordinator) Claim(owner string) (unit int, l *Lease, stolen bool, ok bool, err error) {
+	for u := 0; u < c.Units; u++ {
+		if c.HasResult(u) {
+			continue
+		}
+		l, stolen, err := acquireLease(c.leasePath(u), c.TTL, owner)
+		if err != nil {
+			return 0, nil, false, false, err
+		}
+		if l == nil {
+			continue // live lease: someone else is on it
+		}
+		if c.HasResult(u) {
+			// The previous owner published between our scan and our claim;
+			// nothing left to do here.
+			l.Release()
+			continue
+		}
+		if stolen {
+			c.recordSteal(u, l)
+		}
+		return u, l, stolen, true, nil
+	}
+	return 0, nil, false, false, nil
+}
+
+// recordSteal drops a marker file so steals are observable after the fact
+// (the CI byte-identity job asserts at least one occurred; operators can
+// see which units bounced between machines). Best-effort: a steal that
+// fails to record still proceeds.
+func (c *Coordinator) recordSteal(unit int, l *Lease) {
+	name := fmt.Sprintf("unit-%06d.%s", unit, l.info.Nonce)
+	f, err := os.OpenFile(filepath.Join(c.Dir, "steals", name), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err == nil {
+		fmt.Fprintf(f, "%s\n", l.info.Owner)
+		f.Close()
+	}
+}
+
+// Steals counts the recorded steal events.
+func (c *Coordinator) Steals() int {
+	entries, err := os.ReadDir(filepath.Join(c.Dir, "steals"))
+	if err != nil {
+		return 0
+	}
+	return len(entries)
+}
+
+// ErrLeaseLost reports that somebody stole the unit along the way: either
+// the result was withheld because the stealer has not published yet (it
+// computes the identical bytes and will), or the stealer already
+// published. Either way this caller did not publish; workers treat it as
+// benign and count the unit as lost, so per-worker Completed totals sum
+// to exactly the unit count.
+var ErrLeaseLost = fmt.Errorf("executor: lease lost before completion")
+
+// Complete publishes a unit result and releases the lease. It returns nil
+// exactly when THIS call published the result; if the unit was stolen —
+// whether or not the stealer has already published, and even if a renewal
+// re-asserted the lease afterward — it returns ErrLeaseLost. Publication
+// is a link(2) of a fully written temp file, which is both atomic (readers
+// never observe a torn result) and exclusive (EEXIST for everyone after
+// the first), so the nil-means-published invariant holds even when a slow
+// owner and its stealer race through Complete simultaneously: per-worker
+// Completed totals always sum to exactly the unit count.
+func (c *Coordinator) Complete(unit int, l *Lease, result []byte) error {
+	if unit < 0 || unit >= c.Units {
+		return fmt.Errorf("executor: unit %d outside [0,%d)", unit, c.Units)
+	}
+	if !l.StillHeld() {
+		return ErrLeaseLost
+	}
+	if c.HasResult(unit) {
+		// We hold the lease but somebody else's result is already there: a
+		// stealer published before one of our renewals re-asserted the
+		// lease. The unit is done; the publish credit is theirs.
+		l.Release()
+		return ErrLeaseLost
+	}
+	path := c.resultPath(unit)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".result-tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(result); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	switch err := os.Link(tmpName, path); {
+	case err == nil:
+		l.Release()
+		return nil
+	case os.IsExist(err):
+		// Lost the publish race after the HasResult check: the stealer's
+		// identical bytes are in place.
+		l.Release()
+		return ErrLeaseLost
+	default:
+		return err
+	}
+}
+
+// Done counts the units with published results.
+func (c *Coordinator) Done() int {
+	done := 0
+	for u := 0; u < c.Units; u++ {
+		if c.HasResult(u) {
+			done++
+		}
+	}
+	return done
+}
+
+// Results reads every published unit result, in unit order, erroring on
+// any gap — call it only after Done() == Units (the finalizer's merge
+// step).
+func (c *Coordinator) Results() ([][]byte, error) {
+	out := make([][]byte, c.Units)
+	for u := 0; u < c.Units; u++ {
+		data, err := c.Result(u)
+		if err != nil {
+			return nil, err
+		}
+		out[u] = data
+	}
+	return out, nil
+}
+
+// DrainStats summarizes one worker's pass over a work directory.
+type DrainStats struct {
+	Completed int // units this worker published
+	Stolen    int // units this worker took over from expired leases
+	Lost      int // units stolen from this worker before it could publish
+}
+
+// Drain claims and executes units until every unit in the directory has a
+// published result. run executes one unit and returns its result bytes;
+// it receives the unit's lease so long-running units can Renew between
+// jobs. When nothing is claimable but units remain in flight, Drain polls
+// — the wait is what lets it steal should an in-flight owner die. A run
+// error aborts the drain (the claimed lease is released so another worker
+// can pick the unit up immediately).
+func (c *Coordinator) Drain(owner string, run func(unit int, l *Lease) ([]byte, error)) (DrainStats, error) {
+	var st DrainStats
+	poll := c.TTL / 4
+	if poll < 50*time.Millisecond {
+		poll = 50 * time.Millisecond
+	}
+	if poll > 2*time.Second {
+		poll = 2 * time.Second
+	}
+	for {
+		unit, l, stolen, ok, err := c.Claim(owner)
+		if err != nil {
+			return st, err
+		}
+		if !ok {
+			if c.Done() == c.Units {
+				return st, nil
+			}
+			time.Sleep(poll)
+			continue
+		}
+		if stolen {
+			st.Stolen++
+		}
+		result, err := run(unit, l)
+		if err != nil {
+			l.Release()
+			return st, fmt.Errorf("executor: unit %d: %w", unit, err)
+		}
+		switch err := c.Complete(unit, l, result); err {
+		case nil:
+			st.Completed++
+		case ErrLeaseLost:
+			st.Lost++
+		default:
+			return st, err
+		}
+	}
+}

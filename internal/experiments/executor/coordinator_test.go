@@ -1,0 +1,305 @@
+package executor
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLeaseClaimExclusive pins the O_CREATE|O_EXCL claim: exactly one of
+// many concurrent contenders wins a fresh lease (run under -race).
+func TestLeaseClaimExclusive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "unit.lease")
+	const contenders = 16
+	var mu sync.Mutex
+	var wins, steals int
+	var wg sync.WaitGroup
+	for i := 0; i < contenders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l, stolen, err := acquireLease(path, time.Hour, fmt.Sprintf("w%d", i))
+			if err != nil {
+				t.Errorf("contender %d: %v", i, err)
+				return
+			}
+			if l != nil {
+				mu.Lock()
+				wins++
+				if stolen {
+					steals++
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if wins != 1 || steals != 0 {
+		t.Fatalf("fresh lease won by %d contenders (%d steals), want exactly 1 (0 steals)", wins, steals)
+	}
+}
+
+// TestLeaseExpiryAndSteal pins the expiry protocol: a live lease is not
+// claimable, an expired one is stolen, and the original owner detects the
+// loss.
+func TestLeaseExpiryAndSteal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "unit.lease")
+	const ttl = 50 * time.Millisecond
+	l1, stolen, err := acquireLease(path, ttl, "w1")
+	if err != nil || l1 == nil || stolen {
+		t.Fatalf("initial claim: lease=%v stolen=%v err=%v", l1, stolen, err)
+	}
+	if l2, _, err := acquireLease(path, ttl, "w2"); err != nil || l2 != nil {
+		t.Fatalf("live lease was claimable: lease=%v err=%v", l2, err)
+	}
+	if !l1.StillHeld() {
+		t.Fatal("owner lost a live lease")
+	}
+
+	// Renewals keep the lease alive past its original expiry.
+	time.Sleep(ttl / 2)
+	if err := l1.Renew(); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	time.Sleep(ttl * 3 / 4)
+	if l2, _, err := acquireLease(path, ttl, "w2"); err != nil || l2 != nil {
+		t.Fatalf("renewed lease was claimable: lease=%v err=%v", l2, err)
+	}
+
+	// Stop heartbeating: the lease expires and is stolen.
+	time.Sleep(ttl + 20*time.Millisecond)
+	l2, stolen, err := acquireLease(path, ttl, "w2")
+	if err != nil || l2 == nil || !stolen {
+		t.Fatalf("expired lease not stolen: lease=%v stolen=%v err=%v", l2, stolen, err)
+	}
+	if l1.StillHeld() {
+		t.Fatal("original owner still holds a stolen lease")
+	}
+	if !l2.StillHeld() {
+		t.Fatal("stealer does not hold the stolen lease")
+	}
+
+	// Releasing the stale lease must not disturb the stealer's.
+	l1.Release()
+	if !l2.StillHeld() {
+		t.Fatal("stale release removed the stealer's lease")
+	}
+	l2.Release()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("released lease file still present: %v", err)
+	}
+}
+
+// TestConcurrentStealRace hammers an expired lease with concurrent
+// stealers under -race: every stealer believes it won at acquire time
+// (rename semantics), but at most one still holds the lease afterward.
+func TestConcurrentStealRace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "unit.lease")
+	const ttl = 10 * time.Millisecond
+	l0, _, err := acquireLease(path, ttl, "crashed")
+	if err != nil || l0 == nil {
+		t.Fatalf("seed claim: %v", err)
+	}
+	time.Sleep(ttl * 3)
+
+	const stealers = 8
+	leases := make([]*Lease, stealers)
+	var wg sync.WaitGroup
+	for i := 0; i < stealers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l, _, err := acquireLease(path, time.Hour, fmt.Sprintf("s%d", i))
+			if err != nil {
+				t.Errorf("stealer %d: %v", i, err)
+				return
+			}
+			leases[i] = l
+		}(i)
+	}
+	wg.Wait()
+	held := 0
+	for _, l := range leases {
+		if l != nil && l.StillHeld() {
+			held++
+		}
+	}
+	if held > 1 {
+		t.Fatalf("%d stealers hold the lease simultaneously, want at most 1", held)
+	}
+}
+
+func testWorkDir(t *testing.T, units int, ttl time.Duration) *Coordinator {
+	t.Helper()
+	c, err := InitWorkDir(t.TempDir(), units, ttl, json.RawMessage(`{"sweep":"test"}`))
+	if err != nil {
+		t.Fatalf("init work dir: %v", err)
+	}
+	return c
+}
+
+// TestWorkDirInitIdempotent pins the init contract: same parameters
+// re-open, different parameters fail.
+func TestWorkDirInitIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	meta := json.RawMessage(`{"sweep":"a"}`)
+	if _, err := InitWorkDir(dir, 4, time.Second, meta); err != nil {
+		t.Fatalf("first init: %v", err)
+	}
+	c, err := InitWorkDir(dir, 4, time.Second, meta)
+	if err != nil {
+		t.Fatalf("repeat init: %v", err)
+	}
+	if c.Units != 4 || c.TTL != time.Second {
+		t.Fatalf("reopened coordinator = %+v", c)
+	}
+	if _, err := InitWorkDir(dir, 5, time.Second, meta); err == nil {
+		t.Fatal("unit-count mismatch accepted")
+	}
+	if _, err := InitWorkDir(dir, 4, time.Second, json.RawMessage(`{"sweep":"b"}`)); err == nil {
+		t.Fatal("metadata mismatch accepted")
+	}
+	if _, err := OpenWorkDir(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("opened a nonexistent work dir")
+	}
+}
+
+// TestDrainCompletesAllUnits runs several concurrent workers over one work
+// dir (under -race) and checks every unit completes exactly once with the
+// right payload.
+func TestDrainCompletesAllUnits(t *testing.T) {
+	const units = 12
+	c := testWorkDir(t, units, time.Hour)
+	var ran sync.Map
+	run := func(unit int, l *Lease) ([]byte, error) {
+		if _, dup := ran.LoadOrStore(unit, true); dup {
+			return nil, fmt.Errorf("unit %d executed twice", unit)
+		}
+		return []byte(fmt.Sprintf("result-%d", unit)), nil
+	}
+	const workers = 4
+	stats := make([]DrainStats, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stats[w], errs[w] = c.Drain(fmt.Sprintf("w%d", w), run)
+		}(w)
+	}
+	wg.Wait()
+	completed := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		completed += stats[w].Completed
+	}
+	if completed != units {
+		t.Fatalf("workers completed %d units, want %d", completed, units)
+	}
+	if got := c.Done(); got != units {
+		t.Fatalf("Done() = %d, want %d", got, units)
+	}
+	if c.Steals() != 0 {
+		t.Fatalf("healthy drain recorded %d steals", c.Steals())
+	}
+	for u := 0; u < units; u++ {
+		data, err := c.Result(u)
+		if err != nil || string(data) != fmt.Sprintf("result-%d", u) {
+			t.Fatalf("unit %d result = %q, %v", u, data, err)
+		}
+	}
+}
+
+// TestCrashRecovery simulates a worker dying mid-unit: it claims a unit
+// and never completes. After the lease expires another worker steals the
+// unit, re-runs it, and publishes the identical result; the steal is
+// recorded.
+func TestCrashRecovery(t *testing.T) {
+	const units = 3
+	const ttl = 60 * time.Millisecond
+	c := testWorkDir(t, units, ttl)
+
+	// The "crashing" worker claims unit 0 and vanishes without completing.
+	unit, lease, _, ok, err := c.Claim("crasher")
+	if err != nil || !ok || unit != 0 {
+		t.Fatalf("crasher claim: unit=%d ok=%v err=%v", unit, ok, err)
+	}
+	_ = lease // abandoned: no renew, no release — exactly what a SIGKILL leaves
+
+	result := func(u int) []byte { return []byte(fmt.Sprintf("deterministic-%d", u)) }
+	run := func(u int, l *Lease) ([]byte, error) { return result(u), nil }
+
+	st, err := c.Drain("rescuer", run)
+	if err != nil {
+		t.Fatalf("rescuer drain: %v", err)
+	}
+	if st.Completed != units {
+		t.Fatalf("rescuer completed %d units, want %d", st.Completed, units)
+	}
+	if st.Stolen < 1 || c.Steals() < 1 {
+		t.Fatalf("crash recovery recorded no steal (stolen=%d, markers=%d)", st.Stolen, c.Steals())
+	}
+	for u := 0; u < units; u++ {
+		data, err := c.Result(u)
+		if err != nil || string(data) != string(result(u)) {
+			t.Fatalf("unit %d result = %q, %v", u, data, err)
+		}
+	}
+}
+
+// TestLostLeasePublishesOnce pins the slow-owner path: a worker whose
+// lease is stolen mid-unit must withhold its result (ErrLeaseLost) when
+// the stealer has not yet published, and must treat the unit as done when
+// the stealer already has. Either way exactly one result survives.
+func TestLostLeasePublishesOnce(t *testing.T) {
+	const ttl = 40 * time.Millisecond
+	c := testWorkDir(t, 1, ttl)
+
+	unit, slow, _, ok, err := c.Claim("slow")
+	if err != nil || !ok {
+		t.Fatalf("slow claim: %v ok=%v", err, ok)
+	}
+	time.Sleep(ttl * 2) // the slow worker wedges past its TTL
+
+	u2, fast, stolen, ok, err := c.Claim("fast")
+	if err != nil || !ok || u2 != unit || !stolen {
+		t.Fatalf("fast steal: unit=%d stolen=%v ok=%v err=%v", u2, stolen, ok, err)
+	}
+
+	// The slow worker finishes first, after losing the lease: withheld.
+	if err := c.Complete(unit, slow, []byte("payload")); err != ErrLeaseLost {
+		t.Fatalf("slow complete = %v, want ErrLeaseLost", err)
+	}
+	if c.HasResult(unit) {
+		t.Fatal("withheld result was published")
+	}
+
+	// The stealer publishes; a second slow completion is still a loss (the
+	// publish credit is the stealer's — per-worker Completed totals must
+	// sum to the unit count).
+	if err := c.Complete(unit, fast, []byte("payload")); err != nil {
+		t.Fatalf("fast complete: %v", err)
+	}
+	if err := c.Complete(unit, slow, []byte("payload")); err != ErrLeaseLost {
+		t.Fatalf("late slow complete = %v, want ErrLeaseLost (already published by the stealer)", err)
+	}
+	// Even a renewal that re-asserts the stale lease cannot reclaim the
+	// publish credit once the stealer's result is in place.
+	if err := slow.Renew(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(unit, slow, []byte("payload")); err != ErrLeaseLost {
+		t.Fatalf("resurrected-lease complete = %v, want ErrLeaseLost", err)
+	}
+	data, err := c.Result(unit)
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("result = %q, %v", data, err)
+	}
+}

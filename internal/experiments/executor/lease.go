@@ -1,0 +1,177 @@
+package executor
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// This file is the lease protocol of the work-stealing coordinator: one
+// lease file per work unit, claimed atomically with O_CREATE|O_EXCL,
+// renewed by heartbeat while the unit runs, and stolen (atomically
+// replaced) once its modification time falls more than the work dir's TTL
+// behind the present. The file's mtime is the liveness signal — every
+// renewal rewrites the file, so a crashed or wedged owner stops advancing
+// it and the unit becomes claimable again — and the file's content is the
+// ownership identity: a random nonce written at claim time that lets the
+// owner detect, before publishing a result, that somebody stole the unit
+// out from under it.
+//
+// The protocol tolerates the races a shared directory implies. Two
+// stealers may replace an expired lease back to back; the loser discovers
+// the loss at completion time (StillHeld) and withdraws. A unit may even
+// complete twice — the worker that lost its lease raced its own Complete
+// against the stealer's — which is safe here because every worker computes
+// a bit-identical result from the same spec, so whichever atomic rename
+// lands last leaves the same bytes.
+
+// leaseInfo is the JSON content of a lease file.
+type leaseInfo struct {
+	Owner string `json:"owner"` // advisory: host/pid label for humans
+	Nonce string `json:"nonce"` // ownership identity, fresh per claim
+}
+
+// Lease is one held work-unit lease. The zero value is invalid; leases
+// come from acquireLease only. A Lease is not safe for concurrent use
+// except for Renew, which may be called from parallel job goroutines
+// (renewals are idempotent rewrites of the same content).
+type Lease struct {
+	path string
+	ttl  time.Duration
+	info leaseInfo
+}
+
+// newNonce returns a fresh random ownership token.
+func newNonce() (string, error) {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("executor: lease nonce: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// writeLeaseFile atomically materializes a lease file (temp + rename in
+// the same directory), so readers never observe a torn lease.
+func writeLeaseFile(path string, info leaseInfo) error {
+	data, err := json.Marshal(info)
+	if err != nil {
+		return fmt.Errorf("executor: lease encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".lease-tmp-")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// readLeaseFile parses a lease file. A missing or torn file reads as a
+// zero leaseInfo with ok=false.
+func readLeaseFile(path string) (leaseInfo, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return leaseInfo{}, false
+	}
+	var info leaseInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		return leaseInfo{}, false
+	}
+	return info, true
+}
+
+// acquireLease tries to take the lease at path. It returns (lease, stolen,
+// nil) on success — stolen reports that an expired lease was replaced
+// rather than a fresh file created — and (nil, false, nil) when the lease
+// is currently held and alive. Only unexpected filesystem errors are
+// returned as err.
+func acquireLease(path string, ttl time.Duration, owner string) (l *Lease, stolen bool, err error) {
+	nonce, err := newNonce()
+	if err != nil {
+		return nil, false, err
+	}
+	info := leaseInfo{Owner: owner, Nonce: nonce}
+	data, err := json.Marshal(info)
+	if err != nil {
+		return nil, false, fmt.Errorf("executor: lease encode: %w", err)
+	}
+
+	// Fast path: no lease file yet. O_CREATE|O_EXCL makes exactly one
+	// contender win; everyone else falls through to the expiry check.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err == nil {
+		_, werr := f.Write(data)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			// A torn fresh lease: remove it so the unit does not stay
+			// blocked for a full TTL on a local write failure.
+			os.Remove(path)
+			if werr == nil {
+				werr = cerr
+			}
+			return nil, false, werr
+		}
+		return &Lease{path: path, ttl: ttl, info: info}, false, nil
+	}
+	if !os.IsExist(err) {
+		return nil, false, err
+	}
+
+	// Slow path: a lease exists. Its mtime is the owner's last heartbeat;
+	// only a lease older than the TTL may be stolen.
+	st, serr := os.Stat(path)
+	if serr != nil {
+		// The owner released (or completed) between our open and stat:
+		// treat as contended and let the next scan retry.
+		return nil, false, nil
+	}
+	if time.Since(st.ModTime()) <= ttl {
+		return nil, false, nil
+	}
+	// Steal: atomically replace the expired lease with ours. Two stealers
+	// may both rename; the last rename wins and the loser withdraws at
+	// StillHeld time, so the race is safe (if noisy).
+	if err := writeLeaseFile(path, info); err != nil {
+		return nil, false, err
+	}
+	return &Lease{path: path, ttl: ttl, info: info}, true, nil
+}
+
+// Renew heartbeats the lease: it rewrites the lease file, advancing its
+// mtime so the owner keeps looking alive. Renewing a lease that was stolen
+// re-asserts ownership incorrectly for a moment, but the stealer's
+// completion path tolerates that (results are bit-identical), so Renew
+// deliberately skips a read-check — one atomic rename instead of two
+// round trips, from possibly many job goroutines.
+func (l *Lease) Renew() error {
+	return writeLeaseFile(l.path, l.info)
+}
+
+// StillHeld reports whether the lease file still carries this lease's
+// nonce — i.e. nobody stole the unit since the claim.
+func (l *Lease) StillHeld() bool {
+	info, ok := readLeaseFile(l.path)
+	return ok && info.Nonce == l.info.Nonce
+}
+
+// Release removes the lease file if this lease still owns it; releasing a
+// stolen or already-released lease is a no-op.
+func (l *Lease) Release() {
+	if l.StillHeld() {
+		os.Remove(l.path)
+	}
+}
+
+// Owner returns the advisory owner label the lease was claimed with.
+func (l *Lease) Owner() string { return l.info.Owner }

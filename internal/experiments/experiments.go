@@ -175,20 +175,32 @@ func Run(setting Setting, algo grid.Algorithm) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("experiments: workload: %w", err)
 	}
+	// Timed arrivals stream through SubmitStream: the generator emits them
+	// in non-decreasing time order, and the stream keeps at most one
+	// outstanding submission event in the engine however long the schedule
+	// is (a multi-day trace replay used to queue its whole tail as pending
+	// events from t=0). Batch (t=0) submissions keep the historical
+	// pre-Start path: full-ahead planners see them as one central batch,
+	// exactly as before the arrival subsystem existed.
+	timed := subs[:0:0]
 	for _, sub := range subs {
 		if sub.SubmitAt > 0 {
-			// Timed arrival: the workflow enters the system when its
-			// submission event fires during the run.
-			g.SubmitAt(sub.SubmitAt, sub.Home, sub.Workflow)
+			timed = append(timed, sub)
 			continue
 		}
-		// Batch (t=0) submissions keep the historical pre-Start path:
-		// full-ahead planners see them as one central batch, exactly as
-		// before the arrival subsystem existed.
 		if _, err := g.Submit(sub.Home, sub.Workflow); err != nil {
 			return Result{}, fmt.Errorf("experiments: submit: %w", err)
 		}
 	}
+	nextTimed := 0
+	g.SubmitStream(func() (float64, int, *dag.Workflow, bool) {
+		if nextTimed >= len(timed) {
+			return 0, 0, nil, false
+		}
+		s := timed[nextTimed]
+		nextTimed++
+		return s.SubmitAt, s.Home, s.Workflow, true
+	})
 
 	var col metrics.Collector
 	col.Attach(g, setting.Scale.SnapshotHours*3600)

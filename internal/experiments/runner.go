@@ -122,13 +122,21 @@ func (p *sweepPlan) cellSeeds(cell int) []int64 {
 // is what adaptive replication batches rely on.
 func (p *sweepPlan) cellKey(cell int) string {
 	sc := p.scens[cell/len(p.spec.Algorithms)]
+	return cellKeyFor(p.spec, sc, p.spec.Algorithms[cell%len(p.spec.Algorithms)])
+}
+
+// cellKeyFor computes the cache key of one cell from a normalized spec:
+// the shared implementation behind sweepPlan.cellKey and the per-cell
+// adaptive driver (which sizes cells dynamically and so never builds a
+// fixed-Reps plan).
+func cellKeyFor(spec SweepSpec, sc Scenario, algo string) string {
 	doc := struct {
 		Version    string
 		RootSeed   int64
 		Scenario   Scenario
 		Reschedule bool
 		Algo       string
-	}{CodeVersion, p.spec.Seed, sc, p.spec.Reschedule, p.spec.Algorithms[cell%len(p.spec.Algorithms)]}
+	}{CodeVersion, spec.Seed, sc, spec.Reschedule, algo}
 	data, err := json.Marshal(doc)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: cell key: %v", err)) // plain data, cannot fail
@@ -203,9 +211,11 @@ type sweepState struct {
 }
 
 // runMatrix executes the [lo,hi) job-ID window of the plan: the shared
-// engine behind RunSweepStream (full window) and RunShard (partial).
-// Cache hits are restored first (whole cells and prefixes, regardless of
-// the window — restoring is free); only missing in-window jobs execute.
+// engine behind RunSweepStream (full window) and RunShard/RunCellUnit
+// (partial). Cache hits are restored first — but only for cells that
+// intersect the window: a per-cell work unit probing every cell of a
+// paper-scale sweep would turn a cache-backed worker quadratic in cell
+// count. Only missing in-window jobs execute.
 func runMatrix(plan *sweepPlan, opts RunOptions, lo, hi int) (*sweepState, error) {
 	st := &sweepState{
 		plan:  plan,
@@ -215,15 +225,16 @@ func runMatrix(plan *sweepPlan, opts RunOptions, lo, hi int) (*sweepState, error
 	}
 	reps := plan.spec.Reps
 	total := plan.numJobs()
+	cellLo, cellHi := lo/reps, (hi+reps-1)/reps // cells intersecting [lo,hi)
 
-	// Cache pass: restore every hit, finalize fully-cached cells.
+	// Cache pass: restore every in-window hit, finalize fully-cached cells.
 	for c := range st.cells {
 		cs := &st.cells[c]
 		cs.acc = metrics.NewCellAccumulator(reps)
 		if opts.RetainRuns {
 			cs.runs = make([]Result, reps)
 		}
-		if opts.Cache == nil {
+		if opts.Cache == nil || c < cellLo || c >= cellHi {
 			continue
 		}
 		cached := loadCellStats(opts.Cache, plan.cellKey(c))
@@ -284,31 +295,43 @@ func runMatrix(plan *sweepPlan, opts RunOptions, lo, hi int) (*sweepState, error
 	return st, nil
 }
 
-// runJob executes one job on a pool worker: build-or-reuse the pair
-// topology, simulate, reduce, and fold the outcome into the cell.
+// executeSweepJob simulates one replication of one cell: build-or-reuse
+// the pair's shared topology (first caller generates it), run the
+// algorithm, and reduce the outcome. It is the single simulate-and-reduce
+// sequence behind both the fixed-matrix runner (runJob) and the per-cell
+// adaptive driver; the full Result is returned alongside the reduced
+// record for callers that retain runs.
+func executeSweepJob(sc Scenario, algo string, rep int, seed int64, reschedule bool, pn *pairNet) (metrics.RunStats, Result, error) {
+	pn.once.Do(func() {
+		pn.net, pn.err = topology.Generate(topoConfig(sc.Scale.Nodes, seed))
+	})
+	if pn.err != nil {
+		return metrics.RunStats{}, Result{}, fmt.Errorf("experiments: sweep topology (scale %s, rep %d): %w",
+			sc.Scale.Name, rep, pn.err)
+	}
+	a, err := heuristics.ByName(algo)
+	if err != nil {
+		return metrics.RunStats{}, Result{}, err // unreachable after validate; belt and braces
+	}
+	res, err := Run(sc.setting(seed, pn.net, reschedule), a)
+	if err != nil {
+		return metrics.RunStats{}, Result{}, err
+	}
+	return metrics.ReduceRun(&res.Collector, res.Final, res.Submitted, res.CCR), res, nil
+}
+
+// runJob executes one job on a pool worker: simulate via executeSweepJob
+// and fold the outcome into the cell.
 func (st *sweepState) runJob(id int) error {
 	j := st.plan.job(id)
 	pk := pairKey{j.Scenario.ScaleIndex, j.Rep}
 	st.mu.Lock()
 	pn := st.pairs[pk]
 	st.mu.Unlock()
-	pn.once.Do(func() {
-		pn.net, pn.err = topology.Generate(topoConfig(j.Scenario.Scale.Nodes, j.Seed))
-	})
-	if pn.err != nil {
-		return fmt.Errorf("experiments: sweep topology (scale %s, rep %d): %w",
-			j.Scenario.Scale.Name, j.Rep, pn.err)
-	}
-
-	algo, err := heuristics.ByName(j.Algo)
-	if err != nil {
-		return err // unreachable after validate; belt and braces
-	}
-	res, err := Run(j.Scenario.setting(j.Seed, pn.net, st.plan.spec.Reschedule), algo)
+	sts, res, err := executeSweepJob(j.Scenario, j.Algo, j.Rep, j.Seed, st.plan.spec.Reschedule, pn)
 	if err != nil {
 		return err
 	}
-	sts := metrics.ReduceRun(&res.Collector, res.Final, res.Submitted, res.CCR)
 
 	st.mu.Lock()
 	cs := &st.cells[j.Cell]
@@ -400,16 +423,39 @@ func RunSweepStream(spec SweepSpec, opts RunOptions) (*SweepResult, error) {
 }
 
 // ShardResult is the mergeable partial result of one shard: the reduced
-// per-job records of the [Lo,Hi) window of a spec's job matrix, plus
-// enough of the spec to reassemble (and cross-check) the full sweep.
+// per-job records of part of a spec's job matrix, plus enough of the spec
+// to reassemble (and cross-check) the full sweep. Coverage is either the
+// contiguous window [Lo,Hi) — the classic -shard i/n split — or, when IDs
+// is non-nil, an arbitrary strictly-increasing job-ID set (the
+// work-stealing coordinator's per-cell units and any future custom split
+// both reduce to this).
 type ShardResult struct {
 	Spec SweepSpec
 	Hash string // SpecHash of Spec at production time
 	Lo   int    // first job ID covered (inclusive)
-	Hi   int    // last job ID covered (exclusive)
+	Hi   int    // one past the last job ID covered (exclusive)
 	Jobs int    // total job count of the full matrix
-	// Stats[i] is the record of job Lo+i.
+	// IDs, when non-nil, lists the covered job IDs in increasing order;
+	// nil means the contiguous range [Lo,Hi).
+	IDs []int
+	// Stats[i] is the record of job IDs[i] (or Lo+i when IDs is nil).
 	Stats []metrics.RunStats
+}
+
+// NumCovered returns the number of jobs this shard covers.
+func (s *ShardResult) NumCovered() int {
+	if s.IDs != nil {
+		return len(s.IDs)
+	}
+	return s.Hi - s.Lo
+}
+
+// jobID maps a Stats index to its global job ID.
+func (s *ShardResult) jobID(i int) int {
+	if s.IDs != nil {
+		return s.IDs[i]
+	}
+	return s.Lo + i
 }
 
 // RunShard executes only shard `shard` of `shards` over the spec's job
@@ -450,13 +496,17 @@ func RunShard(spec SweepSpec, shard, shards int, opts RunOptions) (*ShardResult,
 	return out, nil
 }
 
-// shardJSON is the on-disk schema of a shard partial result.
+// shardJSON is the on-disk schema of a shard partial result. The optional
+// ids field (schema-compatible extension: absent on classic contiguous
+// shards, whose files stay byte-identical) carries arbitrary ID-set
+// coverage.
 type shardJSON struct {
 	Schema string             `json:"schema"`
 	Hash   string             `json:"spec_hash"`
 	Lo     int                `json:"lo"`
 	Hi     int                `json:"hi"`
 	Jobs   int                `json:"jobs"`
+	IDs    []int              `json:"ids,omitempty"`
 	Spec   SweepSpec          `json:"spec"`
 	Stats  []metrics.RunStats `json:"stats"`
 }
@@ -471,6 +521,7 @@ func (s *ShardResult) JSON() ([]byte, error) {
 		Lo:     s.Lo,
 		Hi:     s.Hi,
 		Jobs:   s.Jobs,
+		IDs:    s.IDs,
 		Spec:   s.Spec,
 		Stats:  s.Stats,
 	}, "", "  ")
@@ -492,11 +543,29 @@ func DecodeShard(data []byte) (*ShardResult, error) {
 	if doc.Schema != shardSchema {
 		return nil, fmt.Errorf("experiments: shard schema %q, want %q", doc.Schema, shardSchema)
 	}
-	s := &ShardResult{Spec: doc.Spec, Hash: doc.Hash, Lo: doc.Lo, Hi: doc.Hi, Jobs: doc.Jobs, Stats: doc.Stats}
+	s := &ShardResult{Spec: doc.Spec, Hash: doc.Hash, Lo: doc.Lo, Hi: doc.Hi, Jobs: doc.Jobs, IDs: doc.IDs, Stats: doc.Stats}
 	if got := s.Spec.SpecHash(); got != s.Hash {
 		return nil, fmt.Errorf("experiments: shard spec hash %.12s… does not match recorded %.12s… (different spec or simulator version)", got, s.Hash)
 	}
-	if s.Hi-s.Lo != len(s.Stats) {
+	if s.IDs != nil {
+		if len(s.IDs) == 0 {
+			return nil, fmt.Errorf("experiments: shard ID set is empty")
+		}
+		if len(s.IDs) != len(s.Stats) {
+			return nil, fmt.Errorf("experiments: shard covers %d job IDs but holds %d stats", len(s.IDs), len(s.Stats))
+		}
+		for i, id := range s.IDs {
+			if id < 0 || id >= s.Jobs {
+				return nil, fmt.Errorf("experiments: shard job ID %d outside [0,%d)", id, s.Jobs)
+			}
+			if i > 0 && id <= s.IDs[i-1] {
+				return nil, fmt.Errorf("experiments: shard job IDs not strictly increasing at index %d", i)
+			}
+		}
+		// Lo/Hi are derived for ID-set shards: the recorded values are
+		// display hints, the set is authoritative.
+		s.Lo, s.Hi = s.IDs[0], s.IDs[len(s.IDs)-1]+1
+	} else if s.Hi-s.Lo != len(s.Stats) {
 		return nil, fmt.Errorf("experiments: shard window [%d,%d) holds %d stats", s.Lo, s.Hi, len(s.Stats))
 	}
 	if n, err := s.Spec.NumJobs(); err != nil {
@@ -508,10 +577,11 @@ func DecodeShard(data []byte) (*ShardResult, error) {
 }
 
 // MergeShards reassembles shard partials into a complete SweepResult. The
-// shards must share one spec hash and their windows must tile [0,Jobs)
-// exactly — no gaps, no overlaps. Aggregation feeds the same records
-// through the same accumulators in the same replication order as a
-// single-host run, so the merged result's JSON is byte-identical to it.
+// shards must share one spec hash and their coverage — contiguous windows,
+// arbitrary ID sets, or a mix — must tile [0,Jobs) exactly: no gaps, no
+// overlaps. Aggregation feeds the same records through the same
+// accumulators in the same replication order as a single-host run, so the
+// merged result's JSON is byte-identical to it.
 func MergeShards(parts ...*ShardResult) (*SweepResult, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("experiments: no shards to merge")
@@ -525,18 +595,27 @@ func MergeShards(parts ...*ShardResult) (*SweepResult, error) {
 			return nil, fmt.Errorf("experiments: shard spec hashes differ (%.12s… vs %.12s…)", p.Hash, first.Hash)
 		}
 	}
-	next := 0
+	seen := make([]bool, first.Jobs)
+	covered := 0
 	for _, p := range sorted {
-		switch {
-		case p.Lo > next:
-			return nil, fmt.Errorf("experiments: shard coverage gap: jobs [%d,%d) missing", next, p.Lo)
-		case p.Lo < next:
-			return nil, fmt.Errorf("experiments: shards overlap at job %d", p.Lo)
+		for i := 0; i < p.NumCovered(); i++ {
+			id := p.jobID(i)
+			if id < 0 || id >= len(seen) {
+				return nil, fmt.Errorf("experiments: shard job ID %d outside [0,%d)", id, len(seen))
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("experiments: shards overlap at job %d", id)
+			}
+			seen[id] = true
+			covered++
 		}
-		next = p.Hi
 	}
-	if next != first.Jobs {
-		return nil, fmt.Errorf("experiments: shard coverage gap: jobs [%d,%d) missing", next, first.Jobs)
+	if covered != first.Jobs {
+		for id, ok := range seen {
+			if !ok {
+				return nil, fmt.Errorf("experiments: shard coverage gap: job %d missing (%d of %d covered)", id, covered, first.Jobs)
+			}
+		}
 	}
 
 	plan, err := newSweepPlan(first.Spec)
@@ -552,7 +631,7 @@ func MergeShards(parts ...*ShardResult) (*SweepResult, error) {
 	}
 	for _, p := range sorted {
 		for i, sts := range p.Stats {
-			j := plan.job(p.Lo + i)
+			j := plan.job(p.jobID(i))
 			if err := accs[j.Cell].Add(j.Rep, sts); err != nil {
 				return nil, err
 			}
@@ -610,27 +689,285 @@ func RunAdaptive(spec SweepSpec, precision float64, opts RunOptions) (*SweepResu
 }
 
 // adaptiveConverged reports whether every cell's ACT interval meets the
-// relative precision target. A zero mean only converges with a zero
-// half-width (no meaningful relative precision exists for it).
+// relative precision target.
 func adaptiveConverged(res *SweepResult, precision float64) bool {
 	for i := range res.Cells {
-		e := res.Cells[i].Agg.ACT
-		if e.N < 2 {
-			return false
-		}
-		mean := e.Mean
-		if mean < 0 {
-			mean = -mean
-		}
-		if mean == 0 {
-			if e.CI95 > 0 {
-				return false
-			}
-			continue
-		}
-		if e.CI95 > precision*mean {
+		if !precisionMet(res.Cells[i].Agg.ACT, precision) {
 			return false
 		}
 	}
 	return true
+}
+
+// precisionMet reports whether one ACT interval estimate meets the
+// relative precision target: CI95 ≤ precision × |mean|. A zero mean only
+// converges with a zero half-width (no meaningful relative precision
+// exists for it), and a single replication never converges.
+func precisionMet(e metrics.Estimate, precision float64) bool {
+	if e.N < 2 {
+		return false
+	}
+	mean := e.Mean
+	if mean < 0 {
+		mean = -mean
+	}
+	if mean == 0 {
+		return e.CI95 == 0
+	}
+	return e.CI95 <= precision*mean
+}
+
+// RunCellUnit executes every replication of one (scenario, algorithm) cell
+// and returns its mergeable partial: the work unit of the file-based
+// coordinator. Cells are contiguous job-ID ranges in the canonical
+// enumeration, so the partial is a classic [Lo,Hi) shard and merges with
+// any mix of other units or shards.
+func RunCellUnit(spec SweepSpec, cell int, opts RunOptions) (*ShardResult, error) {
+	plan, err := newSweepPlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	if cell < 0 || cell >= plan.numCells() {
+		return nil, fmt.Errorf("experiments: cell %d outside [0,%d)", cell, plan.numCells())
+	}
+	reps := plan.spec.Reps
+	lo, hi := cell*reps, (cell+1)*reps
+	st, err := runMatrix(plan, opts, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	out := &ShardResult{
+		Spec:  plan.spec,
+		Hash:  plan.spec.SpecHash(),
+		Lo:    lo,
+		Hi:    hi,
+		Jobs:  plan.numJobs(),
+		Stats: make([]metrics.RunStats, hi-lo),
+	}
+	for id := lo; id < hi; id++ {
+		sts, ok := st.cells[cell].acc.Get(id - lo)
+		if !ok {
+			return nil, fmt.Errorf("experiments: cell %d replication %d missing after execution", cell, id-lo)
+		}
+		out.Stats[id-lo] = sts
+	}
+	return out, nil
+}
+
+// adaptiveRepFloor is the smallest replication count the per-cell stopper
+// accepts as evidence: 3 replications are the smallest batch with a
+// non-degenerate t-interval plus one.
+const adaptiveRepFloor = 3
+
+// adaptiveRepCeiling bounds an uncapped adaptive run. A cell that has not
+// met any sane precision target after this many replications is pinned by
+// structural variance, not sampling noise; the ceiling turns a hypothetical
+// infinite loop into a finished (if wide) estimate.
+const adaptiveRepCeiling = 1 << 14
+
+// RunAdaptiveCells grows every cell's replication count independently
+// until that cell's ACT 95% confidence half-width is at most precision ×
+// |mean ACT|: per-cell sequential stopping, the successor of the global
+// batches of RunAdaptive. Cells start at adaptiveRepFloor replications and
+// double until they converge or hit maxReps (non-positive maxReps means
+// uncapped, bounded only by adaptiveRepCeiling), so a sweep stops spending
+// seeds on already-tight cells while a high-variance cell keeps sampling.
+//
+// The result is ragged: each cell carries exactly the replications it
+// needed (Spec.Reps reports the largest cell), which the sweep JSON
+// records per cell (the uniform case stays byte-identical). Batches reuse
+// work through the cell cache — opts.Cache when provided, otherwise a
+// process-local memory cache — and a warm re-run replays cached
+// replications in place of executing them, so cold and warm runs produce
+// identical results. opts.RetainRuns is not supported here (the driver
+// never holds full Results) and is ignored; opts.Executor must execute
+// every id it is given (do not pass executor.Shard).
+func RunAdaptiveCells(spec SweepSpec, precision float64, maxReps int, opts RunOptions) (*SweepResult, error) {
+	if precision <= 0 {
+		return nil, fmt.Errorf("experiments: adaptive precision must be positive, got %v", precision)
+	}
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if maxReps <= 0 || maxReps > adaptiveRepCeiling {
+		maxReps = adaptiveRepCeiling
+	}
+	if opts.Cache == nil {
+		opts.Cache = executor.NewMemory()
+	}
+	exec := opts.Executor
+	if exec == nil {
+		exec = executor.Local{}
+	}
+
+	scens := spec.Scenarios()
+	algos := spec.Algorithms
+	type cellRun struct {
+		acc       *metrics.CellAccumulator
+		key       string
+		target    int  // replications this cell should reach next
+		stopped   bool // converged or capped: no further issuance
+		probed    bool // cache probed
+		cached    []metrics.RunStats
+		cachedLen int // cache-entry length at probe time
+	}
+	cells := make([]cellRun, len(scens)*len(algos))
+	start := adaptiveRepFloor
+	if start > maxReps {
+		start = maxReps
+	}
+	for c := range cells {
+		cells[c] = cellRun{
+			acc:    metrics.NewCellAccumulator(0),
+			key:    cellKeyFor(spec, scens[c/len(algos)], algos[c%len(algos)]),
+			target: start,
+		}
+	}
+
+	type pendJob struct {
+		cell, rep int
+		seed      int64
+	}
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	for {
+		// Issue the missing replications of every open cell, replaying
+		// cached records instead of executing where the cache has them (a
+		// warm adaptive run is bit-identical to its cold ancestor).
+		var pend []pendJob
+		pairs := make(map[pairKey]*pairNet)
+		for c := range cells {
+			cr := &cells[c]
+			if cr.stopped {
+				continue
+			}
+			cr.acc.Grow(cr.target)
+			if !cr.probed {
+				cr.probed = true
+				cr.cached = loadCellStats(opts.Cache, cr.key)
+				cr.cachedLen = len(cr.cached)
+			}
+			sc := scens[c/len(algos)]
+			for r := 0; r < cr.target; r++ {
+				if cr.acc.Has(r) {
+					continue
+				}
+				if r < len(cr.cached) {
+					if err := cr.acc.Add(r, cr.cached[r]); err != nil {
+						return nil, err
+					}
+					done++
+					continue
+				}
+				pend = append(pend, pendJob{cell: c, rep: r, seed: sweepSeed(spec.Seed, sc.ScaleIndex, r)})
+				pk := pairKey{sc.ScaleIndex, r}
+				pn := pairs[pk]
+				if pn == nil {
+					pn = &pairNet{}
+					pairs[pk] = pn
+				}
+				pn.pending++
+			}
+		}
+		if len(pend) > 0 {
+			ids := make([]int, len(pend))
+			for i := range ids {
+				ids[i] = i
+			}
+			issued := done + len(pend)
+			if err := exec.Execute(ids, func(i int) error {
+				j := pend[i]
+				sc := scens[j.cell/len(algos)]
+				pk := pairKey{sc.ScaleIndex, j.rep}
+				mu.Lock()
+				pn := pairs[pk]
+				mu.Unlock()
+				sts, _, err := executeSweepJob(sc, algos[j.cell%len(algos)], j.rep, j.seed, spec.Reschedule, pn)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if err := cells[j.cell].acc.Add(j.rep, sts); err != nil {
+					return err
+				}
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, issued)
+				}
+				pn.pending--
+				if pn.pending == 0 {
+					pn.net = nil
+				}
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+
+		// Stopping rule, per cell: converged (CI ≤ precision·|mean| at ≥
+		// the floor) or capped cells finalize; the rest double their target.
+		open := 0
+		for c := range cells {
+			cr := &cells[c]
+			if cr.stopped {
+				continue
+			}
+			agg := cr.acc.Aggregate()
+			switch {
+			case cr.acc.Count() >= adaptiveRepFloor && precisionMet(agg.ACT, precision),
+				cr.target >= maxReps:
+				cr.stopped = true
+				if cr.acc.Count() > cr.cachedLen {
+					if err := storeCellStats(opts.Cache, cr.key, cr.acc.Stats()); err != nil {
+						return nil, err
+					}
+				}
+			default:
+				cr.target *= 2
+				if cr.target > maxReps {
+					cr.target = maxReps
+				}
+				open++
+			}
+		}
+		if open == 0 {
+			break
+		}
+	}
+
+	// Assemble the ragged result: Spec.Reps reports the largest cell so
+	// the JSON's top-level reps bounds every per-cell count.
+	maxCount := 0
+	for c := range cells {
+		if n := cells[c].acc.Count(); n > maxCount {
+			maxCount = n
+		}
+	}
+	spec.Reps = maxCount
+	res := &SweepResult{Spec: spec, Scenarios: scens}
+	res.Cells = make([]Cell, len(cells))
+	for c := range cells {
+		sc := scens[c/len(algos)]
+		n := cells[c].acc.Count()
+		seeds := make([]int64, n)
+		for r := range seeds {
+			seeds[r] = sweepSeed(spec.Seed, sc.ScaleIndex, r)
+		}
+		res.Cells[c] = Cell{
+			Index:    c,
+			Scenario: sc,
+			Algo:     algos[c%len(algos)],
+			Seeds:    seeds,
+			Stats:    cells[c].acc.Stats(),
+			Agg:      cells[c].acc.Aggregate(),
+		}
+		if opts.Observer != nil {
+			opts.Observer(&res.Cells[c])
+		}
+	}
+	return res, nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"sync"
 	"testing"
 
@@ -493,5 +494,182 @@ func TestRunShardValidatesArguments(t *testing.T) {
 		if _, err := RunShard(spec, tc.shard, tc.shards, RunOptions{}); err == nil {
 			t.Errorf("RunShard accepted shard %d/%d", tc.shard, tc.shards)
 		}
+	}
+}
+
+// TestRunAdaptiveCellsStopsPerCell is the per-cell stopping acceptance
+// test: on a sweep with one deliberately high-variance cell (HEFT's ACT at
+// micro scale swings far more across seeds than min-min's), the per-cell
+// stopper issues fewer total replications than the global-batch path at
+// the same precision, because converged cells stop drawing seeds while the
+// noisy cell keeps sampling.
+func TestRunAdaptiveCellsStopsPerCell(t *testing.T) {
+	// Measured at micro scale, seed 7: the 3-rep ACT CI/mean ratios are
+	// min-min 0.22, DSMF 0.35, HEFT 0.60; at 6 reps all fall under 0.23.
+	// Precision 0.3 therefore stops min-min at the 3-rep floor and carries
+	// DSMF and HEFT to 6 — a ragged 3/6/6 split.
+	algos := []string{"DSMF", "min-min", "HEFT"}
+	const precision = 0.3
+	spec := microSpec(algos, 1, 7)
+
+	ce := &countingExecutor{}
+	ragged, err := RunAdaptiveCells(spec, precision, 0, RunOptions{Executor: ce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCellJobs := ce.jobs
+
+	reps := map[string]int{}
+	for _, c := range ragged.Cells {
+		reps[c.Algo] = c.Agg.Reps
+		if len(c.Seeds) != c.Agg.Reps || len(c.Stats) != c.Agg.Reps {
+			t.Fatalf("cell %s: %d seeds / %d stats for %d reps", c.Algo, len(c.Seeds), len(c.Stats), c.Agg.Reps)
+		}
+	}
+	if reps["min-min"] != 3 || reps["DSMF"] != 6 || reps["HEFT"] != 6 {
+		t.Fatalf("per-cell reps = %v, want min-min 3, DSMF 6, HEFT 6", reps)
+	}
+	if ragged.Spec.Reps != 6 {
+		t.Fatalf("ragged Spec.Reps = %d, want the largest cell (6)", ragged.Spec.Reps)
+	}
+	if perCellJobs != 15 {
+		t.Fatalf("per-cell stopper executed %d jobs, want 15 (3+6+6)", perCellJobs)
+	}
+
+	// The global-batch path at the same precision advances every cell to
+	// the same count until all converge: strictly more work.
+	gspec := spec
+	gspec.Reps = 64 // generous cap so the comparison is about stopping, not capping
+	ge := &countingExecutor{}
+	global, err := RunAdaptive(gspec, precision, RunOptions{Executor: ge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.Spec.Reps != 6 {
+		t.Fatalf("global batches stopped at %d reps, want 6", global.Spec.Reps)
+	}
+	if ge.jobs <= perCellJobs {
+		t.Fatalf("global path executed %d jobs, per-cell %d — per-cell must issue fewer", ge.jobs, perCellJobs)
+	}
+
+	// Each converged cell's interval matches a direct run at its count
+	// bit-for-bit (same seeds, same accumulator order).
+	direct, err := RunSweepStream(microSpec(algos, 6, 7), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ragged.Cells {
+		want := direct.Cells[i]
+		for r := 0; r < c.Agg.Reps; r++ {
+			if c.Stats[r].Final != want.Stats[r].Final {
+				t.Fatalf("cell %s rep %d differs from direct run", c.Algo, r)
+			}
+		}
+	}
+}
+
+// TestRunAdaptiveCellsWarmCache pins cache semantics: a warm re-run
+// replays cached replications instead of executing (zero jobs) and
+// produces byte-identical JSON, and a cold cache ends up holding every
+// cell's final prefix.
+func TestRunAdaptiveCellsWarmCache(t *testing.T) {
+	spec := microSpec([]string{"DSMF", "min-min"}, 1, 7)
+	cache := executor.NewMemory()
+	const precision = 0.3
+
+	cold := &countingExecutor{}
+	first, err := RunAdaptiveCells(spec, precision, 0, RunOptions{Executor: cold, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := &countingExecutor{}
+	second, err := RunAdaptiveCells(spec, precision, 0, RunOptions{Executor: warm, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.jobs != 0 {
+		t.Fatalf("warm adaptive run executed %d jobs, want 0", warm.jobs)
+	}
+	if !bytes.Equal(mustJSON(t, first), mustJSON(t, second)) {
+		t.Fatal("warm adaptive run differs from cold run")
+	}
+
+	// A capped run against the same cache replays only the capped prefix
+	// and stays deterministic.
+	capped, err := RunAdaptiveCells(spec, precision, 4, RunOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range capped.Cells {
+		if c.Agg.Reps > 4 {
+			t.Fatalf("cell %s exceeded the cap: %d reps", c.Algo, c.Agg.Reps)
+		}
+	}
+
+	if _, err := RunAdaptiveCells(spec, 0, 0, RunOptions{}); err == nil {
+		t.Error("non-positive precision accepted")
+	}
+}
+
+// TestRaggedSweepJSONSchema pins the ragged-rep schema: uniform sweeps
+// carry no per-cell reps field (their JSON is byte-identical to the
+// pre-adaptive schema), ragged sweeps record each short cell's own count,
+// and the document decodes consistently.
+func TestRaggedSweepJSONSchema(t *testing.T) {
+	type cellDoc struct {
+		Algo      string  `json:"algo"`
+		Reps      int     `json:"reps"`
+		Seeds     []int64 `json:"seeds"`
+		Aggregate struct {
+			Reps int `json:"reps"`
+		} `json:"aggregate"`
+	}
+	type sweepDoc struct {
+		Schema string    `json:"schema"`
+		Reps   int       `json:"reps"`
+		Cells  []cellDoc `json:"cells"`
+	}
+	decode := func(data []byte) sweepDoc {
+		var doc sweepDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("sweep JSON decode: %v", err)
+		}
+		return doc
+	}
+
+	uniform, err := RunSweepStream(microSpec([]string{"DSMF", "min-min"}, 2, 7), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	udoc := decode(mustJSON(t, uniform))
+	for _, c := range udoc.Cells {
+		if c.Reps != 0 {
+			t.Fatalf("uniform cell %s carries reps %d, want omitted", c.Algo, c.Reps)
+		}
+	}
+
+	ragged, err := RunAdaptiveCells(microSpec([]string{"DSMF", "min-min", "HEFT"}, 1, 7), 0.3, 0, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdoc := decode(mustJSON(t, ragged))
+	if rdoc.Reps != 6 {
+		t.Fatalf("ragged top-level reps = %d, want the largest cell (6)", rdoc.Reps)
+	}
+	short := 0
+	for _, c := range rdoc.Cells {
+		cellReps := c.Reps
+		if cellReps == 0 {
+			cellReps = rdoc.Reps // omitted: the cell matches the sweep's count
+		}
+		if len(c.Seeds) != cellReps || c.Aggregate.Reps != cellReps {
+			t.Fatalf("ragged cell %s: reps %d, %d seeds, aggregate reps %d", c.Algo, cellReps, len(c.Seeds), c.Aggregate.Reps)
+		}
+		if c.Reps != 0 {
+			short++
+		}
+	}
+	if short != 1 {
+		t.Fatalf("%d cells carry an explicit reps field, want exactly the short min-min cell", short)
 	}
 }

@@ -458,16 +458,21 @@ type sweepJSON struct {
 }
 
 type sweepCellJSON struct {
-	Scenario   string               `json:"scenario"`
-	Scale      string               `json:"scale"`
-	Nodes      int                  `json:"nodes"`
-	LoadFactor int                  `json:"load_factor"`
-	Churn      float64              `json:"churn"`
-	CCR        string               `json:"ccr,omitempty"`
-	Arrival    string               `json:"arrival,omitempty"`
-	Algo       string               `json:"algo"`
-	Seeds      []int64              `json:"seeds"`
-	Aggregate  metrics.RunAggregate `json:"aggregate"`
+	Scenario   string  `json:"scenario"`
+	Scale      string  `json:"scale"`
+	Nodes      int     `json:"nodes"`
+	LoadFactor int     `json:"load_factor"`
+	Churn      float64 `json:"churn"`
+	CCR        string  `json:"ccr,omitempty"`
+	Arrival    string  `json:"arrival,omitempty"`
+	Algo       string  `json:"algo"`
+	// Reps is the cell's own replication count when it differs from the
+	// sweep's top-level reps — the ragged output of per-cell adaptive
+	// stopping. Omitted (0) on uniform sweeps, so every pre-adaptive
+	// artifact and golden stays byte-identical.
+	Reps      int                  `json:"reps,omitempty"`
+	Seeds     []int64              `json:"seeds"`
+	Aggregate metrics.RunAggregate `json:"aggregate"`
 }
 
 // JSON marshals the sweep result into the stable machine-readable schema
@@ -485,6 +490,10 @@ func (r *SweepResult) JSON() ([]byte, error) {
 		if lf == 0 {
 			lf = c.Scenario.Scale.LoadFactor
 		}
+		cellReps := 0
+		if c.Agg.Reps != r.Spec.Reps {
+			cellReps = c.Agg.Reps
+		}
 		out.Cells = append(out.Cells, sweepCellJSON{
 			Scenario:   c.Scenario.Label(),
 			Scale:      c.Scenario.Scale.Name,
@@ -494,6 +503,7 @@ func (r *SweepResult) JSON() ([]byte, error) {
 			CCR:        c.Scenario.CCR.Label,
 			Arrival:    c.Scenario.Arrival.Label,
 			Algo:       c.Algo,
+			Reps:       cellReps,
 			Seeds:      c.Seeds,
 			Aggregate:  c.Agg,
 		})

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments/executor"
+)
+
+// This file maps the generic work-stealing coordinator
+// (executor/coordinator.go) onto sweeps: the work unit is one (scenario,
+// algorithm) cell, a unit's result is the cell's shard/v1 partial, and the
+// directory's metadata is the normalized spec plus its hash. Any number of
+// heterogeneous machines point `-worker DIR` at one shared directory and
+// drain the same sweep — static `-shard i/n` ranges leave stragglers idle
+// when machines differ, while claimed-per-cell units with expiry/steal
+// semantics absorb them — and the `-coordinate DIR` finalizer merges the
+// per-cell partials into a SweepResult whose JSON is byte-identical to a
+// single-host run.
+
+// sweepWorkSchema versions the sweep metadata inside a work directory.
+const sweepWorkSchema = "p2pgridsim/sweepwork/v1"
+
+// sweepWorkMeta is the caller metadata recorded in workdir.json: the
+// normalized spec every worker derives the identical job matrix from, plus
+// its hash so a worker with different simulation semantics (CodeVersion)
+// refuses the directory instead of publishing incompatible partials.
+type sweepWorkMeta struct {
+	Schema string    `json:"schema"`
+	Hash   string    `json:"spec_hash"`
+	Spec   SweepSpec `json:"spec"`
+}
+
+// InitSweepWork creates (or idempotently re-opens) a sweep work directory:
+// one work unit per (scenario, algorithm) cell. Re-initializing with a
+// different spec fails — a used directory belongs to exactly one sweep.
+func InitSweepWork(dir string, spec SweepSpec, ttl time.Duration) (*executor.Coordinator, SweepSpec, error) {
+	plan, err := newSweepPlan(spec)
+	if err != nil {
+		return nil, SweepSpec{}, err
+	}
+	meta, err := json.Marshal(sweepWorkMeta{
+		Schema: sweepWorkSchema,
+		Hash:   plan.spec.SpecHash(),
+		Spec:   plan.spec,
+	})
+	if err != nil {
+		return nil, SweepSpec{}, fmt.Errorf("experiments: sweep work meta: %w", err)
+	}
+	c, err := executor.InitWorkDir(dir, plan.numCells(), ttl, meta)
+	if err != nil {
+		return nil, SweepSpec{}, err
+	}
+	return c, plan.spec, nil
+}
+
+// OpenSweepWork opens an existing sweep work directory and verifies its
+// spec: the recorded hash is recomputed by the opening binary, so a worker
+// built from different simulation semantics fails here instead of mixing
+// incompatible partials into the directory.
+func OpenSweepWork(dir string) (*executor.Coordinator, SweepSpec, error) {
+	c, err := executor.OpenWorkDir(dir)
+	if err != nil {
+		return nil, SweepSpec{}, err
+	}
+	var meta sweepWorkMeta
+	if err := json.Unmarshal(c.Meta, &meta); err != nil {
+		return nil, SweepSpec{}, fmt.Errorf("experiments: work dir %s metadata: %w", dir, err)
+	}
+	if meta.Schema != sweepWorkSchema {
+		return nil, SweepSpec{}, fmt.Errorf("experiments: work dir %s metadata schema %q, want %q", dir, meta.Schema, sweepWorkSchema)
+	}
+	if got := meta.Spec.SpecHash(); got != meta.Hash {
+		return nil, SweepSpec{}, fmt.Errorf("experiments: work dir %s spec hash %.12s… does not match recorded %.12s… (different spec or simulator version)", dir, got, meta.Hash)
+	}
+	plan, err := newSweepPlan(meta.Spec)
+	if err != nil {
+		return nil, SweepSpec{}, err
+	}
+	if plan.numCells() != c.Units {
+		return nil, SweepSpec{}, fmt.Errorf("experiments: work dir %s holds %d units, spec expands to %d cells", dir, c.Units, plan.numCells())
+	}
+	return c, plan.spec, nil
+}
+
+// WorkerOptions configures one sweep worker.
+type WorkerOptions struct {
+	// Owner labels this worker's leases; empty derives host.pid.
+	Owner string
+
+	// Executor runs one unit's replications; nil means executor.Local{}.
+	Executor executor.Executor
+
+	// Cache optionally warm-starts units from (and feeds) a cell cache.
+	Cache executor.Cache
+
+	// SleepPerJob inserts an artificial delay before every replication: a
+	// test hook that makes this worker slow enough to be stolen from (the
+	// CI byte-identity job exercises exactly that).
+	SleepPerJob time.Duration
+
+	// Log, when non-nil, receives per-unit progress lines.
+	Log io.Writer
+}
+
+func (o WorkerOptions) owner() string {
+	if o.Owner != "" {
+		return o.Owner
+	}
+	host, err := os.Hostname()
+	if err != nil {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s.%d", host, os.Getpid())
+}
+
+// unitExecutor wraps a unit's executor with the worker's lease discipline:
+// the optional slow-worker sleep runs before each replication, and the
+// lease is heartbeat-renewed after each one — a worker that stops making
+// progress (crash, wedge, or a sleep longer than the TTL) stops renewing
+// and its unit becomes stealable.
+type unitExecutor struct {
+	inner executor.Executor
+	sleep time.Duration
+	lease *executor.Lease
+}
+
+func (u unitExecutor) Execute(ids []int, run func(id int) error) error {
+	inner := u.inner
+	if inner == nil {
+		inner = executor.Local{}
+	}
+	return inner.Execute(ids, func(id int) error {
+		if u.sleep > 0 {
+			time.Sleep(u.sleep)
+		}
+		if err := run(id); err != nil {
+			return err
+		}
+		// Best-effort heartbeat: a failed renewal just means the unit may
+		// be stolen, which the completion protocol already tolerates.
+		_ = u.lease.Renew()
+		return nil
+	})
+}
+
+// RunSweepWorker drains a sweep work directory: claim a cell, run its
+// replications, publish its partial, repeat — stealing expired leases
+// along the way — until every cell in the directory has a result. It is
+// the long-running body of `p2pgridsim -worker DIR`.
+func RunSweepWorker(dir string, opts WorkerOptions) (executor.DrainStats, error) {
+	c, spec, err := OpenSweepWork(dir)
+	if err != nil {
+		return executor.DrainStats{}, err
+	}
+	owner := opts.owner()
+	return c.Drain(owner, func(unit int, l *executor.Lease) ([]byte, error) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "worker %s: cell %d/%d\n", owner, unit, c.Units)
+		}
+		part, err := RunCellUnit(spec, unit, RunOptions{
+			Executor: unitExecutor{inner: opts.Executor, sleep: opts.SleepPerJob, lease: l},
+			Cache:    opts.Cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return part.JSON()
+	})
+}
+
+// MergeSweepWork reassembles a fully drained work directory into the
+// complete SweepResult, byte-identical to a single-host run of the same
+// spec. It fails while units are still missing.
+func MergeSweepWork(dir string) (*SweepResult, error) {
+	c, _, err := OpenSweepWork(dir)
+	if err != nil {
+		return nil, err
+	}
+	if done := c.Done(); done != c.Units {
+		return nil, fmt.Errorf("experiments: work dir %s incomplete (%d/%d cells done)", dir, done, c.Units)
+	}
+	raw, err := c.Results()
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*ShardResult, len(raw))
+	for u, data := range raw {
+		part, err := DecodeShard(data)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: unit %d: %w", u, err)
+		}
+		parts[u] = part
+	}
+	return MergeShards(parts...)
+}
+
+// CoordinateSweep is the single-command face of a distributed sweep: it
+// initializes (or re-opens) the work directory, participates as a worker
+// until the directory drains — so one machine alone still completes the
+// sweep, and extra `-worker DIR` processes just make it faster — and then
+// merges the per-cell partials into the complete result.
+func CoordinateSweep(dir string, spec SweepSpec, ttl time.Duration, opts WorkerOptions) (*SweepResult, executor.DrainStats, error) {
+	c, _, err := InitSweepWork(dir, spec, ttl)
+	if err != nil {
+		return nil, executor.DrainStats{}, err
+	}
+	if want := ttl; want > 0 && c.TTL != want && opts.Log != nil {
+		// The TTL is a property of the directory, fixed at first init; a
+		// re-coordinate with a different -lease-ttl must not silently
+		// believe its own number.
+		fmt.Fprintf(opts.Log, "coordinate %s: work dir records lease TTL %v; ignoring requested %v\n", dir, c.TTL, want)
+	}
+	stats, err := RunSweepWorker(dir, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	res, err := MergeSweepWork(dir)
+	return res, stats, err
+}

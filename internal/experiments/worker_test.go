@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments/executor"
+)
+
+// TestCoordinatedSweepByteIdentical is the tentpole acceptance test: three
+// concurrent workers drain one work directory and the merged result is
+// byte-identical to the single-host sweep JSON.
+func TestCoordinatedSweepByteIdentical(t *testing.T) {
+	spec := microSpec([]string{"DSMF", "min-min"}, 2, 7)
+	single, err := RunSweepStream(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustJSON(t, single)
+
+	dir := t.TempDir()
+	c, _, err := InitSweepWork(dir, spec, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Units != 2 {
+		t.Fatalf("work dir holds %d units, want one per cell (2)", c.Units)
+	}
+
+	const workers = 3
+	stats := make([]executor.DrainStats, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stats[w], errs[w] = RunSweepWorker(dir, WorkerOptions{Owner: string(rune('a' + w))})
+		}(w)
+	}
+	wg.Wait()
+	completed := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		completed += stats[w].Completed
+	}
+	if completed != c.Units {
+		t.Fatalf("workers completed %d units, want %d", completed, c.Units)
+	}
+
+	merged, err := MergeSweepWork(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustJSON(t, merged); !bytes.Equal(want, got) {
+		t.Fatalf("coordinated sweep JSON differs from single-host run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestCoordinateSweepSoloCompletes pins the one-command path: CoordinateSweep
+// alone initializes, drains and merges, with no extra workers.
+func TestCoordinateSweepSoloCompletes(t *testing.T) {
+	spec := microSpec([]string{"DSMF"}, 2, 7)
+	single, err := RunSweepStream(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := CoordinateSweep(t.TempDir(), spec, time.Hour, WorkerOptions{Owner: "solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 1 || stats.Stolen != 0 {
+		t.Fatalf("solo coordinate stats = %+v, want 1 completed, 0 stolen", stats)
+	}
+	if !bytes.Equal(mustJSON(t, single), mustJSON(t, res)) {
+		t.Fatal("solo coordinated result differs from direct run")
+	}
+}
+
+// TestCoordinatedSweepCrashRecovery simulates a worker dying mid-cell: a
+// claimed lease is abandoned, the TTL lapses, and a second worker steals
+// the cell — the merged output is still byte-identical and the steal is
+// recorded.
+func TestCoordinatedSweepCrashRecovery(t *testing.T) {
+	spec := microSpec([]string{"DSMF", "min-min"}, 2, 7)
+	single, err := RunSweepStream(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	const ttl = 80 * time.Millisecond
+	if _, _, err := InitSweepWork(dir, spec, ttl); err != nil {
+		t.Fatal(err)
+	}
+	// The "crashing" worker claims cell 0 and never completes or renews.
+	c, _, err := OpenSweepWork(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, _, _, ok, err := c.Claim("crasher")
+	if err != nil || !ok || unit != 0 {
+		t.Fatalf("crasher claim: unit=%d ok=%v err=%v", unit, ok, err)
+	}
+
+	stats, err := RunSweepWorker(dir, WorkerOptions{Owner: "rescuer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != c.Units {
+		t.Fatalf("rescuer completed %d units, want %d", stats.Completed, c.Units)
+	}
+	if stats.Stolen < 1 || c.Steals() < 1 {
+		t.Fatalf("crash recovery recorded no steal (stolen=%d, markers=%d)", stats.Stolen, c.Steals())
+	}
+	merged, err := MergeSweepWork(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, single), mustJSON(t, merged)) {
+		t.Fatal("crash-recovered sweep differs from single-host run")
+	}
+}
+
+// TestSweepWorkRejectsForeignSpec pins the safety rails: a used work dir
+// refuses a different sweep, and MergeSweepWork refuses an undrained dir.
+func TestSweepWorkRejectsForeignSpec(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := InitSweepWork(dir, microSpec([]string{"DSMF"}, 2, 7), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := InitSweepWork(dir, microSpec([]string{"DSMF"}, 3, 7), time.Hour); err == nil {
+		t.Fatal("work dir accepted a different spec")
+	}
+	// Same spec re-initializes fine.
+	if _, _, err := InitSweepWork(dir, microSpec([]string{"DSMF"}, 2, 7), time.Hour); err != nil {
+		t.Fatalf("idempotent re-init failed: %v", err)
+	}
+	if _, err := MergeSweepWork(dir); err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("merge of undrained dir = %v, want incomplete error", err)
+	}
+	if _, _, err := OpenSweepWork(t.TempDir()); err == nil {
+		t.Fatal("opened an uninitialized work dir")
+	}
+}
+
+// TestShardIDSetMerge pins the arbitrary-coverage extension of the shard
+// format: the same job matrix split into interleaved (odd/even) ID sets
+// round-trips through JSON and merges byte-identical to the single-host
+// run, and malformed ID sets are rejected on decode.
+func TestShardIDSetMerge(t *testing.T) {
+	spec := microSpec([]string{"DSMF", "min-min"}, 2, 7)
+	single, err := RunSweepStream(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustJSON(t, single)
+
+	// Run the whole matrix as one shard, then split it into odd/even ID
+	// sets — a coverage no contiguous window can express.
+	whole, err := RunShard(spec, 0, 1, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := func(parity int) *ShardResult {
+		out := &ShardResult{Spec: whole.Spec, Hash: whole.Hash, Jobs: whole.Jobs}
+		for id := 0; id < whole.Jobs; id++ {
+			if id%2 != parity {
+				continue
+			}
+			out.IDs = append(out.IDs, id)
+			out.Stats = append(out.Stats, whole.Stats[id])
+		}
+		return out
+	}
+	var parts []*ShardResult
+	for parity := 0; parity < 2; parity++ {
+		data, err := split(parity).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := DecodeShard(data)
+		if err != nil {
+			t.Fatalf("ID-set shard round trip: %v", err)
+		}
+		if decoded.Lo != parity || decoded.Hi != whole.Jobs-1+parity {
+			t.Fatalf("derived window [%d,%d) for parity %d", decoded.Lo, decoded.Hi, parity)
+		}
+		parts = append(parts, decoded)
+	}
+	merged, err := MergeShards(parts[1], parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustJSON(t, merged); !bytes.Equal(want, got) {
+		t.Fatal("ID-set merge differs from single-host run")
+	}
+
+	// Overlap between an ID set and a contiguous shard is rejected.
+	if _, err := MergeShards(parts[0], parts[1], whole); err == nil {
+		t.Fatal("overlapping ID-set + contiguous merge accepted")
+	}
+
+	// Malformed ID sets fail on decode.
+	tamper := func(mutate func(*shardJSON)) error {
+		data, err := split(0).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc shardJSON
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&doc)
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = DecodeShard(raw)
+		return err
+	}
+	if err := tamper(func(d *shardJSON) { d.IDs[1] = d.IDs[0] }); err == nil {
+		t.Fatal("non-increasing ID set accepted")
+	}
+	if err := tamper(func(d *shardJSON) { d.IDs[len(d.IDs)-1] = d.Jobs }); err == nil {
+		t.Fatal("out-of-range ID accepted")
+	}
+	if err := tamper(func(d *shardJSON) { d.IDs = d.IDs[:len(d.IDs)-1] }); err == nil {
+		t.Fatal("ID/stat count mismatch accepted")
+	}
+	// An explicit empty ids array (hand-edited file; omitempty means our
+	// own encoder never writes one) must fail cleanly, not panic.
+	data, err := split(0).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["ids"] = json.RawMessage(`[]`)
+	doc["stats"] = json.RawMessage(`[]`)
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeShard(raw); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("empty ID set: %v, want empty-set error", err)
+	}
+}

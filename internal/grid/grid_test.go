@@ -538,3 +538,135 @@ func TestSubmitAtDropsWhenHomeDead(t *testing.T) {
 		t.Fatalf("DroppedSubmissions = %d, want 2", g.DroppedSubmissions)
 	}
 }
+
+// streamFrom adapts a fixed schedule to SubmitStream's iterator.
+func streamFrom(t *testing.T, sched []struct {
+	at   float64
+	home int
+	n    int
+}) func() (float64, int, *dag.Workflow, bool) {
+	t.Helper()
+	i := 0
+	return func() (float64, int, *dag.Workflow, bool) {
+		if i >= len(sched) {
+			return 0, 0, nil, false
+		}
+		s := sched[i]
+		i++
+		return s.at, s.home, chainWorkflow(t, s.n), true
+	}
+}
+
+// TestSubmitStreamMatchesSubmitAt pins the streaming-submission contract:
+// the same timed schedule fed through SubmitStream produces exactly the
+// per-workflow timeline the equivalent SubmitAt calls produce, including
+// same-instant arrivals (submitted in iterator order) and dead-home drops.
+func TestSubmitStreamMatchesSubmitAt(t *testing.T) {
+	sched := []struct {
+		at   float64
+		home int
+		n    int
+	}{
+		{1000, 0, 3},
+		{2500, 1, 2},
+		{2500, 2, 4}, // same instant, different home
+		{2500, 3, 2}, // dead home: dropped at the arrival instant
+		{7000, 1, 3},
+	}
+	run := func(stream bool) (times []float64, dropped int) {
+		engine, g := newTestGrid(t, 5, 11)
+		g.Nodes[3].Alive = false
+		if stream {
+			g.SubmitStream(streamFrom(t, sched))
+		} else {
+			for _, s := range sched {
+				g.SubmitAt(s.at, s.home, chainWorkflow(t, s.n))
+			}
+		}
+		g.Start()
+		engine.RunUntil(36 * 3600)
+		for _, wf := range g.Workflows {
+			times = append(times, wf.SubmittedAt, wf.CompletedAt)
+		}
+		return times, g.DroppedSubmissions
+	}
+	at, ad := run(false)
+	st, sd := run(true)
+	if ad != 1 || sd != ad {
+		t.Fatalf("dropped: SubmitAt %d, SubmitStream %d, want 1 each", ad, sd)
+	}
+	if len(at) != len(st) || len(at) != 8 {
+		t.Fatalf("timeline lengths differ: %d vs %d", len(at), len(st))
+	}
+	for i := range at {
+		if at[i] != st[i] {
+			t.Fatalf("timelines diverge at %d: %v vs %v", i, at, st)
+		}
+	}
+}
+
+// TestSubmitStreamBoundsPendingEvents is the point of the satellite: a
+// long future schedule must keep at most one outstanding submission event,
+// where SubmitAt queues them all upfront.
+func TestSubmitStreamBoundsPendingEvents(t *testing.T) {
+	const future = 500
+	sched := make([]struct {
+		at   float64
+		home int
+		n    int
+	}, future)
+	for i := range sched {
+		sched[i].at = float64(1000 + 10*i)
+		sched[i].home = i % 4
+		sched[i].n = 2
+	}
+	engine, g := newTestGrid(t, 4, 13)
+	base := engine.Pending()
+	g.SubmitStream(streamFrom(t, sched))
+	if got := engine.Pending(); got != base+1 {
+		t.Fatalf("SubmitStream queued %d events upfront, want exactly 1", got-base)
+	}
+	// Contrast: the per-call path queues one event per future arrival.
+	engine2, g2 := newTestGrid(t, 4, 13)
+	base2 := engine2.Pending()
+	for _, s := range sched {
+		g2.SubmitAt(s.at, s.home, chainWorkflow(t, s.n))
+	}
+	if got := engine2.Pending(); got != base2+future {
+		t.Fatalf("SubmitAt queued %d events, want %d", got-base2, future)
+	}
+	// And the streamed run still delivers every workflow.
+	g.Start()
+	engine.RunUntil(36 * 3600)
+	if len(g.Workflows) != future {
+		t.Fatalf("%d workflows arrived, want %d", len(g.Workflows), future)
+	}
+}
+
+// TestSubmitStreamRejectsRegression pins the sorted-iterator contract.
+func TestSubmitStreamRejectsRegression(t *testing.T) {
+	sched := []struct {
+		at   float64
+		home int
+		n    int
+	}{{2000, 0, 2}, {1000, 1, 2}}
+	engine, g := newTestGrid(t, 4, 17)
+	g.SubmitStream(streamFrom(t, sched))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("time regression not detected")
+		}
+	}()
+	g.Start()
+	engine.RunUntil(36 * 3600)
+}
+
+// TestSubmitStreamEmpty: an exhausted iterator schedules nothing.
+func TestSubmitStreamEmpty(t *testing.T) {
+	engine, g := newTestGrid(t, 4, 19)
+	base := engine.Pending()
+	g.SubmitStream(func() (float64, int, *dag.Workflow, bool) { return 0, 0, nil, false })
+	if engine.Pending() != base {
+		t.Fatal("empty stream queued an event")
+	}
+}

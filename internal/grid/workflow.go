@@ -222,15 +222,68 @@ func (g *Grid) activate(t *TaskInstance, now float64) {
 // the grid.
 func (g *Grid) SubmitAt(at float64, home int, w *dag.Workflow) {
 	g.Engine.At(at, func(now float64) {
-		if home < 0 || home >= len(g.Nodes) || !g.Nodes[home].Alive {
-			g.DroppedSubmissions++
+		g.arrive(home, w)
+	})
+}
+
+// arrive is the shared body of a timed submission firing: drop it if the
+// home has churned away, submit it otherwise.
+func (g *Grid) arrive(home int, w *dag.Workflow) {
+	if home < 0 || home >= len(g.Nodes) || !g.Nodes[home].Alive {
+		g.DroppedSubmissions++
+		return
+	}
+	// Submit errors only for dead/out-of-range homes, checked above.
+	if _, err := g.Submit(home, w); err != nil {
+		panic(fmt.Sprintf("grid: timed submission: %v", err))
+	}
+}
+
+// SubmitStream schedules a sequence of timed submissions from a sorted
+// iterator while keeping at most ONE outstanding submission event in the
+// engine, however long the schedule is. SubmitAt costs one pending engine
+// event per future arrival, which makes a large trace replay carry its
+// whole tail as queued events from t=0; SubmitStream instead submits every
+// arrival at the current instant and then schedules a single event for the
+// next distinct arrival time, pulling from the iterator as simulated time
+// advances.
+//
+// next must yield submissions in non-decreasing SubmitAt order (the
+// workload generator and the trace parser both guarantee it) and returns
+// ok=false when exhausted; SubmitStream panics on a time regression, since
+// silently reordering arrivals would corrupt the replay. Arrivals that
+// share an instant are submitted back to back in iterator order, exactly
+// as the equivalent SubmitAt calls would fire.
+func (g *Grid) SubmitStream(next func() (at float64, home int, w *dag.Workflow, ok bool)) {
+	at, home, w, ok := next()
+	if !ok {
+		return
+	}
+	var fire func(now float64)
+	fire = func(now float64) {
+		g.arrive(home, w)
+		last := at
+		for {
+			nat, nhome, nw, nok := next()
+			if !nok {
+				return
+			}
+			if nat < last {
+				panic(fmt.Sprintf("grid: SubmitStream times regress (%v after %v)", nat, last))
+			}
+			if nat <= now {
+				// Same instant (after clamping): submit in iterator order
+				// now, behind the arrival that opened this event.
+				g.arrive(nhome, nw)
+				last = nat
+				continue
+			}
+			at, home, w = nat, nhome, nw
+			g.Engine.At(at, fire)
 			return
 		}
-		// Submit errors only for dead/out-of-range homes, checked above.
-		if _, err := g.Submit(home, w); err != nil {
-			panic(fmt.Sprintf("grid: timed submission: %v", err))
-		}
-	})
+	}
+	g.Engine.At(at, fire)
 }
 
 // completeLocally finishes a zero-cost virtual task at the home node and
