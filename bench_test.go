@@ -13,6 +13,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -206,6 +207,27 @@ func BenchmarkSingleDSMFRun(b *testing.B) {
 		if _, err := experiments.Run(setting, heuristics.NewDSMF()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkShardedDSMFRun measures the sweep-unit simulation on the
+// K-sharded parallel engine (results are bit-identical at every K; see
+// internal/sim). With GOMAXPROCS >= 4 the shards=4 case is where the
+// engine's wall-clock speedup shows; on fewer cores the sub-benchmarks
+// track the pure coordination overhead instead, which should stay within
+// a few percent of BenchmarkSingleDSMFRun.
+func BenchmarkShardedDSMFRun(b *testing.B) {
+	for _, shards := range []int{2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				setting := experiments.NewSetting(benchScale, int64(i))
+				setting.Shards = shards
+				if _, err := experiments.Run(setting, heuristics.NewDSMF()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -144,6 +144,8 @@ type options struct {
 	cacheBudget int64   // GC size budget in MB (0 = no size bound)
 	cacheDays   float64 // GC max entry age in days (0 = no age bound)
 
+	shards int // event-engine shards per simulation (<= 1: serial engine)
+
 	stdout, stderr io.Writer
 }
 
@@ -218,6 +220,7 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		cgc     = fs.Bool("cache-gc", false, "garbage-collect the -cache directory (needs -cache-budget and/or -cache-days) and exit")
 		cbudget = fs.Int64("cache-budget", 0, "cache GC size budget in MB, oldest-access entries dropped first (0 = no size bound)")
 		cdays   = fs.Float64("cache-days", 0, "cache GC max entry age in days (0 = no age bound)")
+		shards  = fs.Int("shards", 1, "event-engine shards per simulation: >1 runs each grid on the parallel sharded engine (bit-identical results at any value)")
 		arts    = fs.String("artifacts", "", "directory for CSV/DAT/gnuplot artifacts (series experiments, sweep)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -314,6 +317,7 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		cacheGC:     *cgc,
 		cacheBudget: *cbudget,
 		cacheDays:   *cdays,
+		shards:      *shards,
 		stdout:      stdout,
 		stderr:      stderr,
 	}
@@ -429,6 +433,7 @@ func dispatch(o options, name string) error {
 		if tr != nil {
 			setting.Trace = tr.Jobs
 		}
+		setting.Shards = o.shards
 		res, err := experiments.SingleRunWith(setting, o.algo)
 		if err != nil {
 			return err
@@ -622,6 +627,7 @@ func runSweep(o options) error {
 		}
 	}
 	opts := experiments.RunOptions{
+		Shards: o.shards,
 		Progress: func(done, total int) {
 			if done == total || done*10/total > (done-1)*10/total {
 				fmt.Fprintf(o.stderr, "sweep: %d/%d runs (%d%%)\n", done, total, done*100/total)

@@ -126,7 +126,7 @@ func TestCandidatesIncludeHomeAndRSSSorted(t *testing.T) {
 	engine, g := smallGrid(t, core.NewDSMF(), 5)
 	g.Start()
 	engine.RunUntil(4 * 300) // let gossip populate
-	home := g.Nodes[7]
+	home := &g.Nodes[7]
 	cands := core.Candidates(g, home)
 	if len(cands) == 0 {
 		t.Fatal("no candidates")

@@ -16,6 +16,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/heuristics"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -85,6 +86,12 @@ type Setting struct {
 	OracleAverages   bool
 	RescheduleFailed bool
 	Harsh            bool // maximal-loss churn semantics (HarshChurn)
+
+	// Shards selects the parallel event engine: values > 1 run the grid on
+	// a sim.ShardedEngine with that many event lanes. Purely an execution
+	// detail - every shard count yields bit-identical results - so it is
+	// excluded from serialized artifacts and cache identities.
+	Shards int `json:"-"`
 }
 
 // NewSetting builds the default Table I setting at the given scale: the
@@ -147,7 +154,12 @@ func Run(setting Setting, algo grid.Algorithm) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("experiments: topology: %w", err)
 	}
-	engine := newEngine()
+	var engine sim.Driver
+	if setting.Shards > 1 {
+		engine = sim.NewSharded(setting.Shards, net.N())
+	} else {
+		engine = newEngine()
+	}
 	g, err := grid.New(engine, grid.Config{
 		Net:                net,
 		Seed:               setting.Seed,

@@ -57,6 +57,12 @@ type RunOptions struct {
 	// default: a paper-scale sweep's peak memory must not grow with the
 	// replication count.
 	RetainRuns bool
+
+	// Shards runs every simulation on the sharded parallel engine with
+	// this many event lanes (values <= 1: the serial engine). Results and
+	// artifacts are bit-identical across shard counts, so Shards is not
+	// part of any cache key or spec hash.
+	Shards int
 }
 
 // sweepPlan is a normalized, validated spec with its expansion
@@ -301,7 +307,7 @@ func runMatrix(plan *sweepPlan, opts RunOptions, lo, hi int) (*sweepState, error
 // sequence behind both the fixed-matrix runner (runJob) and the per-cell
 // adaptive driver; the full Result is returned alongside the reduced
 // record for callers that retain runs.
-func executeSweepJob(sc Scenario, algo string, rep int, seed int64, reschedule bool, pn *pairNet) (metrics.RunStats, Result, error) {
+func executeSweepJob(sc Scenario, algo string, rep int, seed int64, reschedule bool, shards int, pn *pairNet) (metrics.RunStats, Result, error) {
 	pn.once.Do(func() {
 		pn.net, pn.err = topology.Generate(topoConfig(sc.Scale.Nodes, seed))
 	})
@@ -313,7 +319,9 @@ func executeSweepJob(sc Scenario, algo string, rep int, seed int64, reschedule b
 	if err != nil {
 		return metrics.RunStats{}, Result{}, err // unreachable after validate; belt and braces
 	}
-	res, err := Run(sc.setting(seed, pn.net, reschedule), a)
+	setting := sc.setting(seed, pn.net, reschedule)
+	setting.Shards = shards
+	res, err := Run(setting, a)
 	if err != nil {
 		return metrics.RunStats{}, Result{}, err
 	}
@@ -328,7 +336,7 @@ func (st *sweepState) runJob(id int) error {
 	st.mu.Lock()
 	pn := st.pairs[pk]
 	st.mu.Unlock()
-	sts, res, err := executeSweepJob(j.Scenario, j.Algo, j.Rep, j.Seed, st.plan.spec.Reschedule, pn)
+	sts, res, err := executeSweepJob(j.Scenario, j.Algo, j.Rep, j.Seed, st.plan.spec.Reschedule, st.opts.Shards, pn)
 	if err != nil {
 		return err
 	}
@@ -885,7 +893,7 @@ func RunAdaptiveCells(spec SweepSpec, precision float64, maxReps int, opts RunOp
 				mu.Lock()
 				pn := pairs[pk]
 				mu.Unlock()
-				sts, _, err := executeSweepJob(sc, algos[j.cell%len(algos)], j.rep, j.seed, spec.Reschedule, pn)
+				sts, _, err := executeSweepJob(sc, algos[j.cell%len(algos)], j.rep, j.seed, spec.Reschedule, opts.Shards, pn)
 				if err != nil {
 					return err
 				}

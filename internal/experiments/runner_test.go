@@ -10,6 +10,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/heuristics"
 	"repro/internal/stats"
+	"repro/internal/workload/arrival"
 )
 
 // countingExecutor wraps an executor and counts the jobs handed to it —
@@ -106,6 +107,50 @@ func TestSpecHashNormalizesAndDiscriminates(t *testing.T) {
 		if e.SpecHash() == a.SpecHash() {
 			t.Errorf("edit %d did not change the spec hash", i)
 		}
+	}
+}
+
+// TestSpecHashEqualBehaviorArrivalSpellings pins the arrival-axis side of
+// spec-hash normalization: spellings that schedule identically (explicit
+// "batch" kind, mmpp's documented default burst/dwell, diurnal's default
+// period) share one SpecHash — and therefore one warm-start cache
+// identity — while a genuinely different parameter still splits it.
+func TestSpecHashEqualBehaviorArrivalSpellings(t *testing.T) {
+	withArrival := func(s arrival.Spec) SweepSpec {
+		sp := microSpec([]string{"DSMF"}, 1, 7)
+		label := "case"
+		if s.IsBatch() {
+			label = "" // batch cases need no label
+		}
+		sp.Arrivals = []ArrivalCase{{Label: label, Spec: s}}
+		return sp
+	}
+	equal := []struct {
+		name string
+		a, b arrival.Spec
+	}{
+		{"explicit-batch", arrival.Spec{Kind: arrival.KindBatch}, arrival.Spec{}},
+		{"mmpp-default-burst",
+			arrival.Spec{Kind: arrival.KindMMPP, RatePerHour: 30, Burst: 8},
+			arrival.Spec{Kind: arrival.KindMMPP, RatePerHour: 30}},
+		{"mmpp-default-dwell",
+			arrival.Spec{Kind: arrival.KindMMPP, RatePerHour: 30, DwellHours: 1},
+			arrival.Spec{Kind: arrival.KindMMPP, RatePerHour: 30}},
+		{"diurnal-default-period",
+			arrival.Spec{Kind: arrival.KindDiurnal, RatePerHour: 30, PeriodHours: 24},
+			arrival.Spec{Kind: arrival.KindDiurnal, RatePerHour: 30}},
+	}
+	for _, tc := range equal {
+		t.Run(tc.name, func(t *testing.T) {
+			if withArrival(tc.a).SpecHash() != withArrival(tc.b).SpecHash() {
+				t.Errorf("equal-behavior spellings %+v and %+v hash apart", tc.a, tc.b)
+			}
+		})
+	}
+	base := withArrival(arrival.Spec{Kind: arrival.KindMMPP, RatePerHour: 30})
+	diff := withArrival(arrival.Spec{Kind: arrival.KindMMPP, RatePerHour: 30, Burst: 4})
+	if base.SpecHash() == diff.SpecHash() {
+		t.Error("behavior-changing burst did not change the spec hash")
 	}
 }
 

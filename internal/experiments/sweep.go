@@ -98,6 +98,17 @@ func (sp SweepSpec) withDefaults() SweepSpec {
 	}
 	if len(sp.Arrivals) == 0 {
 		sp.Arrivals = []ArrivalCase{{}}
+	} else {
+		// Canonicalize arrival specs so equal-behavior spellings (explicit
+		// "batch", mmpp burst 8, ...) share one SpecHash and one warm-start
+		// cache identity. Copied, not mutated in place: the caller's slice
+		// stays untouched like every other axis here.
+		norm := make([]ArrivalCase, len(sp.Arrivals))
+		for i, ac := range sp.Arrivals {
+			ac.Spec = ac.Spec.Normalize()
+			norm[i] = ac
+		}
+		sp.Arrivals = norm
 	}
 	return sp
 }

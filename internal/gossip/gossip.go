@@ -58,6 +58,13 @@ type Config struct {
 	ExpiryCycles  float64 // drop records older than this many cycles, default 4
 	EpochCycles   int     // aggregation restart period, default 8
 	Seed          int64
+
+	// Workers spreads each cycle's push work over this many goroutines
+	// using the deterministic dependency-ordered executor in parallel.go.
+	// Values <= 1 keep the fully serial loop. Every worker count produces
+	// bit-identical caches, estimates and traffic counters: the parallel
+	// path replays the exact serial per-node operation order.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,11 +101,20 @@ type idleMemo struct {
 	valid   bool
 }
 
+// Clock is the engine surface the protocol needs: the simulated time and
+// periodic scheduling on the GLOBAL event lane. Both sim.Engine and
+// sim.ShardedEngine satisfy it (a gossip cycle is one global event; its
+// internal parallelism is the protocol's own, see Config.Workers).
+type Clock interface {
+	Now() float64
+	Every(start, period float64, fn sim.Event) *sim.Ticker
+}
+
 // Protocol simulates the mixed gossip protocol for all n nodes on one
 // deterministic event engine.
 type Protocol struct {
 	cfg    Config
-	engine *sim.Engine
+	engine Clock
 	local  LocalState
 	rng    *rand.Rand
 
@@ -119,6 +135,11 @@ type Protocol struct {
 	reportBW   []float64
 	cycleCount int
 
+	// par holds the parallel-cycle executor's reusable state (op lists,
+	// progress counters, per-worker scratch); nil until the first parallel
+	// cycle. See parallel.go.
+	par *parallelCycle
+
 	// MessagesSent counts epidemic pushes plus aggregation exchanges, and
 	// BytesSent the corresponding traffic under the paper's cost model
 	// (Section IV.A: "each message carries about 80 bytes data payload and
@@ -137,7 +158,7 @@ const (
 )
 
 // New wires the protocol onto the engine. Call Start to begin cycling.
-func New(engine *sim.Engine, cfg Config, local LocalState) (*Protocol, error) {
+func New(engine Clock, cfg Config, local LocalState) (*Protocol, error) {
 	cfg = cfg.withDefaults()
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("gossip: need positive N, got %d", cfg.N)
@@ -201,6 +222,10 @@ func (p *Protocol) cycle(now float64) {
 			p.estCap[i], p.estBW[i] = s.Capacity, s.AvgBandwidthObs
 		}
 	}
+	if p.cfg.Workers > 1 {
+		p.cycleParallel(now)
+		return
+	}
 	for i := 0; i < p.cfg.N; i++ {
 		s := p.local.Snapshot(i)
 		if !s.Alive {
@@ -242,9 +267,20 @@ func (p *Protocol) cycle(now float64) {
 // dst never alias.
 func (p *Protocol) push(from, to int, now float64) {
 	p.MessagesSent++
+	var bytes uint64
+	p.mergeBuf, bytes = p.pushInto(from, to, now, p.mergeBuf)
+	p.BytesSent += bytes
+}
+
+// pushInto is push's body over a caller-owned scratch buffer, returning
+// the (possibly grown) buffer and the bytes sent. The parallel executor
+// calls it with per-worker buffers and accumulates the traffic counters
+// itself; the serial path wraps it in push.
+func (p *Protocol) pushInto(from, to int, now float64, buf []StateRecord) ([]StateRecord, uint64) {
 	src, dst := p.cache[from], p.cache[to]
 	expiry := p.expirySeconds()
-	out := p.mergeBuf[:0]
+	out := buf[:0]
+	var bytes uint64
 	si, di := 0, 0
 	for si < len(src) || di < len(dst) {
 		switch {
@@ -255,7 +291,7 @@ func (p *Protocol) push(from, to int, now float64) {
 			if rec.TTL <= 0 {
 				continue
 			}
-			p.BytesSent += MessageBytes
+			bytes += MessageBytes
 			rec.TTL--
 			if now-rec.Timestamp <= expiry {
 				out = append(out, rec)
@@ -274,7 +310,7 @@ func (p *Protocol) push(from, to int, now float64) {
 			si++
 			di++
 			if rec.TTL > 0 {
-				p.BytesSent += MessageBytes
+				bytes += MessageBytes
 				rec.TTL--
 				if now-rec.Timestamp <= expiry && fresher(rec, old) {
 					out = append(out, rec)
@@ -286,8 +322,8 @@ func (p *Protocol) push(from, to int, now float64) {
 			}
 		}
 	}
-	p.mergeBuf = out
 	p.evict(to, out)
+	return out, bytes
 }
 
 // evict enforces the cache capacity bound on the merged view and installs

@@ -51,7 +51,7 @@ func (g *Grid) StartChurn(cc ChurnConfig) error {
 				}
 				id := deadFIFO[0]
 				deadFIFO = deadFIFO[1:]
-				g.reviveNode(g.Nodes[id], at)
+				g.reviveNode(&g.Nodes[id], at)
 			})
 			g.Engine.After(rng.Float64()*cc.Interval, func(at float64) {
 				var aliveIDs []int
@@ -64,7 +64,7 @@ func (g *Grid) StartChurn(cc ChurnConfig) error {
 					return
 				}
 				victim := aliveIDs[rng.Intn(len(aliveIDs))]
-				g.failNode(g.Nodes[victim], at)
+				g.failNode(&g.Nodes[victim], at)
 				deadFIFO = append(deadFIFO, victim)
 			})
 		}

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/dag"
@@ -61,7 +62,7 @@ func TestHandBackReturnsQueuedTasksOnDeparture(t *testing.T) {
 	if !g.Dispatch(tx, 1, 1, 1) {
 		t.Fatal("dispatch failed")
 	}
-	g.failNode(g.Nodes[1], 0)
+	g.failNode(&g.Nodes[1], 0)
 	if tx.State != TaskSchedulePoint {
 		t.Fatalf("queued task state %v after departure, want schedule-point (handed back)", tx.State)
 	}
@@ -91,9 +92,9 @@ func TestRunningTaskLossFailsWorkflow(t *testing.T) {
 		if killed {
 			return
 		}
-		for _, nd := range g.Nodes {
-			if nd.Running != nil {
-				g.failNode(nd, now)
+		for i := range g.Nodes {
+			if g.Nodes[i].Running != nil {
+				g.failNode(&g.Nodes[i], now)
 				killed = true
 				return
 			}
@@ -122,7 +123,7 @@ func TestHarshChurnKillsQueuedTasks(t *testing.T) {
 	if !g.Dispatch(tx, 1, 1, 1) {
 		t.Fatal("dispatch failed")
 	}
-	g.failNode(g.Nodes[1], 0)
+	g.failNode(&g.Nodes[1], 0)
 	if tx.State != TaskFailed {
 		t.Fatalf("harsh churn left queued task in state %v, want failed", tx.State)
 	}
@@ -148,7 +149,7 @@ func TestDurableOutputFallbackToHome(t *testing.T) {
 	var killedAt float64 = -1
 	engine.Every(50, 50, func(now float64) {
 		if killedAt < 0 && tx.State == TaskDone && tx.Node != 0 {
-			g.failNode(g.Nodes[tx.Node], now)
+			g.failNode(&g.Nodes[tx.Node], now)
 			killedAt = now
 		}
 	})
@@ -263,6 +264,70 @@ func TestChurnThroughputMonotoneAcrossDF(t *testing.T) {
 	}
 }
 
+// TestTotalLoadMatchesReadySetThroughChurn pins the l_i bookkeeping
+// invariant: at every instant a node's advertised TotalLoadMI equals the
+// summed load of its ready-set tasks (the running task included), through
+// dispatches, completions, hand-backs, running-task loss, revival and
+// rescheduling alike. It would have caught the old unconditional
+// sub-epsilon clamp, which zeroed genuinely tiny residual loads while
+// tasks were still dispatched.
+func TestTotalLoadMatchesReadySetThroughChurn(t *testing.T) {
+	chain := func() *dag.Workflow {
+		b := dag.NewBuilder("inv")
+		prev := b.AddTask("t0", 5000, 20)
+		for i := 1; i < 4; i++ {
+			cur := b.AddTask("t", 5000, 20)
+			b.AddEdge(prev, cur, 100)
+			prev = cur
+		}
+		w, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	for _, cfg := range []Config{
+		{Nodes: 40, Seed: 123, RescheduleFailed: true},
+		{Nodes: 40, Seed: 123, HarshChurn: true},
+	} {
+		engine := sim.NewEngine()
+		algo := Algorithm{Label: "spread", Phase1: &spreadPhase1{}, Phase2: fcfsPhase2{}}
+		g, err := New(engine, cfg, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for home := 0; home < 20; home++ {
+			if _, err := g.Submit(home, chain()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := g.StartChurn(ChurnConfig{DynamicFactor: 0.3, StableCount: 20, Seed: 5}); err != nil {
+			t.Fatal(err)
+		}
+		g.Start()
+		check := func(now float64) {
+			for i := range g.Nodes {
+				nd := &g.Nodes[i]
+				var sum float64
+				for _, ti := range nd.ReadySet {
+					sum += ti.Task().Load
+				}
+				if diff := math.Abs(sum - nd.TotalLoadMI); diff > 1e-6*(1+sum) {
+					t.Fatalf("harsh=%v t=%.0f node %d: TotalLoadMI %v but ready-set sums to %v",
+						cfg.HarshChurn, now, i, nd.TotalLoadMI, sum)
+				}
+				if len(nd.ReadySet) == 0 && nd.TotalLoadMI != 0 {
+					t.Fatalf("harsh=%v t=%.0f node %d: empty ready set advertises load %v",
+						cfg.HarshChurn, now, i, nd.TotalLoadMI)
+				}
+			}
+		}
+		engine.Every(150, 150, func(now float64) { check(now) })
+		engine.RunUntil(12 * 3600)
+		check(engine.Now())
+	}
+}
+
 func TestReviveResetsNodeState(t *testing.T) {
 	_, g := newTestGrid(t, 4, 89)
 	wf, err := g.Submit(0, twoTaskChain(t))
@@ -273,8 +338,8 @@ func TestReviveResetsNodeState(t *testing.T) {
 		t.Fatal("dispatch failed")
 	}
 	inc := g.Nodes[1].Incarnation
-	g.failNode(g.Nodes[1], 0)
-	g.reviveNode(g.Nodes[1], 10)
+	g.failNode(&g.Nodes[1], 0)
+	g.reviveNode(&g.Nodes[1], 10)
 	nd := g.Nodes[1]
 	if !nd.Alive || nd.Incarnation != inc+2 {
 		t.Fatalf("revive state wrong: alive=%v inc=%d want %d", nd.Alive, nd.Incarnation, inc+2)
@@ -308,8 +373,8 @@ func TestMaxReschedulesBoundsRetries(t *testing.T) {
 		// Force it to running state so the kill is fatal, not a hand-back.
 		tx.State = TaskRunning
 		g.Nodes[1].Running = tx
-		g.failNode(g.Nodes[1], float64(i))
-		g.reviveNode(g.Nodes[1], float64(i)+0.5)
+		g.failNode(&g.Nodes[1], float64(i))
+		g.reviveNode(&g.Nodes[1], float64(i)+0.5)
 	}
 	if wf.State != WorkflowFailed {
 		t.Fatalf("workflow state %v after exceeding retry bound, want failed", wf.State)

@@ -24,7 +24,7 @@ func (g *Grid) Dispatch(t *TaskInstance, to int, rpm, ms float64) bool {
 		return false
 	}
 	now := g.Engine.Now()
-	node := g.Nodes[to]
+	node := &g.Nodes[to]
 	task := t.Task()
 
 	t.State = TaskDispatched
@@ -73,11 +73,15 @@ func (g *Grid) sourceHolds(src, inc int) bool {
 
 // startInputTransfer launches one input stream for dispatched task t.
 // allowFallback retries once from the home node's durable copy if the
-// source departs mid-transfer (graceful churn model only).
+// source departs mid-transfer (graceful churn model only). The landing
+// event runs on t.Node's lane: it mutates only the destination node and
+// the task, and its reads of foreign node liveness (sourceHolds) are safe
+// because Alive/Incarnation change only on the global lane, never during a
+// shard window.
 func (g *Grid) startInputTransfer(t *TaskInstance, src int, sizeMb float64, gen int, allowFallback bool) {
 	srcInc := g.Nodes[src].Incarnation
 	dur := g.Net.TransferTime(src, t.Node, sizeMb)
-	g.Engine.After(dur, func(at float64) {
+	g.nodeAfter(t.Node, dur, func(at float64) {
 		if t.gen != gen || t.State != TaskDispatched {
 			return // stale event: the task failed or was reverted meanwhile
 		}
@@ -87,7 +91,7 @@ func (g *Grid) startInputTransfer(t *TaskInstance, src int, sizeMb float64, gen 
 				g.startInputTransfer(t, t.WF.Home, sizeMb, gen, false)
 				return
 			}
-			g.failTask(t, at)
+			g.failTransfer(t, at)
 			return
 		}
 		t.pendingInputs--
@@ -96,7 +100,7 @@ func (g *Grid) startInputTransfer(t *TaskInstance, src int, sizeMb float64, gen 
 		}
 		t.State = TaskReady
 		t.ReadyAt = at
-		node := g.Nodes[t.Node]
+		node := &g.Nodes[t.Node]
 		node.ready = append(node.ready, t)
 		g.emit(traceReady, t.Node, nil, t)
 		g.maybeRun(node, at)
@@ -122,7 +126,7 @@ func (g *Grid) maybeRun(node *Node, now float64) {
 	g.emit(traceExecStart, node.ID, nil, t)
 	gen := t.gen
 	dur := t.Task().Load / node.Capacity
-	g.Engine.After(dur, func(at float64) { g.taskFinished(t, gen, at) })
+	g.nodeAfter(node.ID, dur, func(at float64) { g.taskFinished(t, gen, at) })
 }
 
 // taskFinished completes a running task, releases the CPU, activates
@@ -132,18 +136,28 @@ func (g *Grid) taskFinished(t *TaskInstance, gen int, now float64) {
 	if t.gen != gen || t.State != TaskRunning {
 		return // stale: node died mid-run
 	}
-	node := g.Nodes[t.Node]
+	node := &g.Nodes[t.Node]
 	node.Running = nil
 	node.TotalLoadMI -= t.Task().Load
-	if node.TotalLoadMI < 1e-9 {
+	node.removeFromReadySet(t)
+	if len(node.ReadySet) == 0 {
+		// Float-drift cleanup: with no dispatched work left the advertised
+		// load is zero by definition. A non-empty ready set keeps its true
+		// residual, however tiny - clamping it would misprice real load.
 		node.TotalLoadMI = 0
 	}
-	node.removeFromReadySet(t)
 	t.State = TaskDone
 	t.NodeInc = node.Incarnation
 	t.FinishedAt = now
 	g.emit(traceExecEnd, node.ID, nil, t)
-	g.onTaskDone(t, now)
+	// Completion propagation touches the workflow and its other tasks -
+	// global state - so it crosses back to the global lane; CPU handoff to
+	// the next ready task is node-local and stays in the window.
+	if g.inlineDefer() {
+		g.onTaskDone(t, now)
+	} else {
+		g.Engine.DeferFrom(node.ID, now, func(at float64) { g.onTaskDone(t, at) })
+	}
 	g.maybeRun(node, now)
 }
 

@@ -136,17 +136,26 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Grid is one simulated P2P grid system bound to a sim.Engine.
+// Grid is one simulated P2P grid system bound to a sim.Host (the serial
+// engine or the sharded engine; see internal/sim).
 type Grid struct {
-	Engine *sim.Engine
+	Engine sim.Host
 	Cfg    Config
 	Net    *topology.Network
-	Nodes  []*Node
+	Nodes  []Node // value slice: one flat allocation, index = node id
 	Gossip *gossip.Protocol
 
 	algo      Algorithm
 	estimator BandwidthEstimator
 	rng       *rand.Rand
+
+	// serialEvents forces every event onto the global lane. Full-ahead
+	// planners dispatch successors the instant a task completes (a central
+	// act touching many nodes), and tracing records a totally ordered event
+	// stream; neither fits the shard ownership discipline, so both run
+	// exactly as before on the global lane. With the serial engine the
+	// flag is irrelevant: every lane is the global lane.
+	serialEvents bool
 
 	Workflows []*WorkflowInstance
 
@@ -196,8 +205,8 @@ type Node struct {
 }
 
 // New builds the grid, its topology, and its gossip protocol. Call Submit
-// for each workflow, then Start, then Engine.RunUntil(horizon).
-func New(engine *sim.Engine, cfg Config, algo Algorithm) (*Grid, error) {
+// for each workflow, then Start, then the driver's RunUntil(horizon).
+func New(engine sim.Host, cfg Config, algo Algorithm) (*Grid, error) {
 	cfg = cfg.withDefaults()
 	if err := algo.validate(); err != nil {
 		return nil, err
@@ -224,10 +233,11 @@ func New(engine *sim.Engine, cfg Config, algo Algorithm) (*Grid, error) {
 		Engine: engine,
 		Cfg:    cfg,
 		Net:    net,
-		Nodes:  make([]*Node, n),
+		Nodes:  make([]Node, n),
 		algo:   algo,
 		rng:    stats.NewRand(cfg.Seed, 0xE5),
 	}
+	g.serialEvents = algo.Planner != nil || cfg.Tracer != nil
 	if cfg.UseOracleBandwidth {
 		g.estimator = topology.BandwidthOracle{Net: net}
 	} else {
@@ -239,7 +249,7 @@ func New(engine *sim.Engine, cfg Config, algo Algorithm) (*Grid, error) {
 		g.estimator = lm
 	}
 	for i := 0; i < n; i++ {
-		g.Nodes[i] = &Node{
+		g.Nodes[i] = Node{
 			ID:       i,
 			Capacity: stats.Choice(g.rng, cfg.Capacities),
 			Alive:    true,
@@ -252,6 +262,12 @@ func New(engine *sim.Engine, cfg Config, algo Algorithm) (*Grid, error) {
 	gc.N = n
 	if gc.Seed == 0 {
 		gc.Seed = stats.SplitSeed(cfg.Seed, 0x17)
+	}
+	if gc.Workers == 0 {
+		// A sharded engine advertises how much parallelism the run wants;
+		// spread the gossip cycle (the dominant global event) over as many
+		// workers. Bit-identical either way, see gossip.Config.Workers.
+		gc.Workers = engine.Shards()
 	}
 	proto, err := gossip.New(engine, gc, (*localState)(g))
 	if err != nil {
@@ -291,9 +307,9 @@ func (g *Grid) refreshTrueAverages() {
 func (g *Grid) refreshTrueCapacity() {
 	var capSum float64
 	alive := 0
-	for _, nd := range g.Nodes {
-		if nd.Alive {
-			capSum += nd.Capacity
+	for i := range g.Nodes {
+		if g.Nodes[i].Alive {
+			capSum += g.Nodes[i].Capacity
 			alive++
 		}
 	}
@@ -307,7 +323,7 @@ func (g *Grid) refreshTrueCapacity() {
 type localState Grid
 
 func (ls *localState) Snapshot(node int) gossip.NodeState {
-	nd := ls.Nodes[node]
+	nd := &ls.Nodes[node]
 	return gossip.NodeState{
 		Capacity:        nd.Capacity,
 		TotalLoadMI:     nd.TotalLoadMI,
@@ -340,7 +356,8 @@ func (g *Grid) Start() {
 }
 
 func (g *Grid) schedulingCycle(now float64) {
-	for _, nd := range g.Nodes {
+	for i := range g.Nodes {
+		nd := &g.Nodes[i]
 		if !nd.Alive || len(nd.Homed) == 0 {
 			continue
 		}
@@ -375,6 +392,7 @@ func (g *Grid) SetAlgorithm(a Algorithm) error {
 		return err
 	}
 	g.algo = a
+	g.serialEvents = a.Planner != nil || g.Cfg.Tracer != nil
 	return nil
 }
 
@@ -411,10 +429,30 @@ func (g *Grid) Estimator() BandwidthEstimator { return g.estimator }
 // AliveCount returns the number of alive nodes.
 func (g *Grid) AliveCount() int {
 	n := 0
-	for _, nd := range g.Nodes {
-		if nd.Alive {
+	for i := range g.Nodes {
+		if g.Nodes[i].Alive {
 			n++
 		}
 	}
 	return n
+}
+
+// nodeAfter schedules fn d seconds from now on the lane owning node:
+// per-node work (transfer landings, task completions) that touches only
+// that node's state. Planner/tracer runs pin everything to the global lane.
+func (g *Grid) nodeAfter(node int, d float64, fn sim.Event) {
+	if g.serialEvents {
+		g.Engine.After(d, fn)
+		return
+	}
+	g.Engine.NodeAfter(node, d, fn)
+}
+
+// inlineDefer reports whether cross-cutting effects raised on a node's
+// lane run synchronously: always on the serial engine (its DeferFrom is a
+// direct call anyway) and on pinned-global runs. Callers branch on it
+// before building the deferred closure, keeping the dominant serial hot
+// path free of a per-completion allocation.
+func (g *Grid) inlineDefer() bool {
+	return g.serialEvents || g.Engine.Shards() <= 1
 }

@@ -308,7 +308,7 @@ func TestNodeFailureFailsWorkflow(t *testing.T) {
 	engine.RunUntil(1200)
 	engine.At(1200, func(now float64) {
 		for i := 1; i < 4; i++ {
-			g.failNode(g.Nodes[i], now)
+			g.failNode(&g.Nodes[i], now)
 		}
 	})
 	engine.RunUntil(36 * 3600)
@@ -336,7 +336,7 @@ func TestHomeFailureFailsItsWorkflows(t *testing.T) {
 		t.Fatal(err)
 	}
 	g.Start()
-	engine.At(1000, func(now float64) { g.failNode(g.Nodes[2], now) })
+	engine.At(1000, func(now float64) { g.failNode(&g.Nodes[2], now) })
 	engine.RunUntil(10000)
 	if wf.State != WorkflowFailed {
 		t.Fatalf("workflow state %v after home death, want failed", wf.State)
@@ -359,12 +359,12 @@ func TestReschedulingExtensionRecovers(t *testing.T) {
 	// still complete.
 	engine.At(1500, func(now float64) {
 		for i := 1; i < 4; i++ {
-			g.failNode(g.Nodes[i], now)
+			g.failNode(&g.Nodes[i], now)
 		}
 	})
 	engine.At(1800, func(now float64) {
 		for i := 1; i < 4; i++ {
-			g.reviveNode(g.Nodes[i], now)
+			g.reviveNode(&g.Nodes[i], now)
 		}
 	})
 	engine.RunUntil(72 * 3600)
@@ -640,6 +640,53 @@ func TestSubmitStreamBoundsPendingEvents(t *testing.T) {
 	engine.RunUntil(36 * 3600)
 	if len(g.Workflows) != future {
 		t.Fatalf("%d workflows arrived, want %d", len(g.Workflows), future)
+	}
+}
+
+// TestSubmitStreamAcrossStoppedEngine pins the interaction between a
+// streamed arrival schedule and Stop(): stopping mid-run freezes the
+// clock at the stop instant (not the RunUntil deadline), submits nothing
+// scheduled after it, and - Stop being sticky - a second RunUntil must
+// not resurrect the stream's tail.
+func TestSubmitStreamAcrossStoppedEngine(t *testing.T) {
+	sched := make([]struct {
+		at   float64
+		home int
+		n    int
+	}, 10)
+	for i := range sched {
+		sched[i].at = float64(100 * (i + 1)) // 100, 200, ..., 1000
+		sched[i].home = i % 4
+		sched[i].n = 2
+	}
+	engine, g := newTestGrid(t, 4, 19)
+	pulled := 0
+	inner := streamFrom(t, sched)
+	g.SubmitStream(func() (float64, int, *dag.Workflow, bool) {
+		pulled++
+		return inner()
+	})
+	engine.At(450, func(float64) { engine.Stop() })
+	g.Start()
+	engine.RunUntil(36 * 3600)
+	if !engine.Stopped() {
+		t.Fatal("engine not stopped")
+	}
+	if got := engine.Now(); got != 450 {
+		t.Fatalf("clock at %v after mid-run Stop, want the stop instant 450", got)
+	}
+	if len(g.Workflows) != 4 {
+		t.Fatalf("%d workflows submitted before the stop, want 4 (t=100..400)", len(g.Workflows))
+	}
+	// The stream holds exactly one outstanding arrival (t=500, pulled but
+	// never fired); the tail beyond it was never drawn from the iterator.
+	if pulled != 5 {
+		t.Fatalf("iterator pulled %d times, want 5 (4 fired arrivals + the pending t=500)", pulled)
+	}
+	// Stop is sticky: another RunUntil neither advances time nor submits.
+	engine.RunUntil(72 * 3600)
+	if engine.Now() != 450 || len(g.Workflows) != 4 {
+		t.Fatalf("sticky Stop violated: now=%v workflows=%d", engine.Now(), len(g.Workflows))
 	}
 }
 

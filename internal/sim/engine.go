@@ -3,6 +3,16 @@
 // float64 in seconds. Events with equal timestamps fire in scheduling order
 // (a monotone sequence number breaks ties), which makes every run with the
 // same seed bit-for-bit reproducible.
+//
+// Two engines implement the Host binding surface. Engine is the serial
+// event loop: one queue, one goroutine, one clock. ShardedEngine is the
+// conservatively-synchronized parallel engine: per-node events are
+// partitioned into K shard queues that run concurrently between barriers,
+// where a barrier sits at every global-lane event (the gossip/scheduling
+// period supplies the lookahead window) and delivers cross-shard effects
+// in deterministic (time, origin-shard, seq) order. Under the ownership
+// discipline documented on Host, a K-shard run is bit-identical to the
+// serial run.
 package sim
 
 import (
@@ -181,14 +191,23 @@ func (t *Ticker) Stop() {
 	t.handle.Cancel()
 }
 
-// Stop halts the run loop after the current event returns.
+// Stop halts the run loop after the current event returns. Stopping is
+// sticky: a stopped engine stays stopped, so a later RunUntil is a no-op
+// (it processes no events and leaves the clock untouched). Tests that want
+// to continue a stopped engine must build a fresh one; production runs
+// treat Stop as the end of the simulation.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
 
 // RunUntil processes events in timestamp order until the queue drains, the
 // engine is stopped, or the next event would fire after deadline. The clock
 // is left at min(deadline, last fired event time); when the queue drains
-// early the clock still advances to the deadline so that periodic metric
-// snapshots see the full horizon.
+// early the clock still advances to a finite deadline so that periodic
+// metric snapshots see the full horizon. A Stop mid-run leaves the clock at the
+// stopping event's time: the horizon was never simulated, so the clock must
+// not claim it was.
 func (e *Engine) RunUntil(deadline float64) {
 	for !e.stopped && len(e.queue) > 0 {
 		next := e.queue[0]
@@ -210,10 +229,44 @@ func (e *Engine) RunUntil(deadline float64) {
 		fire(e.now)
 		e.Processed++
 	}
-	if e.now < deadline {
+	if !e.stopped && e.now < deadline && !math.IsInf(deadline, 1) {
 		e.now = deadline
 	}
 }
 
 // Run processes every queued event until the queue drains or Stop is called.
 func (e *Engine) Run() { e.RunUntil(math.Inf(1)) }
+
+// nextEventTime returns the timestamp of the earliest live queued event, or
+// +Inf when none is queued. Dead (cancelled) events are popped on the way,
+// exactly as RunUntil would pop them.
+func (e *Engine) nextEventTime() float64 {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if !next.dead {
+			return next.at
+		}
+		heap.Pop(&e.queue)
+		e.release(next)
+	}
+	return math.Inf(1)
+}
+
+// NodeAt schedules fn on the event lane owning the given node. On the
+// serial engine every node shares the one lane, so NodeAt is At; the
+// sharded engine routes it to the node's shard queue. See Host.
+func (e *Engine) NodeAt(node int, t float64, fn Event) Handle { return e.At(t, fn) }
+
+// NodeAfter schedules fn d seconds from now on the lane owning node.
+func (e *Engine) NodeAfter(node int, d float64, fn Event) Handle { return e.After(d, fn) }
+
+// DeferFrom hands fn, raised at time t by an event on node's lane, to the
+// global lane. The serial engine has only one lane, so the handoff is a
+// synchronous call; the sharded engine buffers it in the origin shard's
+// mailbox and delivers it at the next barrier in (time, origin-shard, seq)
+// order. Handlers must treat the carried time t, not the wall clock at
+// delivery, as the instant the effect logically happened.
+func (e *Engine) DeferFrom(node int, t float64, fn Event) { fn(t) }
+
+// Shards returns the number of parallel event lanes (always 1 here).
+func (e *Engine) Shards() int { return 1 }

@@ -1,0 +1,47 @@
+package sim
+
+// Host is the scheduling surface the grid runtime binds to. It abstracts
+// over the serial Engine and the sharded engine so the same runtime code
+// runs in both modes:
+//
+//   - At/After/Every schedule on the GLOBAL lane: the serial, deterministic
+//     event stream that carries gossip cycles, scheduling rounds, churn,
+//     submissions and metric snapshots. Global events run on one goroutine
+//     and may touch any state.
+//   - NodeAt/NodeAfter schedule on the lane OWNING a node: per-node work
+//     (input-transfer completions, task executions) that touches only that
+//     node's state. On the sharded engine these lanes run in parallel
+//     between barriers, so a node-lane handler must not mutate state owned
+//     by another node or by the global lane.
+//   - DeferFrom hands a cross-cutting effect raised inside a node-lane
+//     handler (workflow completion propagation, task-failure bookkeeping)
+//     back to the global lane. The sharded engine buffers it and delivers
+//     at the next barrier in deterministic (time, origin-shard, seq) order;
+//     the serial engine invokes it synchronously.
+//
+// Both implementations are deterministic: a K-shard run is bit-identical
+// to the serial run (see ShardedEngine).
+type Host interface {
+	Now() float64
+	At(t float64, fn Event) Handle
+	After(d float64, fn Event) Handle
+	Every(start, period float64, fn Event) *Ticker
+	NodeAt(node int, t float64, fn Event) Handle
+	NodeAfter(node int, d float64, fn Event) Handle
+	DeferFrom(node int, t float64, fn Event)
+	Shards() int
+}
+
+// Driver is a Host that can also drive the run loop: what an experiment
+// harness holds. *Engine and *ShardedEngine both implement it.
+type Driver interface {
+	Host
+	RunUntil(deadline float64)
+	Stop()
+	Stopped() bool
+}
+
+var (
+	_ Driver = (*Engine)(nil)
+	_ Driver = (*ShardedEngine)(nil)
+)

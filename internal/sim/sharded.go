@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// ShardedEngine is the conservatively-synchronized parallel engine: node
+// events are partitioned into K shards, each with its own serial Engine
+// (its own queue, clock and sequence counter), and a global lane carries
+// everything that is not per-node (gossip cycles, scheduling rounds,
+// churn, submissions, metric snapshots).
+//
+// Execution alternates between two phases:
+//
+//  1. Window: every shard runs its queue in parallel up to the time of the
+//     next global event (the gossip/scheduling period is the natural
+//     lookahead). Shard events may only touch state owned by their own
+//     nodes; cross-cutting effects are handed to DeferFrom.
+//  2. Barrier: the shard goroutines join, the deferred cross-shard effects
+//     are delivered in (time, origin-shard, seq) order, and then the
+//     global events at the barrier instant run serially.
+//
+// Determinism: shard events at different nodes within one window commute
+// (they share no state), deferred effects replay in a fixed total order,
+// and global events run on one goroutine exactly as on the serial engine -
+// so a K-shard run is bit-identical to the 1-shard run for workloads that
+// respect the ownership discipline. Events at exactly equal times across
+// lanes are ordered window-before-barrier and, among deferred effects, by
+// (time, origin-shard, seq); the serial engine orders the same instants by
+// scheduling sequence. The two orders agree for every event pair that
+// shares state in the grid runtime (see internal/grid), and continuous
+// event times make residual cross-lane ties measure-zero.
+type ShardedEngine struct {
+	global *Engine
+	shards []*Engine
+	n      int
+
+	// mail[s] buffers effects deferred by shard s during the current
+	// window, in append (= chronological) order. Only shard s's worker
+	// goroutine appends during a window; the barrier drains serially.
+	mail  [][]mailEntry
+	drain []mailEntry // reused barrier merge buffer
+}
+
+type mailEntry struct {
+	at    float64
+	shard int32
+	seq   int32
+	fn    Event
+}
+
+// NewSharded builds a sharded engine with k shards over numNodes nodes
+// (contiguous node blocks per shard). k is clamped to [1, numNodes].
+func NewSharded(k, numNodes int) *ShardedEngine {
+	if numNodes < 1 {
+		numNodes = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > numNodes {
+		k = numNodes
+	}
+	s := &ShardedEngine{
+		global: NewEngine(),
+		shards: make([]*Engine, k),
+		n:      numNodes,
+		mail:   make([][]mailEntry, k),
+	}
+	for i := range s.shards {
+		s.shards[i] = NewEngine()
+	}
+	return s
+}
+
+// Shards returns the shard count K.
+func (s *ShardedEngine) Shards() int { return len(s.shards) }
+
+// shardOf maps a node id to its owning shard (contiguous blocks).
+func (s *ShardedEngine) shardOf(node int) int {
+	if node < 0 || node >= s.n {
+		panic("sim: node id out of sharded range")
+	}
+	return node * len(s.shards) / s.n
+}
+
+// Now returns the global-lane clock. At a barrier every shard clock equals
+// it; within a window shard handlers receive their event time as an
+// argument and must use that.
+func (s *ShardedEngine) Now() float64 { return s.global.now }
+
+// At schedules fn on the global lane at absolute time t.
+func (s *ShardedEngine) At(t float64, fn Event) Handle { return s.global.At(t, fn) }
+
+// After schedules fn on the global lane d seconds from now.
+func (s *ShardedEngine) After(d float64, fn Event) Handle { return s.global.After(d, fn) }
+
+// Every schedules a periodic global-lane event.
+func (s *ShardedEngine) Every(start, period float64, fn Event) *Ticker {
+	return s.global.Every(start, period, fn)
+}
+
+// NodeAt schedules fn at absolute time t on the shard owning node. Valid
+// from the global lane and from events of that same shard; scheduling onto
+// a foreign shard from inside a window is a data race by construction.
+func (s *ShardedEngine) NodeAt(node int, t float64, fn Event) Handle {
+	return s.shards[s.shardOf(node)].At(t, fn)
+}
+
+// NodeAfter schedules fn d seconds from the owning shard's clock (equal to
+// the global clock when called from the global lane).
+func (s *ShardedEngine) NodeAfter(node int, d float64, fn Event) Handle {
+	return s.shards[s.shardOf(node)].After(d, fn)
+}
+
+// DeferFrom buffers fn, raised at time t by an event on node's shard, for
+// delivery at the next barrier. Deliveries replay in (time, origin-shard,
+// seq) order with the carried time as the handler argument.
+func (s *ShardedEngine) DeferFrom(node int, t float64, fn Event) {
+	sh := s.shardOf(node)
+	s.mail[sh] = append(s.mail[sh], mailEntry{
+		at: t, shard: int32(sh), seq: int32(len(s.mail[sh])), fn: fn,
+	})
+}
+
+// Stop halts the run loop after the current event (window or barrier)
+// completes its phase. Like Engine.Stop it is sticky.
+func (s *ShardedEngine) Stop() { s.global.Stop() }
+
+// Stopped reports whether Stop has been called.
+func (s *ShardedEngine) Stopped() bool { return s.global.Stopped() }
+
+// ProcessedEvents returns the total number of fired events across the
+// global lane and every shard (delivered deferred effects count once).
+func (s *ShardedEngine) ProcessedEvents() uint64 {
+	total := s.global.Processed
+	for _, sh := range s.shards {
+		total += sh.Processed
+	}
+	return total
+}
+
+// RunUntil drives windows and barriers until every lane drains, the
+// deadline passes, or Stop is called. Exactly like the serial engine, the
+// clock advances to the deadline only when the run was not stopped.
+func (s *ShardedEngine) RunUntil(deadline float64) {
+	for !s.global.stopped {
+		tg := s.global.nextEventTime()
+		window := math.Min(tg, deadline)
+		s.runWindow(window)
+		s.deliverMail()
+		// Delivered effects may enqueue global work; re-peek before
+		// deciding whether anything is left under the deadline.
+		tg = s.global.nextEventTime()
+		if tg > deadline || math.IsInf(tg, 1) || s.global.stopped {
+			break
+		}
+		s.global.RunUntil(tg)
+	}
+	if !s.global.stopped && s.global.now < deadline && !math.IsInf(deadline, 1) {
+		s.global.now = deadline
+	}
+}
+
+// Run processes every queued event until all lanes drain or Stop is called.
+func (s *ShardedEngine) Run() { s.RunUntil(math.Inf(1)) }
+
+// runWindow advances every shard to the window end in parallel. Windows
+// with no shard work skip the goroutine fan-out and only align the clocks.
+func (s *ShardedEngine) runWindow(window float64) {
+	work := false
+	for _, sh := range s.shards {
+		if sh.nextEventTime() <= window {
+			work = true
+			break
+		}
+	}
+	if !work {
+		if !math.IsInf(window, 1) {
+			for _, sh := range s.shards {
+				if sh.now < window {
+					sh.now = window
+				}
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			e.RunUntil(window)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// deliverMail drains the cross-shard mailboxes in (time, origin-shard,
+// seq) order. Handlers may defer further effects; those drain in follow-up
+// passes, still before any global event of the barrier runs.
+func (s *ShardedEngine) deliverMail() {
+	for {
+		batch := s.drain[:0]
+		for i := range s.mail {
+			batch = append(batch, s.mail[i]...)
+			s.mail[i] = s.mail[i][:0]
+		}
+		if len(batch) == 0 {
+			s.drain = batch
+			return
+		}
+		sort.Slice(batch, func(a, b int) bool {
+			x, y := batch[a], batch[b]
+			if x.at != y.at {
+				return x.at < y.at
+			}
+			if x.shard != y.shard {
+				return x.shard < y.shard
+			}
+			return x.seq < y.seq
+		})
+		for i := range batch {
+			m := &batch[i]
+			if m.at > s.global.now {
+				s.global.now = m.at
+			}
+			m.fn(m.at)
+			m.fn = nil
+			s.global.Processed++
+		}
+		s.drain = batch[:0]
+	}
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStopMidRunLeavesClockAtStopTime pins the Stop/RunUntil contract: a
+// Stop fired by an event must leave the clock at that event's time, not
+// silently advance it to the deadline the run never actually simulated.
+func TestStopMidRunLeavesClockAtStopTime(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func(now float64) { e.Stop() })
+	fired := false
+	e.At(20, func(now float64) { fired = true })
+	e.RunUntil(100)
+	if fired {
+		t.Fatal("event after Stop fired")
+	}
+	if got := e.Now(); got != 10 {
+		t.Fatalf("clock after Stop mid-run = %v, want 10 (the stopping event's time)", got)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+	// Stop is sticky: a later RunUntil is a no-op and moves nothing.
+	e.RunUntil(200)
+	if got := e.Now(); got != 10 {
+		t.Fatalf("clock after RunUntil on stopped engine = %v, want 10", got)
+	}
+}
+
+func TestStopBeforeRunLeavesClockAtZero(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func(now float64) {})
+	e.Stop()
+	e.RunUntil(100)
+	if e.Now() != 0 {
+		t.Fatalf("clock = %v, want 0", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want the unfired event still queued", e.Pending())
+	}
+}
+
+func TestShardedClampsShardCount(t *testing.T) {
+	if got := NewSharded(8, 3).Shards(); got != 3 {
+		t.Fatalf("Shards() = %d, want clamp to 3 nodes", got)
+	}
+	if got := NewSharded(0, 5).Shards(); got != 1 {
+		t.Fatalf("Shards() = %d, want clamp to 1", got)
+	}
+}
+
+func TestShardOfIsContiguousAndTotal(t *testing.T) {
+	s := NewSharded(4, 10)
+	prev := 0
+	for node := 0; node < 10; node++ {
+		sh := s.shardOf(node)
+		if sh < prev || sh >= 4 {
+			t.Fatalf("shardOf(%d) = %d, want non-decreasing in [0,4)", node, sh)
+		}
+		prev = sh
+	}
+	if s.shardOf(9) != 3 {
+		t.Fatalf("last node maps to shard %d, want 3", s.shardOf(9))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shardOf out of range did not panic")
+		}
+	}()
+	s.shardOf(10)
+}
+
+// TestShardedGlobalAndNodeEventsInterleave checks the window/barrier
+// alternation: node events run up to each global event's time, the global
+// event observes their deferred effects, and times are delivered in order.
+func TestShardedGlobalAndNodeEventsInterleave(t *testing.T) {
+	s := NewSharded(2, 4)
+	var order []string
+	rec := func(tag string) Event {
+		return func(now float64) { order = append(order, tag) }
+	}
+	var counter atomic.Int64
+	s.NodeAt(0, 5, func(now float64) {
+		counter.Add(1)
+		s.DeferFrom(0, now, rec("defer@5"))
+	})
+	s.NodeAt(3, 7, func(now float64) { counter.Add(1) })
+	s.At(10, rec("global@10"))
+	s.NodeAt(1, 12, func(now float64) { counter.Add(1) })
+	s.RunUntil(20)
+	if got := counter.Load(); got != 3 {
+		t.Fatalf("node events fired = %d, want 3", got)
+	}
+	if len(order) != 2 || order[0] != "defer@5" || order[1] != "global@10" {
+		t.Fatalf("order = %v, want [defer@5 global@10]", order)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("clock = %v, want deadline 20", s.Now())
+	}
+	if s.ProcessedEvents() != 5 {
+		t.Fatalf("ProcessedEvents = %d, want 5", s.ProcessedEvents())
+	}
+}
+
+// TestShardedDeferOrdering pins the (time, origin-shard, seq) delivery
+// order of cross-shard effects raised within one window.
+func TestShardedDeferOrdering(t *testing.T) {
+	s := NewSharded(2, 4)
+	var order []string
+	add := func(tag string) Event {
+		return func(now float64) { order = append(order, tag) }
+	}
+	// Node 3 lives on shard 1, node 0 on shard 0. Both defer at t=2; the
+	// shard-1 event also defers a later-time effect first, which must still
+	// deliver after every t=2 entry.
+	s.NodeAt(3, 2, func(now float64) {
+		s.DeferFrom(3, now+1, add("s1@3"))
+		s.DeferFrom(3, now, add("s1@2a"))
+		s.DeferFrom(3, now, add("s1@2b"))
+	})
+	s.NodeAt(0, 2, func(now float64) {
+		s.DeferFrom(0, now, add("s0@2"))
+	})
+	s.RunUntil(10)
+	want := []string{"s0@2", "s1@2a", "s1@2b", "s1@3"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestShardedDeferredEffectMaySpawnGlobalWork: a deferred handler that
+// schedules a global event under the deadline must see it run.
+func TestShardedDeferredEffectMaySpawnGlobalWork(t *testing.T) {
+	s := NewSharded(2, 2)
+	fired := false
+	s.NodeAt(1, 3, func(now float64) {
+		s.DeferFrom(1, now, func(at float64) {
+			s.At(at+1, func(now float64) { fired = true })
+		})
+	})
+	s.RunUntil(10)
+	if !fired {
+		t.Fatal("global event scheduled by deferred effect never ran")
+	}
+}
+
+// TestShardedStopMidRun: Stop from a global event halts shards too and
+// leaves the clock at the stop time, mirroring the serial contract.
+func TestShardedStopMidRun(t *testing.T) {
+	s := NewSharded(2, 2)
+	s.At(4, func(now float64) { s.Stop() })
+	nodeFired := false
+	s.NodeAt(0, 8, func(now float64) { nodeFired = true })
+	s.RunUntil(100)
+	if !s.Stopped() {
+		t.Fatal("Stopped() = false")
+	}
+	if nodeFired {
+		t.Fatal("node event after Stop fired")
+	}
+	if s.Now() != 4 {
+		t.Fatalf("clock = %v, want 4", s.Now())
+	}
+}
+
+// TestShardedMatchesSerialChainedWork runs the same self-rescheduling
+// workload on the serial engine and on 1/2/4-shard engines and checks the
+// final per-node accumulators and event counts agree exactly.
+func TestShardedMatchesSerialChainedWork(t *testing.T) {
+	const n = 8
+	type result struct {
+		acc   [n]float64
+		done  int
+		clock float64
+	}
+	run := func(d Driver) result {
+		var r result
+		var chain func(node int, hops int) Event
+		chain = func(node, hops int) Event {
+			return func(now float64) {
+				r.acc[node] += now
+				if hops > 0 {
+					d.NodeAfter(node, 1.5+float64(node)*0.25, chain(node, hops-1))
+				} else {
+					d.DeferFrom(node, now, func(at float64) { r.done++ })
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			d.NodeAt(i, float64(i)*0.5, chain(i, 5))
+		}
+		d.Every(2, 2, func(now float64) {})
+		d.RunUntil(40)
+		r.clock = d.Now()
+		return r
+	}
+	want := run(NewEngine())
+	for _, k := range []int{1, 2, 4} {
+		got := run(NewSharded(k, n))
+		if got != want {
+			t.Fatalf("shards=%d result %+v != serial %+v", k, got, want)
+		}
+	}
+}
+
+func TestShardedRunDrainsEverything(t *testing.T) {
+	s := NewSharded(3, 6)
+	count := 0
+	for i := 0; i < 6; i++ {
+		i := i
+		s.NodeAt(i, float64(i), func(now float64) {
+			s.DeferFrom(i, now, func(at float64) { count++ })
+		})
+	}
+	s.Run()
+	if count != 6 {
+		t.Fatalf("count = %d, want 6", count)
+	}
+	if math.IsInf(s.Now(), 1) {
+		t.Fatal("Run left the clock at +Inf")
+	}
+}

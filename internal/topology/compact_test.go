@@ -1,0 +1,159 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func genCompact(t *testing.T, n int, seed int64) *Network {
+	t.Helper()
+	net, err := Generate(Config{N: n, Seed: seed, Compact: true})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if !net.Compact() {
+		t.Fatal("Compact flag did not select the compact representation")
+	}
+	return net
+}
+
+func TestCompactAutoSelectsAboveThreshold(t *testing.T) {
+	net, err := Generate(Config{N: compactThreshold + 1, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if !net.Compact() {
+		t.Fatalf("n = %d should auto-select compact mode", compactThreshold+1)
+	}
+	dense, err := Generate(Config{N: 32, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if dense.Compact() {
+		t.Fatal("n = 32 should stay dense")
+	}
+}
+
+func TestCompactQueriesAreSymmetricAndSane(t *testing.T) {
+	net := genCompact(t, 300, 7)
+	bwRange := net.Cfg.BandwidthRange
+	for _, pair := range [][2]int{{0, 1}, {5, 250}, {299, 0}, {100, 101}, {42, 43}} {
+		a, b := pair[0], pair[1]
+		bw, bwRev := net.Bandwidth(a, b), net.Bandwidth(b, a)
+		if bw != bwRev {
+			t.Fatalf("Bandwidth(%d,%d)=%v != Bandwidth(%d,%d)=%v", a, b, bw, b, a, bwRev)
+		}
+		if bw < bwRange.Min || bw > bwRange.Max {
+			t.Fatalf("Bandwidth(%d,%d)=%v outside link range [%v,%v]", a, b, bw, bwRange.Min, bwRange.Max)
+		}
+		lat, latRev := net.Latency(a, b), net.Latency(b, a)
+		if lat != latRev || lat < 0 {
+			t.Fatalf("Latency(%d,%d)=%v, reverse %v", a, b, lat, latRev)
+		}
+		tt := net.TransferTime(a, b, 10)
+		if want := 10/bw + lat; math.Abs(tt-want) > 1e-12 {
+			t.Fatalf("TransferTime(%d,%d,10)=%v, want %v", a, b, tt, want)
+		}
+	}
+	if !math.IsInf(net.Bandwidth(5, 5), 1) {
+		t.Fatal("self-bandwidth must be +Inf")
+	}
+	if net.Latency(5, 5) != 0 || net.TransferTime(5, 5, 10) != 0 {
+		t.Fatal("self latency/transfer must be 0")
+	}
+}
+
+// TestCompactBottleneckMatchesBruteForce validates the LCA climb against a
+// brute-force path walk on the explicit parent arrays.
+func TestCompactBottleneckMatchesBruteForce(t *testing.T) {
+	net := genCompact(t, 200, 99)
+	c := net.compact
+	pathUp := func(v int) []int { // v's ancestor chain including v, up to root
+		var chain []int
+		for v >= 0 {
+			chain = append(chain, v)
+			v = int(c.parent[v])
+		}
+		return chain
+	}
+	rng := stats.NewRand(3, 0x7)
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Intn(200), rng.Intn(200)
+		if a == b {
+			continue
+		}
+		// Find LCA by marking a's chain.
+		onA := map[int]bool{}
+		for _, v := range pathUp(a) {
+			onA[v] = true
+		}
+		lca := b
+		for !onA[lca] {
+			lca = int(c.parent[lca])
+		}
+		wantBW, wantLat := math.Inf(1), 0.0
+		for _, end := range []int{a, b} {
+			for v := end; v != lca; v = int(c.parent[v]) {
+				wantBW = math.Min(wantBW, float64(c.pbw[v]))
+				wantLat += float64(c.plat[v])
+			}
+		}
+		if got := net.Bandwidth(a, b); got != wantBW {
+			t.Fatalf("Bandwidth(%d,%d)=%v, brute force says %v", a, b, got, wantBW)
+		}
+		if got := net.Latency(a, b); math.Abs(got-wantLat) > 1e-9 {
+			t.Fatalf("Latency(%d,%d)=%v, brute force says %v", a, b, got, wantLat)
+		}
+	}
+}
+
+// TestCompactAvgBandwidthMatchesPairwiseMean checks the Kruskal-merge
+// aggregate against the O(n^2) definition at a size where that is cheap.
+func TestCompactAvgBandwidthMatchesPairwiseMean(t *testing.T) {
+	net := genCompact(t, 150, 21)
+	var sum float64
+	n := net.N()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b {
+				sum += net.Bandwidth(a, b)
+			}
+		}
+	}
+	want := sum / float64(n*(n-1))
+	if got := net.AvgBandwidth(); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("AvgBandwidth=%v, pairwise mean=%v", got, want)
+	}
+}
+
+func TestCompactDegreeCountsTreeEdges(t *testing.T) {
+	net := genCompact(t, 100, 5)
+	total := 0
+	for i := 0; i < 100; i++ {
+		d := net.Degree(i)
+		if d < 1 {
+			t.Fatalf("node %d has degree %d in a connected tree", i, d)
+		}
+		total += d
+	}
+	if total != 2*(100-1) {
+		t.Fatalf("degree sum = %d, want 2*(n-1) = %d", total, 2*99)
+	}
+}
+
+func TestCompactDeterministicAcrossRuns(t *testing.T) {
+	a := genCompact(t, 500, 11)
+	b := genCompact(t, 500, 11)
+	for i := 0; i < 500; i++ {
+		if a.compact.parent[i] != b.compact.parent[i] ||
+			a.compact.pbw[i] != b.compact.pbw[i] ||
+			a.compact.plat[i] != b.compact.plat[i] {
+			t.Fatalf("node %d differs across identically-seeded runs", i)
+		}
+	}
+	if a.AvgBandwidth() != b.AvgBandwidth() {
+		t.Fatal("AvgBandwidth differs across identically-seeded runs")
+	}
+}

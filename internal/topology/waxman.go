@@ -54,6 +54,11 @@ type Config struct {
 	// default 20us per unit (~20 ms across the plane).
 	LatencyPerUnit float64
 
+	// Compact forces the O(n) struct-of-arrays representation (see
+	// compact.go). It switches on automatically above compactThreshold
+	// nodes; set it to exercise the compact path at small n in tests.
+	Compact bool
+
 	Seed int64
 }
 
@@ -83,14 +88,21 @@ func (c Config) withDefaults() Config {
 type Network struct {
 	Cfg Config
 	Pos []Point
-	Adj [][]Link
+	Adj [][]Link // nil in compact mode
 
 	// pairBW[a][b] is the widest-path bottleneck bandwidth in Mb/s;
 	// pairLat[a][b] the latency along that tree path. float32 halves the
 	// footprint at n=2000 without hurting scheduling decisions.
 	pairBW  [][]float32
 	pairLat [][]float32
+
+	// compact, when non-nil, replaces Adj and the all-pairs tables with
+	// the O(n) spanning-tree representation for very large grids.
+	compact *compactNet
 }
+
+// Compact reports whether the network uses the O(n) representation.
+func (net *Network) Compact() bool { return net.compact != nil }
 
 type unionFind struct{ parent, rank []int }
 
@@ -136,11 +148,15 @@ func Generate(cfg Config) (*Network, error) {
 	net := &Network{
 		Cfg: cfg,
 		Pos: make([]Point, n),
-		Adj: make([][]Link, n),
 	}
 	for i := range net.Pos {
 		net.Pos[i] = Point{X: rng.Float64() * cfg.PlaneSize, Y: rng.Float64() * cfg.PlaneSize}
 	}
+	if cfg.Compact || n > compactThreshold {
+		generateCompact(cfg, rng, net)
+		return net, nil
+	}
+	net.Adj = make([][]Link, n)
 	diag := cfg.PlaneSize * math.Sqrt2
 	uf := newUnionFind(n)
 	addLink := func(i, j int) {
@@ -301,6 +317,10 @@ func (net *Network) Bandwidth(a, b int) float64 {
 	if a == b {
 		return math.Inf(1)
 	}
+	if net.compact != nil {
+		bw, _ := net.compact.path(a, b)
+		return bw
+	}
 	return float64(net.pairBW[a][b])
 }
 
@@ -309,11 +329,20 @@ func (net *Network) Latency(a, b int) float64 {
 	if a == b {
 		return 0
 	}
+	if net.compact != nil {
+		_, lat := net.compact.path(a, b)
+		return lat
+	}
 	return float64(net.pairLat[a][b])
 }
 
 // Degree returns the number of physical links at node i.
-func (net *Network) Degree(i int) int { return len(net.Adj[i]) }
+func (net *Network) Degree(i int) int {
+	if net.compact != nil {
+		return int(net.compact.deg[i])
+	}
+	return len(net.Adj[i])
+}
 
 // AvgBandwidth returns the mean end-to-end bandwidth over all ordered pairs,
 // the oracle value the aggregation gossip protocol estimates.
@@ -321,6 +350,9 @@ func (net *Network) AvgBandwidth() float64 {
 	n := net.N()
 	if n < 2 {
 		return net.Cfg.BandwidthRange.Mid()
+	}
+	if net.compact != nil {
+		return net.compact.avgBW
 	}
 	var sum float64
 	for a := 0; a < n; a++ {
@@ -337,6 +369,10 @@ func (net *Network) AvgBandwidth() float64 {
 func (net *Network) TransferTime(a, b int, sizeMb float64) float64 {
 	if a == b || sizeMb <= 0 {
 		return 0
+	}
+	if net.compact != nil {
+		bw, lat := net.compact.path(a, b) // one tree climb for both answers
+		return sizeMb/bw + lat
 	}
 	return sizeMb/net.Bandwidth(a, b) + net.Latency(a, b)
 }

@@ -63,8 +63,22 @@ type Spec struct {
 // load.
 func (s Spec) IsBatch() bool { return s.Kind == "" || s.Kind == KindBatch }
 
-// Validate checks the parameter combination.
+// Validate checks the parameter combination. Fields that do not apply to
+// the spec's kind must be zero: a stray inapplicable parameter almost
+// always means a mis-built spec, and because specs travel verbatim inside
+// sweep spec hashes and warm-start cache keys, two specs that behave
+// identically but differ in an ignored field would otherwise hash apart
+// and silently split cache identities (see also Normalize, which collapses
+// explicitly-spelled defaults for the same reason).
 func (s Spec) Validate() error {
+	switch s.Kind {
+	case "", KindBatch, KindPoisson, KindMMPP, KindDiurnal, KindTrace:
+	default:
+		return fmt.Errorf("arrival: unknown kind %q (batch|poisson|mmpp|diurnal|trace)", s.Kind)
+	}
+	if err := s.checkApplicable(); err != nil {
+		return err
+	}
 	switch s.Kind {
 	case "", KindBatch:
 		return nil
@@ -79,7 +93,7 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("arrival: negative dwell/period in %+v", s)
 		}
 		return nil
-	case KindTrace:
+	default: // KindTrace
 		if len(s.Times) == 0 {
 			return fmt.Errorf("arrival: trace replay needs a non-empty schedule")
 		}
@@ -94,9 +108,58 @@ func (s Spec) Validate() error {
 			prev = t
 		}
 		return nil
-	default:
-		return fmt.Errorf("arrival: unknown kind %q (batch|poisson|mmpp|diurnal|trace)", s.Kind)
 	}
+}
+
+// checkApplicable rejects nonzero parameters the spec's kind never reads.
+func (s Spec) checkApplicable() error {
+	kind := s.Kind
+	if kind == "" {
+		kind = KindBatch
+	}
+	synthetic := kind == KindPoisson || kind == KindMMPP || kind == KindDiurnal
+	checks := []struct {
+		name       string
+		set        bool
+		applicable bool
+	}{
+		{"RatePerHour", s.RatePerHour != 0, synthetic},
+		{"Burst", s.Burst != 0, kind == KindMMPP},
+		{"DwellHours", s.DwellHours != 0, kind == KindMMPP},
+		{"PeriodHours", s.PeriodHours != 0, kind == KindDiurnal},
+		{"Times", len(s.Times) != 0, kind == KindTrace},
+	}
+	for _, c := range checks {
+		if c.set && !c.applicable {
+			return fmt.Errorf("arrival: %s does not apply to kind %q", c.name, kind)
+		}
+	}
+	return nil
+}
+
+// Normalize returns the canonical form of the spec: KindBatch collapses to
+// the zero Kind, and explicitly-spelled defaults collapse to their zero
+// spelling (mmpp Burst 8 and DwellHours 1, diurnal PeriodHours 24 - the
+// values Schedule substitutes for zero). Normalized equal-behavior specs
+// are byte-identical under JSON, so sweep spec hashes and warm-start cache
+// keys see one identity per behavior instead of one per spelling.
+func (s Spec) Normalize() Spec {
+	switch s.Kind {
+	case KindBatch:
+		s.Kind = ""
+	case KindMMPP:
+		if s.Burst == 8 {
+			s.Burst = 0
+		}
+		if s.DwellHours == 1 {
+			s.DwellHours = 0
+		}
+	case KindDiurnal:
+		if s.PeriodHours == 24 {
+			s.PeriodHours = 0
+		}
+	}
+	return s
 }
 
 // String renders the spec compactly for labels and tables.

@@ -148,6 +148,96 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsInapplicableFields pins the strict-parameter rule:
+// a nonzero field the kind never reads is a spec-construction bug, and
+// letting it through would split spec hashes and warm-start cache keys
+// between specs that behave identically.
+func TestValidateRejectsInapplicableFields(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Spec
+	}{
+		{"batch-rate", Spec{Kind: KindBatch, RatePerHour: 10}},
+		{"zero-kind-rate", Spec{RatePerHour: 10}},
+		{"batch-times", Spec{Kind: KindBatch, Times: []float64{1}}},
+		{"poisson-burst", Spec{Kind: KindPoisson, RatePerHour: 10, Burst: 2}},
+		{"poisson-dwell", Spec{Kind: KindPoisson, RatePerHour: 10, DwellHours: 1}},
+		{"poisson-period", Spec{Kind: KindPoisson, RatePerHour: 10, PeriodHours: 24}},
+		{"poisson-times", Spec{Kind: KindPoisson, RatePerHour: 10, Times: []float64{1}}},
+		{"mmpp-period", Spec{Kind: KindMMPP, RatePerHour: 10, PeriodHours: 24}},
+		{"mmpp-times", Spec{Kind: KindMMPP, RatePerHour: 10, Times: []float64{1}}},
+		{"diurnal-burst", Spec{Kind: KindDiurnal, RatePerHour: 10, Burst: 2}},
+		{"diurnal-dwell", Spec{Kind: KindDiurnal, RatePerHour: 10, DwellHours: 1}},
+		{"diurnal-times", Spec{Kind: KindDiurnal, RatePerHour: 10, Times: []float64{1}}},
+		{"trace-rate", Spec{Kind: KindTrace, RatePerHour: 10, Times: []float64{1}}},
+		{"trace-burst", Spec{Kind: KindTrace, Burst: 2, Times: []float64{1}}},
+		{"trace-dwell", Spec{Kind: KindTrace, DwellHours: 1, Times: []float64{1}}},
+		{"trace-period", Spec{Kind: KindTrace, PeriodHours: 24, Times: []float64{1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.s.Validate(); err == nil {
+				t.Errorf("%+v validated despite inapplicable field", tc.s)
+			}
+		})
+	}
+	// The applicable combinations stay accepted.
+	good := []Spec{
+		{},
+		{Kind: KindBatch},
+		{Kind: KindPoisson, RatePerHour: 10},
+		{Kind: KindMMPP, RatePerHour: 10, Burst: 4, DwellHours: 0.5},
+		{Kind: KindDiurnal, RatePerHour: 10, PeriodHours: 6},
+		{Kind: KindTrace, Times: []float64{0, 1}},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", s, err)
+		}
+	}
+}
+
+// TestNormalizeCollapsesEqualBehaviorSpellings: a spec spelling the
+// documented default explicitly must normalize to the zero spelling and
+// produce the identical schedule, so both spellings share one hash/cache
+// identity.
+func TestNormalizeCollapsesEqualBehaviorSpellings(t *testing.T) {
+	cases := []struct {
+		name     string
+		explicit Spec
+		zero     Spec
+	}{
+		{"batch-kind", Spec{Kind: KindBatch}, Spec{}},
+		{"mmpp-burst-8", Spec{Kind: KindMMPP, RatePerHour: 30, Burst: 8}, Spec{Kind: KindMMPP, RatePerHour: 30}},
+		{"mmpp-dwell-1", Spec{Kind: KindMMPP, RatePerHour: 30, DwellHours: 1}, Spec{Kind: KindMMPP, RatePerHour: 30}},
+		{"diurnal-period-24", Spec{Kind: KindDiurnal, RatePerHour: 30, PeriodHours: 24}, Spec{Kind: KindDiurnal, RatePerHour: 30}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.explicit.Normalize(); !reflect.DeepEqual(got, tc.zero) {
+				t.Fatalf("Normalize(%+v) = %+v, want %+v", tc.explicit, got, tc.zero)
+			}
+			a := mustSchedule(t, tc.explicit, 100, 9)
+			b := mustSchedule(t, tc.zero, 100, 9)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("explicit-default spelling changed the schedule")
+			}
+		})
+	}
+	// Non-default values survive normalization untouched.
+	keep := []Spec{
+		{Kind: KindPoisson, RatePerHour: 10},
+		{Kind: KindMMPP, RatePerHour: 30, Burst: 4, DwellHours: 0.5},
+		{Kind: KindDiurnal, RatePerHour: 30, PeriodHours: 6},
+		{Kind: KindTrace, Times: []float64{0, 1}},
+	}
+	for _, s := range keep {
+		if got := s.Normalize(); !reflect.DeepEqual(got, s) {
+			t.Errorf("Normalize(%+v) = %+v, want unchanged", s, got)
+		}
+	}
+}
+
 func TestParse(t *testing.T) {
 	good := map[string]Spec{
 		"batch":        {Kind: KindBatch},
@@ -168,8 +258,15 @@ func TestParse(t *testing.T) {
 			t.Errorf("Parse(%q) = %+v, want %+v", in, got, want)
 		}
 	}
-	bad := []string{"poisson", "poisson:0", "poisson:x", "poisson:10:3", "mmpp", "mmpp:10:0.5:9",
-		"diurnal:", "batch:1", "trace:now", "gamma:3"}
+	bad := []string{
+		"poisson", "poisson:0", "poisson:x", "poisson:10:3", "mmpp", "mmpp:10:0.5:9",
+		"diurnal:", "batch:1", "trace:now", "gamma:3",
+		// Empty parameter slots: a trailing colon is a dangling empty
+		// field, not an omitted one.
+		"poisson:", "mmpp:", "mmpp:60:", "diurnal:30:", "trace:", ":",
+		// Out-of-range parameters in the optional slot.
+		"mmpp:60:0.5", "mmpp:60:-2", "diurnal:30:0", "diurnal:30:-6",
+	}
 	for _, in := range bad {
 		if _, err := Parse(in); err == nil {
 			t.Errorf("Parse(%q) accepted", in)
