@@ -106,6 +106,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/experiments/executor"
 	"repro/internal/workload/arrival"
+	"repro/internal/workload/loadspec"
 	"repro/internal/workload/traces"
 )
 
@@ -146,49 +147,24 @@ type options struct {
 
 	shards int // event-engine shards per simulation (<= 1: serial engine)
 
+	serve       string  // run the scheduler daemon on this address instead of an experiment
+	pace        float64 // -serve wall-clock pacing (virtual s per wall s; 0 = virtual clock)
+	maxInFlight int     // -serve admission bound on unfinished workflows
+
 	stdout, stderr io.Writer
 }
 
 // arrivalSetup resolves the -arrival/-trace flags into the pieces
 // experiments consume: a parsed arrival spec and/or a loaded trace.
 // "-trace sample" (or "-arrival trace" alone) selects the bundled demo
-// trace, anything else is an SWF file path.
+// trace, anything else is an SWF file path. The resolution rules and error
+// vocabulary live in loadspec, shared with wfgen and the service API.
 func (o options) arrivalSetup() (arrival.Spec, *traces.Trace, error) {
-	var spec arrival.Spec
-	if o.arrival != "" {
-		var err error
-		spec, err = arrival.Parse(o.arrival)
-		if err != nil {
-			return arrival.Spec{}, nil, err
-		}
+	sp, err := loadspec.Resolve(o.arrival, o.tracePath, o.traceScale)
+	if err != nil {
+		return arrival.Spec{}, nil, err
 	}
-	var tr *traces.Trace
-	if o.tracePath == "sample" {
-		tr = traces.Sample()
-	} else if o.tracePath != "" {
-		var err error
-		tr, err = traces.Load(o.tracePath)
-		if err != nil {
-			return arrival.Spec{}, nil, err
-		}
-	}
-	if spec.Kind == arrival.KindTrace {
-		if tr == nil {
-			tr = traces.Sample()
-		}
-	} else if tr != nil && o.arrival != "" {
-		return arrival.Spec{}, nil, fmt.Errorf("-trace combines only with -arrival trace (or no -arrival), not %q", o.arrival)
-	}
-	if o.traceScale != 0 && o.traceScale != 1 {
-		if o.traceScale < 0 {
-			return arrival.Spec{}, nil, fmt.Errorf("-trace-scale must be positive, got %v", o.traceScale)
-		}
-		if tr == nil {
-			return arrival.Spec{}, nil, fmt.Errorf("-trace-scale needs a trace (-trace FILE or -arrival trace)")
-		}
-		tr = tr.Scale(o.traceScale)
-	}
-	return spec, tr, nil
+	return sp.Arrival, sp.Trace, nil
 }
 
 // cliMain parses args and runs the selected experiment, returning the
@@ -221,6 +197,9 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		cbudget = fs.Int64("cache-budget", 0, "cache GC size budget in MB, oldest-access entries dropped first (0 = no size bound)")
 		cdays   = fs.Float64("cache-days", 0, "cache GC max entry age in days (0 = no age bound)")
 		shards  = fs.Int("shards", 1, "event-engine shards per simulation: >1 runs each grid on the parallel sharded engine (bit-identical results at any value)")
+		serve   = fs.String("serve", "", "run as a long-lived scheduler daemon on this address (e.g. :8080) exposing the versioned /v1 HTTP API; combines only with -scale, -algo, -seed, -shards, -pace, -max-inflight")
+		pace    = fs.Float64("pace", 0, "wall-clock pacing for -serve: virtual seconds advanced per wall second (0 = deterministic virtual clock, advanced only via POST /v1/clock/advance)")
+		maxInf  = fs.Int("max-inflight", 256, "admission bound for -serve: submissions beyond this many unfinished workflows are shed with 429 + Retry-After")
 		arts    = fs.String("artifacts", "", "directory for CSV/DAT/gnuplot artifacts (series experiments, sweep)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -233,13 +212,13 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 			fs.Args(), fs.Arg(0))
 		return 2
 	}
-	repsSet, sleepSet, ttlSet := false, false, false
+	repsSet, sleepSet, ttlSet, paceSet, maxInfSet := false, false, false, false, false
 	var setFlags []string
 	fs.Visit(func(f *flag.Flag) {
 		setFlags = append(setFlags, f.Name)
 		switch f.Name {
 		case "algo":
-			if *name != "single" && *work == "" {
+			if *name != "single" && *work == "" && *serve == "" {
 				fmt.Fprintf(stderr, "p2pgridsim: -algo only applies to -experiment single; %q runs its fixed algorithm set\n", *name)
 			}
 		case "reps":
@@ -248,6 +227,10 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 			sleepSet = true
 		case "lease-ttl":
 			ttlSet = true
+		case "pace":
+			paceSet = true
+		case "max-inflight":
+			maxInfSet = true
 		}
 	})
 	if *work != "" {
@@ -272,6 +255,32 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if *work != "" && *coord != "" {
 		fmt.Fprintln(stderr, "p2pgridsim: -worker and -coordinate are exclusive (the coordinator already participates as a worker)")
+		return 2
+	}
+	if *serve != "" {
+		// Service mode runs one grid forever; batch-experiment flags have
+		// nothing to configure there, so reject them loudly instead of
+		// silently ignoring them.
+		allowed := map[string]bool{
+			"serve": true, "pace": true, "max-inflight": true,
+			"scale": true, "algo": true, "seed": true, "shards": true,
+		}
+		for _, f := range setFlags {
+			if !allowed[f] {
+				fmt.Fprintf(stderr, "p2pgridsim: -%s does not combine with -serve (the daemon takes -scale, -algo, -seed, -shards, -pace, -max-inflight; workloads arrive over the HTTP API)\n", f)
+				return 2
+			}
+		}
+		if *pace < 0 {
+			fmt.Fprintf(stderr, "p2pgridsim: -pace must be non-negative, got %v\n", *pace)
+			return 2
+		}
+		if *maxInf < 1 {
+			fmt.Fprintf(stderr, "p2pgridsim: -max-inflight must be at least 1, got %d\n", *maxInf)
+			return 2
+		}
+	} else if paceSet || maxInfSet {
+		fmt.Fprintln(stderr, "p2pgridsim: -pace and -max-inflight only apply to -serve")
 		return 2
 	}
 	if *lttl <= 0 {
@@ -318,8 +327,18 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		cacheBudget: *cbudget,
 		cacheDays:   *cdays,
 		shards:      *shards,
+		serve:       *serve,
+		pace:        *pace,
+		maxInFlight: *maxInf,
 		stdout:      stdout,
 		stderr:      stderr,
+	}
+	if o.serve != "" {
+		if err := runServe(o); err != nil {
+			fmt.Fprintln(stderr, "p2pgridsim:", err)
+			return 1
+		}
+		return 0
 	}
 	if o.cacheGC {
 		if err := runCacheGC(o); err != nil {

@@ -29,8 +29,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/stats"
-	"repro/internal/workload/arrival"
-	"repro/internal/workload/traces"
+	"repro/internal/workload/loadspec"
 )
 
 func main() {
@@ -111,28 +110,14 @@ func run(o genOptions, stdout io.Writer) error {
 	est := dag.Estimates{AvgCapacityMIPS: o.mips, AvgBandwidthMbs: o.bw}
 
 	// Resolve the arrival spec and trace eagerly — a typo in either flag
-	// must fail for every format, not only for -format schedule.
-	spec, err := arrival.Parse(o.arrival)
+	// must fail for every format, not only for -format schedule. The
+	// resolution rules and error vocabulary live in loadspec, shared with
+	// p2pgridsim and the service API.
+	sp, err := loadspec.Resolve(o.arrival, o.tracePath, o.traceScale)
 	if err != nil {
 		return err
 	}
-	var tr *traces.Trace
-	if spec.Kind == arrival.KindTrace {
-		tr = traces.Sample()
-		if o.tracePath != "" && o.tracePath != "sample" {
-			if tr, err = traces.Load(o.tracePath); err != nil {
-				return err
-			}
-		}
-	} else if o.tracePath != "" {
-		return fmt.Errorf("-trace combines only with -arrival trace, not %q", o.arrival)
-	}
-	if o.traceScale <= 0 {
-		return fmt.Errorf("-trace-scale must be positive, got %v", o.traceScale)
-	}
-	if tr != nil && o.traceScale != 1 {
-		tr = tr.Scale(o.traceScale)
-	}
+	spec, tr := sp.Arrival, sp.Trace
 
 	// Resolve the schedule before generating, so -arrival trace can set
 	// the workflow count from the trace length.

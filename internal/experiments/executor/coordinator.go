@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // This file is the work-stealing coordinator: a shared directory of work
@@ -36,15 +38,11 @@ import (
 // steal harmless rather than corrupting.
 
 // workDirSchema versions the workdir.json envelope.
-const workDirSchema = "p2pgridsim/workdir/v1"
+const workDirSchema = wire.WorkDirV1
 
-// workDirJSON is the on-disk description of a work directory.
-type workDirJSON struct {
-	Schema          string          `json:"schema"`
-	Units           int             `json:"units"`
-	LeaseTTLSeconds float64         `json:"lease_ttl_seconds"`
-	Meta            json.RawMessage `json:"meta,omitempty"`
-}
+// workDirJSON is the on-disk description of a work directory (envelope in
+// internal/wire; alias keeps the bytes identical).
+type workDirJSON = wire.WorkDir
 
 // Coordinator is one work directory opened for claiming, completing or
 // finalizing. The struct is immutable after Init/Open; all mutable state

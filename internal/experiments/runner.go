@@ -12,6 +12,7 @@ import (
 	"repro/internal/heuristics"
 	"repro/internal/metrics"
 	"repro/internal/topology"
+	"repro/internal/wire"
 )
 
 // This file is the streaming runner: the execution half of the sweep API.
@@ -151,13 +152,11 @@ func cellKeyFor(spec SweepSpec, sc Scenario, algo string) string {
 	return hex.EncodeToString(h[:])
 }
 
-// cellCacheJSON is the on-disk schema of one cached cell.
-type cellCacheJSON struct {
-	Schema string             `json:"schema"`
-	Stats  []metrics.RunStats `json:"stats"`
-}
+// cellCacheJSON is the on-disk schema of one cached cell (envelope in
+// internal/wire; alias keeps the bytes identical).
+type cellCacheJSON = wire.CellCache
 
-const cellCacheSchema = "p2pgridsim/cellcache/v1"
+const cellCacheSchema = wire.CellCacheV1
 
 // loadCellStats returns a cached cell's per-replication records, or nil on
 // any miss (absent, unreadable, or foreign schema — all treated the same:
@@ -504,22 +503,14 @@ func RunShard(spec SweepSpec, shard, shards int, opts RunOptions) (*ShardResult,
 	return out, nil
 }
 
-// shardJSON is the on-disk schema of a shard partial result. The optional
-// ids field (schema-compatible extension: absent on classic contiguous
-// shards, whose files stay byte-identical) carries arbitrary ID-set
-// coverage.
-type shardJSON struct {
-	Schema string             `json:"schema"`
-	Hash   string             `json:"spec_hash"`
-	Lo     int                `json:"lo"`
-	Hi     int                `json:"hi"`
-	Jobs   int                `json:"jobs"`
-	IDs    []int              `json:"ids,omitempty"`
-	Spec   SweepSpec          `json:"spec"`
-	Stats  []metrics.RunStats `json:"stats"`
-}
+// shardJSON is the on-disk schema of a shard partial result (envelope in
+// internal/wire, instantiated with this package's spec type; the alias
+// keeps the bytes identical). The optional ids field (schema-compatible
+// extension: absent on classic contiguous shards, whose files stay
+// byte-identical) carries arbitrary ID-set coverage.
+type shardJSON = wire.Shard[SweepSpec]
 
-const shardSchema = "p2pgridsim/shard/v1"
+const shardSchema = wire.ShardV1
 
 // JSON marshals the shard partial result (indented, trailing newline).
 func (s *ShardResult) JSON() ([]byte, error) {

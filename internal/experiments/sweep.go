@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -454,43 +455,22 @@ func formatEstimate(e metrics.Estimate, prec int) string {
 	return fmt.Sprintf("%.*f ± %.*f", prec, e.Mean, prec, e.CI95)
 }
 
-// sweepJSON is the machine-readable schema of a completed sweep. Every
-// field is a pure function of the spec, so marshaling the same spec twice
-// produces byte-identical output (the CI snapshot contract) — whether the
-// cells came from one host, from merged shards, or from the warm-start
-// cache.
-type sweepJSON struct {
-	Schema     string          `json:"schema"`
-	Name       string          `json:"name,omitempty"`
-	Seed       int64           `json:"seed"`
-	Reps       int             `json:"reps"`
-	Algorithms []string        `json:"algorithms"`
-	Cells      []sweepCellJSON `json:"cells"`
-}
-
-type sweepCellJSON struct {
-	Scenario   string  `json:"scenario"`
-	Scale      string  `json:"scale"`
-	Nodes      int     `json:"nodes"`
-	LoadFactor int     `json:"load_factor"`
-	Churn      float64 `json:"churn"`
-	CCR        string  `json:"ccr,omitempty"`
-	Arrival    string  `json:"arrival,omitempty"`
-	Algo       string  `json:"algo"`
-	// Reps is the cell's own replication count when it differs from the
-	// sweep's top-level reps — the ragged output of per-cell adaptive
-	// stopping. Omitted (0) on uniform sweeps, so every pre-adaptive
-	// artifact and golden stays byte-identical.
-	Reps      int                  `json:"reps,omitempty"`
-	Seeds     []int64              `json:"seeds"`
-	Aggregate metrics.RunAggregate `json:"aggregate"`
-}
+// The sweep artifact envelope lives in internal/wire (the single source of
+// truth for every versioned schema); the aliases keep the call sites and
+// the artifact bytes exactly as they were. Every field is a pure function
+// of the spec, so marshaling the same spec twice produces byte-identical
+// output (the CI snapshot contract) — whether the cells came from one
+// host, from merged shards, or from the warm-start cache.
+type (
+	sweepJSON     = wire.Sweep
+	sweepCellJSON = wire.SweepCell
+)
 
 // JSON marshals the sweep result into the stable machine-readable schema
 // (indented, trailing newline).
 func (r *SweepResult) JSON() ([]byte, error) {
 	out := sweepJSON{
-		Schema:     "p2pgridsim/sweep/v1",
+		Schema:     wire.SweepV1,
 		Name:       r.Spec.Name,
 		Seed:       r.Spec.Seed,
 		Reps:       r.Spec.Reps,

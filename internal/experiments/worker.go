@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/experiments/executor"
+	"repro/internal/wire"
 )
 
 // This file maps the generic work-stealing coordinator
@@ -22,17 +23,14 @@ import (
 // single-host run.
 
 // sweepWorkSchema versions the sweep metadata inside a work directory.
-const sweepWorkSchema = "p2pgridsim/sweepwork/v1"
+const sweepWorkSchema = wire.SweepWorkV1
 
-// sweepWorkMeta is the caller metadata recorded in workdir.json: the
+// sweepWorkMeta is the caller metadata recorded in workdir.json (envelope
+// in internal/wire, instantiated with this package's spec type): the
 // normalized spec every worker derives the identical job matrix from, plus
 // its hash so a worker with different simulation semantics (CodeVersion)
 // refuses the directory instead of publishing incompatible partials.
-type sweepWorkMeta struct {
-	Schema string    `json:"schema"`
-	Hash   string    `json:"spec_hash"`
-	Spec   SweepSpec `json:"spec"`
-}
+type sweepWorkMeta = wire.SweepWork[SweepSpec]
 
 // InitSweepWork creates (or idempotently re-opens) a sweep work directory:
 // one work unit per (scenario, algorithm) cell. Re-initializing with a

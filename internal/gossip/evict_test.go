@@ -1,0 +1,76 @@
+package gossip
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// evictReference is the per-victim min-scan evict replaced by the sorted
+// k-smallest selection: repeatedly mark the stalest eligible record
+// (strict <, so ties fall to the lowest index), then compact. The
+// equivalence test pins the rewrite to this exact victim choice — the
+// cache contents feed RPM pricing, so a different (even equally stale)
+// victim set would shift downstream scheduling decisions.
+func evictReference(to, capacity int, out []StateRecord) []StateRecord {
+	for over := len(out) - capacity; over > 0; over-- {
+		victim := -1
+		var victimTS float64
+		for i := range out {
+			if out[i].Node == to || out[i].TTL < 0 {
+				continue
+			}
+			if victim < 0 || out[i].Timestamp < victimTS {
+				victim, victimTS = i, out[i].Timestamp
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		out[victim].TTL = -1
+	}
+	dst := []StateRecord{}
+	for i := range out {
+		if out[i].TTL >= 0 {
+			dst = append(dst, out[i])
+		}
+	}
+	return dst
+}
+
+func TestEvictMatchesReference(t *testing.T) {
+	const nodes = 64
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.Intn(24)
+		capacity := 1 + rng.Intn(12)
+		// Half the trials put the cache owner among the merged records
+		// (its record is never evicted).
+		to := rng.Intn(nodes)
+		merged := make([]StateRecord, n)
+		for i := range merged {
+			merged[i] = StateRecord{
+				Node: i * 2, // sorted origins; collides with even `to`s
+				// Coarse timestamps force plenty of ties.
+				Timestamp: float64(rng.Intn(5)),
+				TTL:       rng.Intn(4),
+				Capacity:  float64(1 + rng.Intn(16)),
+			}
+		}
+		want := evictReference(to, capacity, append([]StateRecord(nil), merged...))
+
+		p := &Protocol{
+			cfg:     Config{CacheCapacity: capacity},
+			cache:   make([][]StateRecord, nodes),
+			version: make([]uint32, nodes),
+		}
+		p.selBuf = p.evict(to, append([]StateRecord(nil), merged...), p.selBuf)
+		got := append([]StateRecord{}, p.cache[to]...)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (to %d, cap %d):\ngot  %+v\nwant %+v", trial, to, capacity, got, want)
+		}
+		if p.version[to] != 1 {
+			t.Fatalf("trial %d: version %d, want 1", trial, p.version[to])
+		}
+	}
+}

@@ -20,6 +20,7 @@ package gossip
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -127,6 +128,7 @@ type Protocol struct {
 	idle      []idleMemo    // per-node IdleKnown memo
 	sampleBuf []int         // reused by the cycle's neighbor draws
 	mergeBuf  []StateRecord // reused by push's sorted-merge
+	selBuf    []int32       // reused by evict's victim selection
 
 	// Aggregation state (push-pull averaging with epoch restarts).
 	estCap     []float64 // in-progress capacity estimate
@@ -268,15 +270,16 @@ func (p *Protocol) cycle(now float64) {
 func (p *Protocol) push(from, to int, now float64) {
 	p.MessagesSent++
 	var bytes uint64
-	p.mergeBuf, bytes = p.pushInto(from, to, now, p.mergeBuf)
+	p.mergeBuf, p.selBuf, bytes = p.pushInto(from, to, now, p.mergeBuf, p.selBuf)
 	p.BytesSent += bytes
 }
 
-// pushInto is push's body over a caller-owned scratch buffer, returning
-// the (possibly grown) buffer and the bytes sent. The parallel executor
-// calls it with per-worker buffers and accumulates the traffic counters
-// itself; the serial path wraps it in push.
-func (p *Protocol) pushInto(from, to int, now float64, buf []StateRecord) ([]StateRecord, uint64) {
+// pushInto is push's body over caller-owned scratch buffers (the merged
+// view and evict's victim-index selection), returning the (possibly grown)
+// buffers and the bytes sent. The parallel executor calls it with
+// per-worker buffers and accumulates the traffic counters itself; the
+// serial path wraps it in push.
+func (p *Protocol) pushInto(from, to int, now float64, buf []StateRecord, sel []int32) ([]StateRecord, []int32, uint64) {
 	src, dst := p.cache[from], p.cache[to]
 	expiry := p.expirySeconds()
 	out := buf[:0]
@@ -322,32 +325,46 @@ func (p *Protocol) pushInto(from, to int, now float64, buf []StateRecord) ([]Sta
 			}
 		}
 	}
-	p.evict(to, out)
-	return out, bytes
+	sel = p.evict(to, out, sel)
+	return out, sel, bytes
 }
 
 // evict enforces the cache capacity bound on the merged view and installs
 // it as node to's cache, reusing the preallocated backing array. The
-// stalest records go first (ties to the lowest origin, which the ascending
-// scan yields for free); the node's own record is always kept. Victims are
-// marked with a negative TTL sentinel (live records never go below zero)
-// and dropped in one compaction pass instead of shifting per eviction.
-func (p *Protocol) evict(to int, out []StateRecord) {
-	for over := len(out) - p.cfg.CacheCapacity; over > 0; over-- {
-		victim := -1
-		var victimTS float64
+// stalest records go first (ties to the lowest origin, which ascending
+// index order yields); the node's own record is always kept. Victims are
+// the k smallest eligible records by (timestamp, index) — selected with
+// one sort over the candidate indices instead of one full min-scan per
+// eviction — marked with a negative TTL sentinel (live records never go
+// below zero) and dropped in one compaction pass. sel is caller-owned
+// index scratch, returned possibly grown.
+func (p *Protocol) evict(to int, out []StateRecord, sel []int32) []int32 {
+	if over := len(out) - p.cfg.CacheCapacity; over > 0 {
+		sel = sel[:0]
 		for i := range out {
-			if out[i].Node == to || out[i].TTL < 0 {
-				continue
-			}
-			if victim < 0 || out[i].Timestamp < victimTS {
-				victim, victimTS = i, out[i].Timestamp
+			if out[i].Node != to {
+				sel = append(sel, int32(i))
 			}
 		}
-		if victim < 0 {
-			break
+		// The (timestamp, index) order reproduces the victim sequence of
+		// the repeated strict-< min-scan this replaces: equal timestamps
+		// fall to the lower index. Indices are distinct, so the comparator
+		// is total and sort stability is irrelevant.
+		slices.SortFunc(sel, func(a, b int32) int {
+			switch ta, tb := out[a].Timestamp, out[b].Timestamp; {
+			case ta < tb:
+				return -1
+			case ta > tb:
+				return 1
+			}
+			return int(a - b)
+		})
+		if over > len(sel) {
+			over = len(sel)
 		}
-		out[victim].TTL = -1
+		for _, i := range sel[:over] {
+			out[i].TTL = -1
+		}
 	}
 	dst := p.cache[to][:0]
 	for i := range out {
@@ -357,6 +374,7 @@ func (p *Protocol) evict(to int, out []StateRecord) {
 	}
 	p.cache[to] = dst
 	p.version[to]++
+	return sel
 }
 
 // findOrigin locates origin in recs (sorted by Node). It returns the

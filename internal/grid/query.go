@@ -46,6 +46,23 @@ func (g *Grid) CompletedWorkflows() []*WorkflowInstance {
 	return out
 }
 
+// ReadyCount reports how many of node's dispatched tasks are data-complete
+// (state TaskReady), i.e. eligible for the CPU right now.
+func (g *Grid) ReadyCount(node int) int { return len(g.Nodes[node].ready) }
+
+// PeekNext previews the task node's second-phase policy would start next:
+// exactly what maybeRun will pick when the CPU frees up. Returns nil when
+// nothing is ready. Read-only — Pick implementations order candidates
+// without mutating them — so external observers (the service API's
+// next-task endpoint) can poll it without perturbing the run.
+func (g *Grid) PeekNext(node int) *TaskInstance {
+	nd := &g.Nodes[node]
+	if len(nd.ready) == 0 {
+		return nil
+	}
+	return g.algo.Phase2.Pick(nd.ready)
+}
+
 // DoneTaskCount reports the number of completed tasks of a workflow
 // (virtual tasks included), for tests and progress tracing.
 func (wf *WorkflowInstance) DoneTaskCount() int { return wf.doneCount }

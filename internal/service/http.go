@@ -1,0 +1,205 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler wraps a Service in the /v1 HTTP API. It is a pure codec: every
+// route decodes a wire type, calls one Service method, and encodes the
+// result — no scheduling logic lives here.
+//
+// Routes:
+//
+//	POST /v1/workflows            submit one workflow (wire.SubmitRequest)
+//	POST /v1/workflows/replay     schedule an arrival process (wire.ReplayRequest)
+//	GET  /v1/workflows/{id}       workflow status
+//	GET  /v1/nodes/{id}/next-task node queue preview
+//	GET  /v1/metrics              snapshot (+ ?format=prometheus)
+//	GET  /metrics                 Prometheus text format (scrape alias)
+//	POST /v1/clock/advance        advance the virtual clock (virtual mode)
+//	GET  /v1/healthz              liveness (503 while draining/closed)
+//
+// Error mapping: ErrOverloaded → 429 with Retry-After; ErrDraining and
+// ErrClosed → 503; wall-clock advance → 409; unknown ids → 404; malformed
+// bodies → 400.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/workflows", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := s.Submit(req)
+		if err != nil {
+			writeErr(w, s, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, resp)
+	})
+	mux.HandleFunc("POST /v1/workflows/replay", func(w http.ResponseWriter, r *http.Request) {
+		var req ReplayRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := s.Replay(req)
+		if err != nil {
+			writeErr(w, s, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, resp)
+	})
+	mux.HandleFunc("GET /v1/workflows/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad workflow id %q", r.PathValue("id")), 0)
+			return
+		}
+		st, err := s.Status(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error(), 0)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/nodes/{id}/next-task", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad node id %q", r.PathValue("id")), 0)
+			return
+		}
+		resp, err := s.NextTask(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error(), 0)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		m := s.Snapshot()
+		if r.URL.Query().Get("format") == "prometheus" {
+			writeProm(w, m)
+			return
+		}
+		writeJSON(w, http.StatusOK, m)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeProm(w, s.Snapshot())
+	})
+	mux.HandleFunc("POST /v1/clock/advance", func(w http.ResponseWriter, r *http.Request) {
+		var req AdvanceRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		target := req.ToSeconds
+		if req.BySeconds != 0 {
+			if target != 0 {
+				writeError(w, http.StatusBadRequest, "set to_seconds or by_seconds, not both", 0)
+				return
+			}
+			target = s.Now() + req.BySeconds
+		}
+		if target <= 0 || math.IsNaN(target) || math.IsInf(target, 0) {
+			writeError(w, http.StatusBadRequest, "advance target must be a positive finite time", 0)
+			return
+		}
+		now, err := s.AdvanceTo(target)
+		if err != nil {
+			writeErr(w, s, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, AdvanceResponse{NowSeconds: now})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		m := s.Snapshot()
+		code := http.StatusOK
+		if m.Draining {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, map[string]any{"status": map[bool]string{false: "ok", true: "draining"}[m.Draining], "clock": m.Clock})
+	})
+	return mux
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err), 0)
+		return false
+	}
+	return true
+}
+
+// writeErr maps Service sentinel errors onto status codes; everything else
+// is a 400 (the request was understood but unsatisfiable: bad spec, bad
+// home, conflicting sources).
+func writeErr(w http.ResponseWriter, s *Service, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		retry := s.RetryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Max(1, math.Ceil(retry)))))
+		writeError(w, http.StatusTooManyRequests, err.Error(), retry)
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error(), 0)
+	case errors.Is(err, ErrWallClock):
+		writeError(w, http.StatusConflict, err.Error(), 0)
+	default:
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string, retryAfter float64) {
+	writeJSON(w, code, ErrorResponse{Error: msg, RetryAfterSeconds: retryAfter})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone mid-write: nothing to do
+}
+
+// writeProm renders the snapshot in the Prometheus text exposition format
+// (hand-rolled: the contract is stable enough not to warrant a client
+// library, and the image bakes in no new dependencies).
+func writeProm(w http.ResponseWriter, m MetricsResponse) {
+	var b strings.Builder
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %s\n",
+			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	gauge("p2pgrid_now_seconds", "Current virtual time in seconds.", m.NowSeconds)
+	counter("p2pgrid_workflows_completed_total", "Workflows completed.", float64(m.Snapshot.Completed))
+	counter("p2pgrid_workflows_failed_total", "Workflows failed.", float64(m.Snapshot.Failed))
+	counter("p2pgrid_submissions_admitted_total", "Submissions admitted.", float64(m.Admitted))
+	counter("p2pgrid_submissions_rejected_total", "Submissions shed by admission control.", float64(m.Rejected))
+	counter("p2pgrid_submissions_dropped_total", "Arrivals dropped at dead home nodes.", float64(m.Dropped))
+	gauge("p2pgrid_workflows_in_flight", "Admitted workflows not yet finished.", float64(m.InFlight))
+	gauge("p2pgrid_workflows_in_flight_max", "Admission bound on in-flight workflows.", float64(m.MaxInFlight))
+	gauge("p2pgrid_replay_pending", "Replay arrivals scheduled but not yet due.", float64(m.Pending))
+	gauge("p2pgrid_act_seconds", "Average completion time of finished workflows.", m.Snapshot.ACT)
+	gauge("p2pgrid_ae", "Application efficiency.", m.Snapshot.AE)
+	gauge("p2pgrid_nodes_alive", "Alive nodes.", float64(m.Snapshot.AliveNodes))
+	gauge("p2pgrid_draining", "1 while a drain is in progress.", boolTo01(m.Draining))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(b.String())) //nolint:errcheck
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

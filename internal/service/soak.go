@@ -1,0 +1,118 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/workload/arrival"
+)
+
+// SoakConfig drives RunSoak: a closed-loop load generator that feeds a
+// virtual-clock service one arrival process worth of submissions through
+// the public Submit/AdvanceTo surface — the same path HTTP requests take —
+// and digests the end state. Two services built from the same Config soaked
+// with the same SoakConfig must produce byte-identical digests; that is the
+// determinism contract the daemon inherits from the engine.
+type SoakConfig struct {
+	// N is the number of arrivals to generate.
+	N int
+	// Arrival spaces the submissions (zero value: everything at t=0).
+	Arrival arrival.Spec
+	// Seed drives the arrival schedule and the per-submission workflow
+	// seeds, independent of the service seed.
+	Seed int64
+	// TailSeconds advances the clock past the last arrival so in-flight
+	// workflows can finish (default: one scheduling interval).
+	TailSeconds float64
+}
+
+// SoakReport summarizes a soak run.
+type SoakReport struct {
+	Submitted int // submissions attempted
+	Admitted  int // accepted by admission control
+	Rejected  int // shed with ErrOverloaded
+	Final     MetricsResponse
+	// Digest fingerprints the full end state: every workflow status plus
+	// the final snapshot, hashed in submission order.
+	Digest string
+}
+
+// RunSoak submits cfg.N generated workflows at the arrival process's
+// instants, advancing the virtual clock between arrivals, then drains the
+// tail and digests the end state. Virtual-clock services only: a wall-clock
+// pacer would race the generator and break the byte-identity contract.
+func RunSoak(s *Service, cfg SoakConfig) (SoakReport, error) {
+	if s.cfg.Pace > 0 {
+		return SoakReport{}, fmt.Errorf("service: soak needs a virtual clock (pace 0), got pace %v", s.cfg.Pace)
+	}
+	if cfg.N <= 0 {
+		return SoakReport{}, fmt.Errorf("service: soak needs N > 0")
+	}
+	times, err := cfg.Arrival.Schedule(cfg.N, stats.SplitSeed(cfg.Seed, 0x35))
+	if err != nil {
+		return SoakReport{}, fmt.Errorf("service: soak schedule: %w", err)
+	}
+	rep := SoakReport{}
+	for i, t := range times {
+		if _, err := s.AdvanceTo(t); err != nil {
+			return rep, err
+		}
+		rep.Submitted++
+		_, err := s.Submit(SubmitRequest{
+			Name: fmt.Sprintf("soak/%d", i),
+			Gen:  &GenRequest{Seed: stats.ChainSeed(cfg.Seed, 0x50AC, uint64(i))},
+		})
+		switch err {
+		case nil:
+			rep.Admitted++
+		case ErrOverloaded:
+			rep.Rejected++
+		default:
+			return rep, err
+		}
+	}
+	tail := cfg.TailSeconds
+	if tail <= 0 {
+		tail = s.chunk
+	}
+	if len(times) > 0 {
+		if _, err := s.AdvanceTo(times[len(times)-1] + tail); err != nil {
+			return rep, err
+		}
+	}
+	rep.Final = s.Snapshot()
+	digest, err := s.digest(rep.Final)
+	if err != nil {
+		return rep, err
+	}
+	rep.Digest = digest
+	return rep, nil
+}
+
+// digest hashes every workflow's status JSON plus the final snapshot, in
+// submission order: a full-state fingerprint for determinism tests.
+func (s *Service) digest(final MetricsResponse) (string, error) {
+	h := sha256.New()
+	n := s.WorkflowCount()
+	for id := 0; id < n; id++ {
+		st, err := s.Status(id)
+		if err != nil {
+			return "", err
+		}
+		b, err := json.Marshal(st)
+		if err != nil {
+			return "", err
+		}
+		h.Write(b)
+		h.Write([]byte{'\n'})
+	}
+	b, err := json.Marshal(final)
+	if err != nil {
+		return "", err
+	}
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -237,6 +237,11 @@ func (e *Engine) RunUntil(deadline float64) {
 // Run processes every queued event until the queue drains or Stop is called.
 func (e *Engine) Run() { e.RunUntil(math.Inf(1)) }
 
+// NextEventTime returns the timestamp of the earliest live pending event,
+// or +Inf when none is queued: the soonest instant at which RunUntil could
+// change any state. Long-lived drivers use it to jump over idle gaps.
+func (e *Engine) NextEventTime() float64 { return e.nextEventTime() }
+
 // nextEventTime returns the timestamp of the earliest live queued event, or
 // +Inf when none is queued. Dead (cancelled) events are popped on the way,
 // exactly as RunUntil would pop them.

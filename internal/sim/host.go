@@ -34,11 +34,14 @@ type Host interface {
 
 // Driver is a Host that can also drive the run loop: what an experiment
 // harness holds. *Engine and *ShardedEngine both implement it.
+// NextEventTime lets a long-lived driver (the service daemon) skip idle
+// virtual time instead of advancing in blind increments.
 type Driver interface {
 	Host
 	RunUntil(deadline float64)
 	Stop()
 	Stopped() bool
+	NextEventTime() float64
 }
 
 var (

@@ -167,6 +167,18 @@ func (s *ShardedEngine) RunUntil(deadline float64) {
 // Run processes every queued event until all lanes drain or Stop is called.
 func (s *ShardedEngine) Run() { s.RunUntil(math.Inf(1)) }
 
+// NextEventTime returns the earliest live pending event across the global
+// lane and every shard lane, or +Inf when all are drained. Cross-shard
+// mailboxes are empty between RunUntil calls (deliverMail runs before
+// RunUntil returns), so the lane queues are the complete picture.
+func (s *ShardedEngine) NextEventTime() float64 {
+	t := s.global.nextEventTime()
+	for _, sh := range s.shards {
+		t = math.Min(t, sh.nextEventTime())
+	}
+	return t
+}
+
 // runWindow advances every shard to the window end in parallel. Windows
 // with no shard work skip the goroutine fan-out and only align the clocks.
 func (s *ShardedEngine) runWindow(window float64) {

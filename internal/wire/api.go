@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"encoding/json"
+
+	"repro/internal/metrics"
+)
+
+// Service-mode HTTP API (generation APIV1, URL prefix /v1/). The service
+// layer (internal/service) speaks these types natively; the HTTP layer is a
+// thin JSON codec over them. All times are virtual-clock seconds unless a
+// field name says otherwise.
+
+// SubmitRequest is the body of POST /v1/workflows. Exactly one of Workflow,
+// Gen, or Trace selects the workflow source; an empty request is shorthand
+// for a generated Table-I workflow with a seed derived from the submission
+// sequence.
+type SubmitRequest struct {
+	// Name labels the workflow in status output (default "api/<id>").
+	Name string `json:"name,omitempty"`
+	// Workflow is an explicit DAG in the dag JSON interchange format
+	// (tasks with load_mi/image_mb, edges with data_mb).
+	Workflow json.RawMessage `json:"workflow,omitempty"`
+	// Gen generates a random Table-I workflow from a seed.
+	Gen *GenRequest `json:"gen,omitempty"`
+	// Trace derives the workflow from an SWF-style trace job via the
+	// replay scaling rule (total MI = runtime x procs x reference MIPS).
+	Trace *TraceRequest `json:"trace,omitempty"`
+	// Home pins the submission to a node id (default: a deterministic
+	// rotation over alive nodes).
+	Home *int `json:"home,omitempty"`
+}
+
+// GenRequest parameterizes a generated workflow.
+type GenRequest struct {
+	Seed int64 `json:"seed"`
+}
+
+// TraceRequest maps one trace job onto a workflow.
+type TraceRequest struct {
+	RuntimeSeconds float64 `json:"runtime_seconds"`
+	Procs          int     `json:"procs"`
+}
+
+// SubmitResponse acknowledges an admitted workflow.
+type SubmitResponse struct {
+	ID          int     `json:"id"`
+	Name        string  `json:"name"`
+	Home        int     `json:"home"`
+	SubmittedAt float64 `json:"submitted_at"`
+	Tasks       int     `json:"tasks"`
+}
+
+// WorkflowStatus is the body of GET /v1/workflows/{id}.
+type WorkflowStatus struct {
+	ID          int     `json:"id"`
+	Name        string  `json:"name"`
+	State       string  `json:"state"` // active | completed | failed
+	Home        int     `json:"home"`
+	SubmittedAt float64 `json:"submitted_at"`
+	CompletedAt float64 `json:"completed_at,omitempty"`
+	// Placed counts tasks phase 1 has dispatched to a node; Done counts
+	// finished tasks; ACTSeconds is the completion time so far (running
+	// workflows) or final (completed ones).
+	Placed     int          `json:"placed"`
+	Done       int          `json:"done"`
+	ACTSeconds float64      `json:"act_seconds"`
+	Tasks      []TaskStatus `json:"tasks,omitempty"`
+}
+
+// TaskStatus is one real (non-virtual) task inside WorkflowStatus.
+type TaskStatus struct {
+	ID         int     `json:"id"`
+	Name       string  `json:"name,omitempty"`
+	State      string  `json:"state"`
+	Node       int     `json:"node"` // -1 before dispatch
+	LoadMI     float64 `json:"load_mi"`
+	StartedAt  float64 `json:"started_at,omitempty"`
+	FinishedAt float64 `json:"finished_at,omitempty"`
+}
+
+// NextTaskResponse is the body of GET /v1/nodes/{id}/next-task: the node's
+// queue depths plus a read-only preview of what its second-phase policy
+// would pick next.
+type NextTaskResponse struct {
+	Node    int      `json:"node"`
+	Alive   bool     `json:"alive"`
+	Ready   int      `json:"ready"`  // data-complete tasks eligible for the CPU
+	Queued  int      `json:"queued"` // ready-set depth (inputs may be in flight)
+	Running *TaskRef `json:"running,omitempty"`
+	Next    *TaskRef `json:"next,omitempty"`
+}
+
+// TaskRef identifies one task instance on a node.
+type TaskRef struct {
+	Workflow int     `json:"workflow"`
+	Task     int     `json:"task"`
+	Name     string  `json:"name,omitempty"`
+	LoadMI   float64 `json:"load_mi"`
+}
+
+// MetricsResponse is the body of GET /v1/metrics: the standard snapshot the
+// batch experiments record, plus the service's own admission counters.
+type MetricsResponse struct {
+	Schema      string           `json:"schema"`
+	Clock       string           `json:"clock"` // virtual | wall
+	NowSeconds  float64          `json:"now_seconds"`
+	Snapshot    metrics.Snapshot `json:"snapshot"`
+	Admitted    int              `json:"admitted"`
+	Rejected    int              `json:"rejected"`
+	Dropped     int              `json:"dropped"` // arrivals at dead home nodes
+	InFlight    int              `json:"in_flight"`
+	MaxInFlight int              `json:"max_in_flight"`
+	Pending     int              `json:"pending"` // replay arrivals not yet due
+	Draining    bool             `json:"draining"`
+}
+
+// AdvanceRequest is the body of POST /v1/clock/advance (virtual clock
+// only): run the grid to an absolute virtual time or by a delta.
+type AdvanceRequest struct {
+	ToSeconds float64 `json:"to_seconds,omitempty"`
+	BySeconds float64 `json:"by_seconds,omitempty"`
+}
+
+// AdvanceResponse reports the clock after an advance.
+type AdvanceResponse struct {
+	NowSeconds float64 `json:"now_seconds"`
+}
+
+// ReplayRequest is the body of POST /v1/workflows/replay: schedule a whole
+// arrival process (or trace replay) as future timed submissions, using the
+// same spec vocabulary as the -arrival/-trace CLI flags. Each arrival
+// passes admission control at its due time; overload arrivals are shed and
+// counted, exactly like individual submissions.
+type ReplayRequest struct {
+	// Arrival is an arrival-process spec (poisson:RATE, mmpp:RATE[:BURST],
+	// diurnal:RATE[:PERIODH], trace; rates in workflows/hour).
+	Arrival string `json:"arrival,omitempty"`
+	// Trace names an SWF/GWA trace for trace replay ("sample" = the
+	// bundled demo trace).
+	Trace string `json:"trace,omitempty"`
+	// TraceScale multiplies trace submit times (0 or 1 = unscaled).
+	TraceScale float64 `json:"trace_scale,omitempty"`
+	// Count is the number of arrivals for synthetic processes (default
+	// 100; trace replay always schedules the whole trace).
+	Count int `json:"count,omitempty"`
+	// Seed drives the arrival process and the generated workflows
+	// (default: the service seed).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ReplayResponse acknowledges a scheduled replay.
+type ReplayResponse struct {
+	Scheduled   int     `json:"scheduled"`
+	FirstAt     float64 `json:"first_at"`
+	LastAt      float64 `json:"last_at"`
+	SpanSeconds float64 `json:"span_seconds"`
+}
+
+// ErrorResponse is the uniform error body. RetryAfterSeconds mirrors the
+// Retry-After header on 429 responses.
+type ErrorResponse struct {
+	Error             string  `json:"error"`
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
+}

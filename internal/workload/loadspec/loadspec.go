@@ -1,0 +1,73 @@
+// Package loadspec resolves user-facing workload specifications — the
+// -arrival / -trace / -trace-scale triplet shared by cmd/p2pgridsim,
+// cmd/wfgen and the service API's replay endpoint — into the parsed pieces
+// the workload packages consume. Every entry point routes through Resolve,
+// so a malformed spec produces the same error text whether it arrived as a
+// CLI flag or an HTTP request field, and the combination rules (-trace
+// only pairs with trace replay, -trace-scale needs a trace) are enforced
+// once instead of per front end.
+package loadspec
+
+import (
+	"fmt"
+
+	"repro/internal/workload/arrival"
+	"repro/internal/workload/traces"
+)
+
+// Spec is a resolved, eagerly validated workload specification.
+type Spec struct {
+	// Arrival is the parsed arrival process (zero value: the paper's
+	// batch load at t=0).
+	Arrival arrival.Spec
+	// Trace is the loaded (and submit-time-scaled) trace for trace
+	// replay; nil otherwise.
+	Trace *traces.Trace
+}
+
+// Resolve parses and validates an arrival/trace specification.
+//
+//   - arrivalSpec is an arrival.Parse expression ("" = none): batch,
+//     poisson:RATE, mmpp:RATE[:BURST], diurnal:RATE[:PERIODH], trace.
+//   - tracePath names an SWF/GWA trace file, "sample" selecting the
+//     bundled demo trace. A trace alone (no arrival spec) selects trace
+//     replay; combined with any arrival kind other than trace it is an
+//     error. "trace" with no path defaults to the sample trace.
+//   - traceScale multiplies trace submit times (compressing a multi-day
+//     trace into a shorter horizon); 0 and 1 mean unscaled.
+func Resolve(arrivalSpec, tracePath string, traceScale float64) (Spec, error) {
+	var out Spec
+	if arrivalSpec != "" {
+		spec, err := arrival.Parse(arrivalSpec)
+		if err != nil {
+			return Spec{}, err
+		}
+		out.Arrival = spec
+	}
+	if tracePath == "sample" {
+		out.Trace = traces.Sample()
+	} else if tracePath != "" {
+		tr, err := traces.Load(tracePath)
+		if err != nil {
+			return Spec{}, err
+		}
+		out.Trace = tr
+	}
+	if out.Arrival.Kind == arrival.KindTrace {
+		if out.Trace == nil {
+			out.Trace = traces.Sample()
+		}
+	} else if out.Trace != nil && arrivalSpec != "" {
+		return Spec{}, fmt.Errorf("-trace combines only with -arrival trace (or no -arrival), not %q", arrivalSpec)
+	}
+	if traceScale != 0 && traceScale != 1 {
+		if traceScale < 0 {
+			return Spec{}, fmt.Errorf("-trace-scale must be positive, got %v", traceScale)
+		}
+		if out.Trace == nil {
+			return Spec{}, fmt.Errorf("-trace-scale needs a trace (-trace FILE or -arrival trace)")
+		}
+		out.Trace = out.Trace.Scale(traceScale)
+	}
+	return out, nil
+}
