@@ -22,6 +22,9 @@
 //	arrival       ACT/AE vs arrival intensity (Poisson ladder up to the
 //	              batch endpoint, 95% CIs with -reps > 1); -trace FILE
 //	              adds a trace-replay column ("sample" = bundled trace)
+//	sla           deadline-miss rate and spend per workflow across a
+//	              deadline ladder: the DBC-cost optimizer against the
+//	              best-effort DSMF baseline (95% CIs with -reps > 1)
 //	fig12-14      churn sweep (throughput/ACT/AE series per dynamic factor;
 //	              -reps N>1 replicates it over N seeds and adds error bars)
 //	reschedule    churn with the failed-task rescheduling extension
@@ -40,8 +43,18 @@
 // replays an SWF/GWA grid trace (submit times and job sizes mapped onto
 // Table I DAGs; see internal/workload/traces).
 //
+// Runs can also be economic: -price RATE[:SPREAD] prices every node
+// (capacity-proportional per-MI rates with an optional random spread) and
+// -sla SPEC (deadline:F | budget:F | both:DF:BF) attaches deadline and/or
+// budget contracts to every workflow of a single run or sweep cell. The
+// DBC-cost / DBC-time / DBC-ct algorithms (usable with -experiment single
+// -algo) schedule against those contracts; everything else runs
+// best-effort and merely gets measured against them (deadline-miss and
+// spend metrics appear in snapshots and sweep JSON whenever the economy
+// is active; see internal/economy).
+//
 // The sweep experiment expands a declarative scenario matrix (axes from
-// -axes: algo, churn, lf, ccr, scale, arrival), replicates every cell over -reps
+// -axes: algo, churn, lf, ccr, scale, arrival, sla), replicates every cell over -reps
 // independent seeds, and emits deterministic JSON with mean / stddev / 95%
 // CI per (scenario, algorithm) cell: the same invocation produces
 // byte-identical output. Progress streams to stderr. The matrix executes
@@ -103,6 +116,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/economy"
 	"repro/internal/experiments"
 	"repro/internal/experiments/executor"
 	"repro/internal/workload/arrival"
@@ -141,6 +155,9 @@ type options struct {
 	tracePath  string  // SWF trace file ("sample" = the bundled demo trace)
 	traceScale float64 // submit-time multiplier compressing/stretching the trace
 
+	sla   string // SLA contract spec (none|deadline:F|budget:F|both:DF:BF)
+	price string // pricing model (none|RATE[:SPREAD])
+
 	cacheGC     bool    // run a cache GC pass instead of an experiment
 	cacheBudget int64   // GC size budget in MB (0 = no size bound)
 	cacheDays   float64 // GC max entry age in days (0 = no age bound)
@@ -152,6 +169,25 @@ type options struct {
 	maxInFlight int     // -serve admission bound on unfinished workflows
 
 	stdout, stderr io.Writer
+}
+
+// economySetup resolves the -sla/-price flags into the specs experiments
+// consume, enforcing the cross-flag rule the specs cannot see alone:
+// budgets are denominated in money, so an SLA with a budget side needs
+// pricing to be on.
+func (o options) economySetup() (economy.SLASpec, economy.PriceSpec, error) {
+	sla, err := economy.ParseSLA(o.sla)
+	if err != nil {
+		return economy.SLASpec{}, economy.PriceSpec{}, err
+	}
+	price, err := economy.ParsePrice(o.price)
+	if err != nil {
+		return economy.SLASpec{}, economy.PriceSpec{}, err
+	}
+	if sla.HasBudget() && !price.Enabled() {
+		return economy.SLASpec{}, economy.PriceSpec{}, fmt.Errorf("-sla %q sets budgets, which need pricing: add -price RATE[:SPREAD]", o.sla)
+	}
+	return sla, price, nil
 }
 
 // arrivalSetup resolves the -arrival/-trace flags into the pieces
@@ -191,6 +227,8 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		cache   = fs.String("cache", "", "warm-start cell cache directory: re-runs execute only cells missing from it")
 		prec    = fs.Float64("precision", 0, "per-cell adaptive replication: each cell draws seeds until its ACT 95% CI half-width is under this fraction of its mean (an explicit -reps caps every cell)")
 		arr     = fs.String("arrival", "", "arrival process for single/sweep cells: batch|poisson:RATE|mmpp:RATE[:BURST]|diurnal:RATE[:PERIODH]|trace (rates in workflows/hour)")
+		slaF    = fs.String("sla", "", "SLA contract for single/sweep cells: none|deadline:FACTOR|budget:FACTOR|both:DF:BF (factors scale the critical path / cheapest-feasible cost)")
+		priceF  = fs.String("price", "", "pricing model for single/sweep cells and -serve: none|RATE[:SPREAD] (capacity-proportional per-MI rates, ±SPREAD jitter)")
 		trc     = fs.String("trace", "", "SWF/GWF trace file for trace replay (\"sample\" = the bundled demo trace)")
 		trscale = fs.Float64("trace-scale", 1, "multiply trace submit times by this factor (compress a multi-day trace into the horizon)")
 		cgc     = fs.Bool("cache-gc", false, "garbage-collect the -cache directory (needs -cache-budget and/or -cache-days) and exit")
@@ -264,10 +302,11 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		allowed := map[string]bool{
 			"serve": true, "pace": true, "max-inflight": true,
 			"scale": true, "algo": true, "seed": true, "shards": true,
+			"price": true,
 		}
 		for _, f := range setFlags {
 			if !allowed[f] {
-				fmt.Fprintf(stderr, "p2pgridsim: -%s does not combine with -serve (the daemon takes -scale, -algo, -seed, -shards, -pace, -max-inflight; workloads arrive over the HTTP API)\n", f)
+				fmt.Fprintf(stderr, "p2pgridsim: -%s does not combine with -serve (the daemon takes -scale, -algo, -seed, -shards, -pace, -max-inflight, -price; workloads arrive over the HTTP API)\n", f)
 				return 2
 			}
 		}
@@ -323,6 +362,8 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		arrival:     *arr,
 		tracePath:   *trc,
 		traceScale:  *trscale,
+		sla:         *slaF,
+		price:       *priceF,
 		cacheGC:     *cgc,
 		cacheBudget: *cbudget,
 		cacheDays:   *cdays,
@@ -365,6 +406,19 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		case "single", "sweep", "arrival":
 		default:
 			fmt.Fprintf(stderr, "p2pgridsim: -arrival/-trace only apply to single, sweep and arrival; %q runs the batch workload\n", o.experiment)
+		}
+	}
+	if o.sla != "" || o.price != "" {
+		// Same eager-validation rule as -arrival: a malformed spec must fail
+		// even when the selected experiment would never consume it.
+		if _, _, err := o.economySetup(); err != nil {
+			fmt.Fprintln(stderr, "p2pgridsim:", err)
+			return 2
+		}
+		switch o.experiment {
+		case "single", "sweep":
+		default:
+			fmt.Fprintf(stderr, "p2pgridsim: -sla/-price only apply to single and sweep; %q runs without contracts\n", o.experiment)
 		}
 	}
 	// run (not cliMain) owns the profile lifecycles so they close properly
@@ -452,6 +506,10 @@ func dispatch(o options, name string) error {
 		if tr != nil {
 			setting.Trace = tr.Jobs
 		}
+		setting.SLA, setting.Price, err = o.economySetup()
+		if err != nil {
+			return err
+		}
 		setting.Shards = o.shards
 		res, err := experiments.SingleRunWith(setting, o.algo)
 		if err != nil {
@@ -464,6 +522,12 @@ func dispatch(o options, name string) error {
 				res.Unsubmitted, res.Dropped, res.Submitted)
 		}
 		fmt.Fprintln(stdout, res.Collector.FormatSeries())
+		if sla := res.Final.SLA; sla != nil {
+			fmt.Fprintf(stdout, "sla: deadline misses %d/%d, budget violations %d/%d, fallbacks %d, spend %.0f (%.0f per completed workflow)\n",
+				sla.DeadlineMisses, sla.DeadlineWorkflows,
+				sla.BudgetViolations, sla.BudgetWorkflows,
+				sla.Fallbacks, sla.TotalSpend, sla.MeanSpend)
+		}
 	case "fig3":
 		fmt.Fprintln(stdout, experiments.Fig3Report())
 	case "fig4-6":
@@ -536,6 +600,8 @@ func dispatch(o options, name string) error {
 		fmt.Fprintln(stdout, table.Format())
 	case "arrival":
 		return runArrival(o)
+	case "sla":
+		return runSLA(o)
 	case "sweep":
 		return runSweep(o)
 	case "all":
@@ -581,6 +647,8 @@ func sweepSpecFromAxes(axes string, sc experiments.Scale, seed int64, reps, maxL
 			spec.CCRCases = experiments.CCRCases()
 		case "arrival":
 			spec.Arrivals = experiments.ArrivalCasesFor(sc)
+		case "sla":
+			spec.SLAs = experiments.SLACasesFor(sc)
 		case "scale":
 			var scales []experiments.Scale
 			for _, n := range experiments.ScalabilitySizes(sc) {
@@ -593,7 +661,7 @@ func sweepSpecFromAxes(axes string, sc experiments.Scale, seed int64, reps, maxL
 		case "":
 			// Empty axes list (or a trailing comma): keep the defaults.
 		default:
-			return spec, fmt.Errorf("unknown sweep axis %q (algo|churn|lf|ccr|scale|arrival)", ax)
+			return spec, fmt.Errorf("unknown sweep axis %q (algo|churn|lf|ccr|scale|arrival|sla)", ax)
 		}
 	}
 	return spec, nil
@@ -643,6 +711,22 @@ func runSweep(o options) error {
 			spec.Arrivals = []experiments.ArrivalCase{experiments.TraceCase(tr)}
 		} else if !aspec.IsBatch() {
 			spec.Arrivals = []experiments.ArrivalCase{{Label: o.arrival, Spec: aspec}}
+		}
+	}
+	if o.sla != "" || o.price != "" {
+		sla, price, err := o.economySetup()
+		if err != nil {
+			return err
+		}
+		if spec.SLAs != nil {
+			return fmt.Errorf("-sla/-price do not combine with -axes sla (the axis carries its own ladder and pricing)")
+		}
+		if sla.Enabled() || price.Enabled() {
+			label := o.sla
+			if label == "" {
+				label = "price:" + o.price
+			}
+			spec.SLAs = []experiments.SLACase{{Label: label, SLA: sla, Price: price}}
 		}
 	}
 	opts := experiments.RunOptions{
@@ -770,6 +854,22 @@ func runArrival(o options) error {
 	}
 	fmt.Fprintln(o.stdout, act.Format())
 	fmt.Fprintln(o.stdout, ae.Format())
+	return nil
+}
+
+// runSLA prints the economic figure: deadline-miss rate and spend per
+// completed workflow across the scale's deadline ladder, the DBC-cost
+// optimizer against the best-effort DSMF baseline (95% CIs at -reps > 1).
+func runSLA(o options) error {
+	if o.sla != "" || o.price != "" {
+		return fmt.Errorf("-experiment sla runs a fixed deadline ladder; -sla/-price only apply to single/sweep")
+	}
+	miss, spend, err := experiments.SLASweepRep(o.scale, o.seed, o.reps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.stdout, miss.Format())
+	fmt.Fprintln(o.stdout, spend.Format())
 	return nil
 }
 

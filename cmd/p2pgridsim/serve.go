@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/economy"
 	"repro/internal/service"
 	"repro/internal/wire"
 )
@@ -22,6 +23,10 @@ import (
 // in-flight workflow resolves, the listener shuts down and the process
 // exits 0.
 func runServe(o options) error {
+	price, err := economy.ParsePrice(o.price)
+	if err != nil {
+		return err
+	}
 	svc, err := service.New(service.Config{
 		Scale:       o.scale,
 		Algo:        o.algo,
@@ -29,6 +34,7 @@ func runServe(o options) error {
 		Shards:      o.shards,
 		MaxInFlight: o.maxInFlight,
 		Pace:        o.pace,
+		Price:       price,
 	})
 	if err != nil {
 		return err

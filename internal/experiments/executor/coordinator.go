@@ -145,8 +145,8 @@ func OpenWorkDir(dir string) (*Coordinator, error) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("executor: work dir %s: %w", dir, err)
 	}
-	if doc.Schema != workDirSchema {
-		return nil, fmt.Errorf("executor: work dir %s schema %q, want %q", dir, doc.Schema, workDirSchema)
+	if err := wire.Expect(doc.Schema, workDirSchema); err != nil {
+		return nil, fmt.Errorf("executor: work dir %s: %w", dir, err)
 	}
 	if doc.Units < 1 || doc.LeaseTTLSeconds <= 0 {
 		return nil, fmt.Errorf("executor: work dir %s malformed (units %d, ttl %vs)", dir, doc.Units, doc.LeaseTTLSeconds)

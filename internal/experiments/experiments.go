@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/dag"
+	"repro/internal/economy"
 	"repro/internal/grid"
 	"repro/internal/heuristics"
 	"repro/internal/metrics"
@@ -80,6 +81,15 @@ type Setting struct {
 	// when set, Arrival is ignored.
 	Arrival arrival.Spec
 	Trace   []traces.Job
+
+	// SLA attaches deadline/budget contracts to every generated workflow
+	// and Price installs the per-MI node rates the economy draws against.
+	// Zero values keep the run best-effort and unpriced — bit-identical to
+	// runs that predate the economic layer (the SLA assignment itself is
+	// deterministic and consumes no randomness; rate jitter draws from its
+	// own split seed stream).
+	SLA   economy.SLASpec
+	Price economy.PriceSpec
 
 	// Ablation switches.
 	OracleBandwidth  bool
@@ -171,6 +181,9 @@ func Run(setting Setting, algo grid.Algorithm) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("experiments: grid: %w", err)
 	}
+	if err := wireEconomy(g, setting); err != nil {
+		return Result{}, err
+	}
 
 	homes := setting.Homes
 	if homes <= 0 || homes > setting.Scale.Nodes {
@@ -235,6 +248,52 @@ func Run(setting Setting, algo grid.Algorithm) (Result, error) {
 		Dropped:     g.DroppedSubmissions,
 		Unsubmitted: len(subs) - len(g.Workflows) - g.DroppedSubmissions,
 	}, nil
+}
+
+// wireEconomy installs the setting's pricing table and SLA assigner on a
+// freshly built grid, before any workflow is submitted. With both specs at
+// their zero values it does nothing at all, preserving the pre-economy
+// byte-identity of every default run.
+func wireEconomy(g *grid.Grid, setting Setting) error {
+	if !setting.Price.Enabled() && !setting.SLA.Enabled() {
+		return nil
+	}
+	if err := setting.Price.Validate(); err != nil {
+		return err
+	}
+	if err := setting.SLA.Validate(); err != nil {
+		return err
+	}
+	if setting.SLA.HasBudget() && !setting.Price.Enabled() {
+		return fmt.Errorf("experiments: SLA %q sets budgets but pricing is off (set Price)", setting.SLA)
+	}
+	if setting.Price.Enabled() {
+		caps := make([]float64, len(g.Nodes))
+		for i := range g.Nodes {
+			caps[i] = g.Nodes[i].Capacity
+		}
+		rates := setting.Price.Rates(caps, stats.SplitSeed(setting.Seed, 0x5C))
+		if err := g.SetPrices(rates); err != nil {
+			return err
+		}
+	}
+	if setting.SLA.Enabled() {
+		spec := setting.SLA
+		minRate := g.MinPrice()
+		g.SetSLAAssigner(func(wf *grid.WorkflowInstance) grid.SLA {
+			var sla grid.SLA
+			if spec.HasDeadline() {
+				// wf.EFT is the critical-path duration priced with the true
+				// system averages (Eq. 1's eft(f)).
+				sla.Deadline = spec.Deadline(wf.SubmittedAt, wf.EFT)
+			}
+			if spec.HasBudget() {
+				sla.Budget = spec.Budget(wf.W.TotalLoad() * minRate)
+			}
+			return sla
+		})
+	}
+	return nil
 }
 
 // SingleRun executes one simulation of the named algorithm (see

@@ -539,8 +539,8 @@ func DecodeShard(data []byte) (*ShardResult, error) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("experiments: shard decode: %w", err)
 	}
-	if doc.Schema != shardSchema {
-		return nil, fmt.Errorf("experiments: shard schema %q, want %q", doc.Schema, shardSchema)
+	if err := wire.Expect(doc.Schema, shardSchema); err != nil {
+		return nil, fmt.Errorf("experiments: shard: %w", err)
 	}
 	s := &ShardResult{Spec: doc.Spec, Hash: doc.Hash, Lo: doc.Lo, Hi: doc.Hi, Jobs: doc.Jobs, IDs: doc.IDs, Stats: doc.Stats}
 	if got := s.Spec.SpecHash(); got != s.Hash {

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments/executor"
+	"repro/internal/wire"
+)
+
+// These tests pin the schema-mismatch error contract: every reader that
+// rejects a foreign envelope must name BOTH the schema it found and the
+// one it expected (the wire.Expect vocabulary), so a version skew between
+// two binaries diagnoses itself from the error text alone.
+
+func wantBothSchemas(t *testing.T, err error, found, want string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("foreign schema %q accepted", found)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, found) || !strings.Contains(msg, want) {
+		t.Fatalf("error %q does not name both the found schema %q and the expected %q", msg, found, want)
+	}
+}
+
+func TestDecodeShardNamesBothSchemas(t *testing.T) {
+	_, err := DecodeShard([]byte(`{"schema":"bogus/v9"}`))
+	wantBothSchemas(t, err, "bogus/v9", wire.ShardV1)
+}
+
+func TestOpenSweepWorkNamesBothSchemas(t *testing.T) {
+	dir := t.TempDir()
+	meta, err := json.Marshal(wire.SweepWork[SweepSpec]{Schema: "bogus/v9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := executor.InitWorkDir(dir, 1, time.Minute, meta); err != nil {
+		t.Fatalf("InitWorkDir: %v", err)
+	}
+	_, _, err = OpenSweepWork(dir)
+	wantBothSchemas(t, err, "bogus/v9", wire.SweepWorkV1)
+}
+
+func TestOpenWorkDirNamesBothSchemas(t *testing.T) {
+	dir := t.TempDir()
+	doc := []byte(`{"schema":"bogus/v9","units":1,"lease_ttl_seconds":60}`)
+	if err := os.WriteFile(filepath.Join(dir, "workdir.json"), doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := executor.OpenWorkDir(dir)
+	wantBothSchemas(t, err, "bogus/v9", wire.WorkDirV1)
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/economy"
+	"repro/internal/metrics"
+)
+
+// This file is the economic side of the sweep engine: the SLACase axis
+// value and the deadline-ladder figure behind `-experiment sla`
+// (deadline-miss rate and spend versus deadline tightness, DBC versus
+// best-effort). SLA cases are a first-class scenario axis like arrivals —
+// they flow through Scenario, Label, Jobs, SpecHash and the warm-start
+// cell cache — with one extra obligation: the absent axis must be
+// invisible, keeping every pre-economy spec hash and artifact
+// byte-identical (see SweepSpec.SLAs).
+
+// SLACase is one point of the economic axis: the SLA contract attached to
+// every workflow of the cell plus the pricing model the grid's nodes
+// charge under. The zero value is the no-economy point (no prices, no
+// contracts) and is never materialized — a spec whose SLAs axis holds only
+// the zero case collapses to the absent axis. A non-default case needs a
+// Label (it names the cell in sweep JSON and tables).
+type SLACase struct {
+	Label string            `json:"label,omitempty"`
+	SLA   economy.SLASpec   `json:"sla,omitempty"`
+	Price economy.PriceSpec `json:"price,omitempty"`
+}
+
+// isDefault reports whether the case is the no-economy point.
+func (c SLACase) isDefault() bool {
+	return c.Label == "" && !c.SLA.Enabled() && !c.Price.Enabled()
+}
+
+func (c SLACase) validate() error {
+	if c.isDefault() {
+		return nil
+	}
+	if c.Label == "" {
+		return fmt.Errorf("non-default SLA case needs a label")
+	}
+	if err := c.SLA.Validate(); err != nil {
+		return err
+	}
+	if err := c.Price.Validate(); err != nil {
+		return err
+	}
+	if c.SLA.HasBudget() && !c.Price.Enabled() {
+		return fmt.Errorf("SLA %q sets budgets but the case has no pricing", c.SLA)
+	}
+	return nil
+}
+
+// DefaultPrice is the pricing model of the shipped SLA figure and of the
+// CLI's sla axis: unit base rate with a wide enough spread that cheap-slow
+// and expensive-fast nodes genuinely differ, giving the cost-optimizing
+// heuristics room to trade money for time.
+var DefaultPrice = economy.PriceSpec{BaseRate: 1, Spread: 0.5}
+
+// SLACasesFor returns the default deadline ladder of a scale: pure
+// deadline contracts at tightening-to-loosening factors over the
+// workflow's critical-path length, all under DefaultPrice. The ladder is
+// the x-axis of the `-experiment sla` figure: as deadlines loosen the
+// miss rate must fall and the cost-optimizing heuristics get to buy
+// cheaper (slower) capacity.
+func SLACasesFor(scale Scale) []SLACase {
+	factors := []float64{2, 4, 8, 16, 32}
+	cases := make([]SLACase, 0, len(factors))
+	for _, f := range factors {
+		spec := economy.SLASpec{Kind: economy.KindDeadline, DeadlineFactor: f}
+		cases = append(cases, SLACase{Label: spec.String(), SLA: spec, Price: DefaultPrice})
+	}
+	return cases
+}
+
+// slaColumn names a ladder column after its case label.
+func slaColumn(c SLACase) string {
+	if c.Label == "" {
+		return "none"
+	}
+	return c.Label
+}
+
+// SLASweepRep runs the economic figure through the sweep engine: a
+// best-effort baseline (DSMF, which prices work but ignores contracts)
+// against the deadline-constrained cost optimizer (DBC-cost) across the
+// scale's deadline ladder, replicated over reps independent seeds. It
+// returns the deadline-miss-rate and spend-per-workflow tables — the
+// figure's two panels.
+func SLASweepRep(scale Scale, seed int64, reps int) (missTable, spendTable Table, err error) {
+	cases := SLACasesFor(scale)
+	res, err := RunSweepStream(SweepSpec{
+		Name:       "sla",
+		Scales:     []Scale{scale},
+		Algorithms: []string{"DSMF", "DBC-cost"},
+		Seed:       seed,
+		Reps:       reps,
+		SLAs:       cases,
+	}, RunOptions{})
+	if err != nil {
+		return
+	}
+	algos := res.Spec.Algorithms
+	missTable = Table{Title: "SLA: deadline-miss rate vs deadline factor", Header: []string{"algorithm"}}
+	spendTable = Table{Title: "SLA: spend per completed workflow vs deadline factor", Header: []string{"algorithm"}}
+	for _, c := range cases {
+		missTable.Header = append(missTable.Header, slaColumn(c))
+		spendTable.Header = append(spendTable.Header, slaColumn(c))
+	}
+	for ai, a := range algos {
+		missRow := []string{a}
+		spendRow := []string{a}
+		for ci := range cases {
+			c := res.Cells[ci*len(algos)+ai]
+			missRow = append(missRow, formatSLAEstimate(c.Agg.SLA, func(s *metrics.SLAAggregate) metrics.Estimate { return s.DeadlineMissRate }, 3))
+			spendRow = append(spendRow, formatSLAEstimate(c.Agg.SLA, func(s *metrics.SLAAggregate) metrics.Estimate { return s.SpendPerWorkflow }, 0))
+		}
+		missTable.Rows = append(missTable.Rows, missRow)
+		spendTable.Rows = append(spendTable.Rows, spendRow)
+	}
+	return missTable, spendTable, nil
+}
+
+// formatSLAEstimate renders one economic estimate, or "-" for a cell that
+// carried no economic state (cannot arise on the shipped ladder, but the
+// table must not panic on a hand-built spec).
+func formatSLAEstimate(sla *metrics.SLAAggregate, pick func(*metrics.SLAAggregate) metrics.Estimate, prec int) string {
+	if sla == nil {
+		return "-"
+	}
+	return formatEstimate(pick(sla), prec)
+}

@@ -16,7 +16,7 @@ import (
 )
 
 // This file declares the multi-seed scenario sweep: a SweepSpec is a matrix
-// of scenario axes (scale x churn x load factor x CCR x arrival) crossed with an
+// of scenario axes (scale x churn x load factor x CCR x arrival x SLA) crossed with an
 // algorithm axis and replicated over independent seeds. The spec side is
 // pure data — canonical expansion order (Scenarios, Jobs), seed derivation
 // and content hashing (SpecHash) — while execution lives in runner.go
@@ -78,6 +78,15 @@ type SweepSpec struct {
 	// simulator's historical behavior — cells with the zero ArrivalCase
 	// are bit-identical to pre-arrival sweeps).
 	Arrivals []ArrivalCase
+
+	// SLAs is the economic axis: each case attaches an SLA spec and a
+	// pricing model to every cell it generates. Unlike the other axes this
+	// one is never materialized by withDefaults — nil (and the all-default
+	// single case, which collapses to nil) must keep the marshaled spec,
+	// its SpecHash and every warm-start cell key byte-identical to sweeps
+	// that predate the economic layer. The json tag makes the absent axis
+	// disappear from the canonical encoding for the same reason.
+	SLAs []SLACase `json:",omitempty"`
 }
 
 // withDefaults normalizes the spec without mutating the caller's slices.
@@ -111,6 +120,19 @@ func (sp SweepSpec) withDefaults() SweepSpec {
 		}
 		sp.Arrivals = norm
 	}
+	switch {
+	case len(sp.SLAs) == 1 && sp.SLAs[0].isDefault():
+		// A single all-default case is the absent axis: collapse it so the
+		// spec hashes (and cell-caches) identically to a nil SLAs slice.
+		sp.SLAs = nil
+	case len(sp.SLAs) > 0:
+		norm := make([]SLACase, len(sp.SLAs))
+		for i, c := range sp.SLAs {
+			c.SLA = c.SLA.Normalize()
+			norm[i] = c
+		}
+		sp.SLAs = norm
+	}
 	return sp
 }
 
@@ -136,6 +158,11 @@ func (sp SweepSpec) validate() error {
 	for i, ac := range sp.Arrivals {
 		if err := ac.validate(); err != nil {
 			return fmt.Errorf("experiments: arrival case %d: %w", i, err)
+		}
+	}
+	for i, c := range sp.SLAs {
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("experiments: SLA case %d: %w", i, err)
 		}
 	}
 	return nil
@@ -177,6 +204,12 @@ type Scenario struct {
 	// ChurnLayout forces the half-homes layout even at Churn == 0 (the
 	// df=0 cell of a churn-axis sweep, see SweepSpec.ChurnLayout).
 	ChurnLayout bool
+
+	// SLA is the economic cell, nil outside SLA sweeps. A pointer with
+	// omitempty — not a struct value — because the scenario's canonical
+	// JSON is the warm-start cell-cache key (cellKeyFor): the absent axis
+	// must leave every pre-economy cache identity byte-identical.
+	SLA *SLACase `json:",omitempty"`
 }
 
 // Label renders the scenario compactly for tables and JSON.
@@ -193,6 +226,9 @@ func (sc Scenario) Label() string {
 	}
 	if sc.Arrival.Label != "" {
 		s += " arrival=" + sc.Arrival.Label
+	}
+	if sc.SLA != nil && sc.SLA.Label != "" {
+		s += " sla=" + sc.SLA.Label
 	}
 	return s
 }
@@ -211,6 +247,10 @@ func (sc Scenario) setting(seed int64, net *topology.Network, reschedule bool) S
 	}
 	s.Arrival = sc.Arrival.Spec
 	s.Trace = sc.Arrival.Trace
+	if sc.SLA != nil {
+		s.SLA = sc.SLA.SLA
+		s.Price = sc.SLA.Price
+	}
 	if sc.Churn > 0 || sc.ChurnLayout {
 		stable := sc.Scale.Nodes / 2
 		s.Homes = stable
@@ -229,22 +269,34 @@ func (sc Scenario) setting(seed int64, net *topology.Network, reschedule bool) S
 }
 
 // Scenarios expands the spec's scenario axes in a fixed documented order:
-// scale (outer), churn, load factor, CCR, arrival (inner). The order is
-// part of the determinism contract - cells, seeds and JSON all follow it.
+// scale (outer), churn, load factor, CCR, arrival, SLA (inner). The order
+// is part of the determinism contract - cells, seeds and JSON all follow
+// it. The absent SLA axis expands to one nil pointer, not a default case,
+// keeping non-economic scenarios (and their cache keys) exactly as before.
 func (sp SweepSpec) Scenarios() []Scenario {
 	sp = sp.withDefaults()
+	slas := []*SLACase{nil}
+	if len(sp.SLAs) > 0 {
+		slas = make([]*SLACase, len(sp.SLAs))
+		for i := range sp.SLAs {
+			slas[i] = &sp.SLAs[i]
+		}
+	}
 	var out []Scenario
 	for si, scale := range sp.Scales {
 		for _, df := range sp.ChurnFactors {
 			for _, lf := range sp.LoadFactors {
 				for _, ccr := range sp.CCRCases {
 					for _, ac := range sp.Arrivals {
-						out = append(out, Scenario{
-							ScaleIndex: si, Scale: scale,
-							LoadFactor: lf, Churn: df, CCR: ccr,
-							Arrival:     ac,
-							ChurnLayout: sp.ChurnLayout,
-						})
+						for _, sla := range slas {
+							out = append(out, Scenario{
+								ScaleIndex: si, Scale: scale,
+								LoadFactor: lf, Churn: df, CCR: ccr,
+								Arrival:     ac,
+								ChurnLayout: sp.ChurnLayout,
+								SLA:         sla,
+							})
+						}
 					}
 				}
 			}
@@ -485,6 +537,10 @@ func (r *SweepResult) JSON() ([]byte, error) {
 		if c.Agg.Reps != r.Spec.Reps {
 			cellReps = c.Agg.Reps
 		}
+		slaLabel := ""
+		if c.Scenario.SLA != nil {
+			slaLabel = c.Scenario.SLA.Label
+		}
 		out.Cells = append(out.Cells, sweepCellJSON{
 			Scenario:   c.Scenario.Label(),
 			Scale:      c.Scenario.Scale.Name,
@@ -493,6 +549,7 @@ func (r *SweepResult) JSON() ([]byte, error) {
 			Churn:      c.Scenario.Churn,
 			CCR:        c.Scenario.CCR.Label,
 			Arrival:    c.Scenario.Arrival.Label,
+			SLA:        slaLabel,
 			Algo:       c.Algo,
 			Reps:       cellReps,
 			Seeds:      c.Seeds,

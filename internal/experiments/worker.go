@@ -68,8 +68,8 @@ func OpenSweepWork(dir string) (*executor.Coordinator, SweepSpec, error) {
 	if err := json.Unmarshal(c.Meta, &meta); err != nil {
 		return nil, SweepSpec{}, fmt.Errorf("experiments: work dir %s metadata: %w", dir, err)
 	}
-	if meta.Schema != sweepWorkSchema {
-		return nil, SweepSpec{}, fmt.Errorf("experiments: work dir %s metadata schema %q, want %q", dir, meta.Schema, sweepWorkSchema)
+	if err := wire.Expect(meta.Schema, sweepWorkSchema); err != nil {
+		return nil, SweepSpec{}, fmt.Errorf("experiments: work dir %s metadata: %w", dir, err)
 	}
 	if got := meta.Spec.SpecHash(); got != meta.Hash {
 		return nil, SweepSpec{}, fmt.Errorf("experiments: work dir %s spec hash %.12s… does not match recorded %.12s… (different spec or simulator version)", dir, got, meta.Hash)

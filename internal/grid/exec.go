@@ -37,6 +37,7 @@ func (g *Grid) Dispatch(t *TaskInstance, to int, rpm, ms float64) bool {
 	g.DispatchCount++
 	node.ReadySet = append(node.ReadySet, t)
 	node.TotalLoadMI += task.Load
+	g.commitCost(t, to)
 	g.emit(traceDispatch, to, nil, t)
 
 	gen := t.gen
@@ -167,12 +168,18 @@ func (g *Grid) taskFinished(t *TaskInstance, gen int, now float64) {
 func (g *Grid) onTaskDone(t *TaskInstance, now float64) {
 	wf := t.WF
 	wf.doneCount++
+	// Settlement precedes the liveness check: completed work is paid for
+	// even when its workflow already failed, so Committed always drains.
+	g.settleCost(t)
 	if wf.State != WorkflowActive {
 		return // late completion of a task whose workflow already failed
 	}
 	if t.ID == wf.W.Exit() {
 		wf.State = WorkflowCompleted
 		wf.CompletedAt = now
+		if wf.SLA.Deadline > 0 && now > wf.SLA.Deadline {
+			wf.DeadlineMissed = true
+		}
 		g.CompletedCount++
 		g.emit(traceWorkflowDone, -1, wf, nil)
 		return

@@ -57,6 +57,7 @@ func (g *Grid) failTaskLocal(t *TaskInstance) {
 
 // failTaskGlobal is the workflow half of a task failure.
 func (g *Grid) failTaskGlobal(t *TaskInstance, now float64) {
+	g.releaseCost(t)
 	g.FailedTasks++
 	g.emit(traceTaskFailed, -1, nil, t)
 	if t.WF.State != WorkflowActive {
@@ -174,6 +175,7 @@ func (g *Grid) handBack(t *TaskInstance, now float64) {
 		g.failTask(t, now)
 		return
 	}
+	g.releaseCost(t)
 	t.gen++
 	t.Node = -1
 	t.pendingInputs = 0

@@ -178,6 +178,19 @@ type Grid struct {
 	// DroppedSubmissions counts timed submissions (SubmitAt) whose home
 	// node was no longer alive at the arrival instant.
 	DroppedSubmissions int
+
+	// SLAFallbacks counts dispatches where a constrained (DBC) scheduler
+	// found no candidate satisfying the workflow's SLA and fell back to the
+	// best-effort pick, recording the violation instead of stalling work.
+	SLAFallbacks int
+
+	// prices is the optional per-MI cost rate of every node (economic
+	// accounting off while nil); slaAssign optionally stamps SLAs at
+	// submission; slaSeen latches once any workflow carries an SLA. See
+	// economy.go.
+	prices    []float64
+	slaAssign func(wf *WorkflowInstance) SLA
+	slaSeen   bool
 }
 
 // Node is one peer: home node for its submitted workflows and resource node

@@ -99,6 +99,12 @@ type TaskInstance struct {
 	pendingInputs int
 	gen           int // generation guard: stale events no-op after failure
 	reschedules   int // times this task was reverted by the extension
+
+	// costCommitted is the money reserved for this dispatch (load × the
+	// target node's per-MI rate), settled into workflow spend on completion
+	// or released on failure/hand-back. 0 while pricing is off or the task
+	// is undispatched. Mutated only on the global lane (economy.go).
+	costCommitted float64
 }
 
 // Task returns the static DAG task.
@@ -118,6 +124,16 @@ type WorkflowInstance struct {
 	Tasks       []*TaskInstance
 	State       WorkflowState
 	CompletedAt float64
+
+	// SLA is the workflow's resolved deadline/budget contract (zero for
+	// best-effort traffic). Spend is the money settled for completed task
+	// executions, Committed the money reserved for in-flight dispatches;
+	// DeadlineMissed is stamped at workflow completion. All economic fields
+	// are mutated only on the global lane.
+	SLA            SLA
+	Spend          float64
+	Committed      float64
+	DeadlineMissed bool
 
 	doneCount int
 
@@ -167,6 +183,9 @@ func (g *Grid) Submit(home int, w *dag.Workflow) (*WorkflowInstance, error) {
 	}
 	g.Workflows = append(g.Workflows, wf)
 	g.Nodes[home].Homed = append(g.Nodes[home].Homed, wf)
+	if g.slaAssign != nil {
+		g.SetWorkflowSLA(wf, g.slaAssign(wf))
+	}
 	g.emit(traceSubmit, home, wf, nil)
 
 	if g.algo.Planner != nil {

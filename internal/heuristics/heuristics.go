@@ -173,6 +173,38 @@ func NewSufferage() grid.Algorithm {
 	}
 }
 
+// NewDBCCost builds the deadline-constrained cost optimizer: DSMF's
+// first-phase priority order, but each task goes to the cheapest node that
+// still meets its workflow's deadline (best-effort fallback on infeasible).
+func NewDBCCost() grid.Algorithm {
+	return grid.Algorithm{
+		Label:  "DBC-cost",
+		Phase1: &core.DBCPhase1{Label: "DBC-cost", Mode: core.DBCCost, Order: core.DSMFOrder},
+		Phase2: core.DSMFPhase2{},
+	}
+}
+
+// NewDBCTime builds the budget-constrained time optimizer: the
+// finish-earliest pick restricted to nodes whose price fits the workflow's
+// remaining budget.
+func NewDBCTime() grid.Algorithm {
+	return grid.Algorithm{
+		Label:  "DBC-time",
+		Phase1: &core.DBCPhase1{Label: "DBC-time", Mode: core.DBCTime, Order: core.DSMFOrder},
+		Phase2: core.DSMFPhase2{},
+	}
+}
+
+// NewDBCCostTime builds the conservative cost-time variant: both the
+// deadline and the budget filter apply, then the cheapest survivor wins.
+func NewDBCCostTime() grid.Algorithm {
+	return grid.Algorithm{
+		Label:  "DBC-ct",
+		Phase1: &core.DBCPhase1{Label: "DBC-ct", Mode: core.DBCCostTime, Order: core.DSMFOrder},
+		Phase2: core.DSMFPhase2{},
+	}
+}
+
 // WithFCFSPhase2 swaps an algorithm's second phase for FCFS, producing the
 // "original versions using FCFS on the second-phase scheduling" the paper
 // compares against in Section IV.B.
@@ -231,6 +263,12 @@ func ByName(name string) (grid.Algorithm, error) {
 		return NewSufferage(), nil
 	case "DSDF", "dsdf":
 		return NewDSDF(), nil
+	case "DBC-cost", "dbc-cost":
+		return NewDBCCost(), nil
+	case "DBC-time", "dbc-time":
+		return NewDBCTime(), nil
+	case "DBC-ct", "dbc-ct":
+		return NewDBCCostTime(), nil
 	default:
 		return grid.Algorithm{}, fmt.Errorf("heuristics: unknown algorithm %q", name)
 	}

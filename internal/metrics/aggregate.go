@@ -78,6 +78,20 @@ type RunAggregate struct {
 	CompletionRate Estimate `json:"completion_rate"`
 	Completed      Estimate `json:"completed"`
 	Failed         Estimate `json:"failed"`
+
+	// SLA aggregates the economic metrics; nil (omitted) when no
+	// replication carried economic state, keeping pre-economy sweep
+	// artifacts byte-identical.
+	SLA *SLAAggregate `json:"sla,omitempty"`
+}
+
+// SLAAggregate summarizes the economic metrics over replications.
+type SLAAggregate struct {
+	DeadlineMissRate    Estimate `json:"deadline_miss_rate"`
+	BudgetViolationRate Estimate `json:"budget_violation_rate"`
+	TotalSpend          Estimate `json:"total_spend"`
+	SpendPerWorkflow    Estimate `json:"spend_per_workflow"`
+	Fallbacks           Estimate `json:"fallbacks"`
 }
 
 // AggregateRuns summarizes the final snapshots of replicated runs.
@@ -99,13 +113,57 @@ func AggregateRuns(finals []Snapshot, submitted []int) RunAggregate {
 			rate[i] = float64(s.Completed) / float64(submitted[i])
 		}
 	}
-	return RunAggregate{
+	agg := RunAggregate{
 		Reps:           n,
 		ACT:            EstimateOf(act),
 		AE:             EstimateOf(ae),
 		CompletionRate: EstimateOf(rate),
 		Completed:      EstimateOf(comp),
 		Failed:         EstimateOf(fail),
+	}
+	if sla := aggregateSLA(finals); sla != nil {
+		agg.SLA = sla
+	}
+	return agg
+}
+
+// aggregateSLA summarizes the economic side of replicated finals, or nil
+// when no replication carried one. A replication without SLA data (mixed
+// sets cannot arise from one spec, but partial data must not panic)
+// contributes zeros.
+func aggregateSLA(finals []Snapshot) *SLAAggregate {
+	any := false
+	for _, s := range finals {
+		if s.SLA != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	n := len(finals)
+	miss := make([]float64, n)
+	viol := make([]float64, n)
+	total := make([]float64, n)
+	per := make([]float64, n)
+	fb := make([]float64, n)
+	for i, s := range finals {
+		if s.SLA == nil {
+			continue
+		}
+		miss[i] = s.SLA.DeadlineMissRate()
+		viol[i] = s.SLA.BudgetViolationRate()
+		total[i] = s.SLA.TotalSpend
+		per[i] = s.SLA.MeanSpend
+		fb[i] = float64(s.SLA.Fallbacks)
+	}
+	return &SLAAggregate{
+		DeadlineMissRate:    EstimateOf(miss),
+		BudgetViolationRate: EstimateOf(viol),
+		TotalSpend:          EstimateOf(total),
+		SpendPerWorkflow:    EstimateOf(per),
+		Fallbacks:           EstimateOf(fb),
 	}
 }
 

@@ -27,6 +27,44 @@ type Snapshot struct {
 	MeanRSS       float64 `json:"mean_rss"`        // mean |RSS(p)| over alive nodes
 	MeanIdleKnown float64 `json:"mean_idle_known"` // mean idle entries known, Fig. 11(a)
 	AliveNodes    int     `json:"alive_nodes"`
+
+	// SLA carries the economic metrics of a priced or SLA-bearing run.
+	// Nil (and omitted from JSON) whenever the grid runs pure best-effort,
+	// so every pre-economy artifact, cache entry and golden stays
+	// byte-identical.
+	SLA *SLASnapshot `json:"sla,omitempty"`
+}
+
+// SLASnapshot is the economic side of one sample: deadline and budget
+// outcomes over completed workflows, plus the money flow. Spend counts
+// settled task executions of every workflow (completed, failed or still
+// active) — the operator's revenue view — while MeanSpend normalizes by
+// completed workflows, the user-facing cost-per-result.
+type SLASnapshot struct {
+	DeadlineWorkflows int     `json:"deadline_workflows,omitempty"` // completed workflows that carried a deadline
+	DeadlineMisses    int     `json:"deadline_misses,omitempty"`
+	BudgetWorkflows   int     `json:"budget_workflows,omitempty"` // completed workflows that carried a budget
+	BudgetViolations  int     `json:"budget_violations,omitempty"`
+	Fallbacks         int     `json:"fallbacks,omitempty"` // constrained dispatches degraded to best-effort
+	TotalSpend        float64 `json:"total_spend,omitempty"`
+	MeanSpend         float64 `json:"mean_spend,omitempty"` // spend per completed workflow
+}
+
+// DeadlineMissRate returns misses / deadline-carrying completions (0 when
+// none completed).
+func (s *SLASnapshot) DeadlineMissRate() float64 {
+	if s == nil || s.DeadlineWorkflows == 0 {
+		return 0
+	}
+	return float64(s.DeadlineMisses) / float64(s.DeadlineWorkflows)
+}
+
+// BudgetViolationRate returns violations / budget-carrying completions.
+func (s *SLASnapshot) BudgetViolationRate() float64 {
+	if s == nil || s.BudgetWorkflows == 0 {
+		return 0
+	}
+	return float64(s.BudgetViolations) / float64(s.BudgetWorkflows)
 }
 
 // Collector accumulates periodic snapshots of one grid.
@@ -58,6 +96,9 @@ func Sample(g *grid.Grid, now float64) Snapshot {
 	s.Completed = len(cts)
 	s.ACT = stats.Mean(cts)
 	s.AE = stats.Mean(effs)
+	if g.EconomyActive() {
+		s.SLA = sampleSLA(g)
+	}
 
 	var rssSizes, idles []float64
 	for _, nd := range g.Nodes {
@@ -71,6 +112,39 @@ func Sample(g *grid.Grid, now float64) Snapshot {
 	s.MeanRSS = stats.Mean(rssSizes)
 	s.MeanIdleKnown = stats.Mean(idles)
 	return s
+}
+
+// sampleSLA computes the economic half of a snapshot. SLA outcomes are
+// judged over completed workflows — an unfinished workflow has neither met
+// nor missed its contract — while spend totals every settled execution.
+func sampleSLA(g *grid.Grid) *SLASnapshot {
+	sla := &SLASnapshot{Fallbacks: g.SLAFallbacks}
+	var spent float64
+	completed := 0
+	for _, wf := range g.Workflows {
+		spent += wf.Spend
+		if wf.State != grid.WorkflowCompleted {
+			continue
+		}
+		completed++
+		if wf.SLA.Deadline > 0 {
+			sla.DeadlineWorkflows++
+			if wf.DeadlineMissed {
+				sla.DeadlineMisses++
+			}
+		}
+		if wf.SLA.Budget > 0 {
+			sla.BudgetWorkflows++
+			if wf.Spend > wf.SLA.Budget {
+				sla.BudgetViolations++
+			}
+		}
+	}
+	sla.TotalSpend = spent
+	if completed > 0 {
+		sla.MeanSpend = spent / float64(completed)
+	}
+	return sla
 }
 
 // Final returns the last snapshot, or a zero snapshot if none were taken.

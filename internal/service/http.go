@@ -192,6 +192,19 @@ func writeProm(w http.ResponseWriter, m MetricsResponse) {
 	gauge("p2pgrid_ae", "Application efficiency.", m.Snapshot.AE)
 	gauge("p2pgrid_nodes_alive", "Alive nodes.", float64(m.Snapshot.AliveNodes))
 	gauge("p2pgrid_draining", "1 while a drain is in progress.", boolTo01(m.Draining))
+	// Economic series: always exposed (zero on an unpriced, contract-free
+	// daemon) so dashboards and alerts never see a metric appear mid-run.
+	var misses, violations, fallbacks, spend float64
+	if sla := m.Snapshot.SLA; sla != nil {
+		misses = float64(sla.DeadlineMisses)
+		violations = float64(sla.BudgetViolations)
+		fallbacks = float64(sla.Fallbacks)
+		spend = sla.TotalSpend
+	}
+	counter("p2pgrid_deadline_misses_total", "Completed workflows that missed their SLA deadline.", misses)
+	counter("p2pgrid_budget_violations_total", "Completed workflows whose spend exceeded their SLA budget.", violations)
+	counter("p2pgrid_sla_fallbacks_total", "Constrained dispatches degraded to best-effort (no feasible node).", fallbacks)
+	counter("p2pgrid_spend_total", "Total settled spend across all workflows.", spend)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte(b.String())) //nolint:errcheck

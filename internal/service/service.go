@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/dag"
+	"repro/internal/economy"
 	"repro/internal/experiments"
 	"repro/internal/grid"
 	"repro/internal/heuristics"
@@ -96,6 +97,11 @@ type Config struct {
 	// DrainHorizonSeconds caps how much virtual time Drain may burn
 	// waiting for in-flight workflows (default 90 virtual days).
 	DrainHorizonSeconds float64
+	// Price prices the grid's nodes (capacity-proportional per-MI rates,
+	// see economy.PriceSpec). The zero value runs unpriced; submissions
+	// carrying budgets are then rejected, since budgets are denominated in
+	// the pricing model's currency.
+	Price economy.PriceSpec
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +172,20 @@ func New(cfg Config) (*Service, error) {
 	g, err := grid.New(eng, grid.Config{Net: net, Seed: cfg.Seed}, algo)
 	if err != nil {
 		return nil, fmt.Errorf("service: grid: %w", err)
+	}
+	if err := cfg.Price.Validate(); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	if cfg.Price.Enabled() {
+		caps := make([]float64, len(g.Nodes))
+		for i := range g.Nodes {
+			caps[i] = g.Nodes[i].Capacity
+		}
+		// Same seed split as the batch experiments, so a daemon and a batch
+		// run at one seed price their nodes identically.
+		if err := g.SetPrices(cfg.Price.Rates(caps, stats.SplitSeed(cfg.Seed, 0x5C))); err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
 	}
 	s := &Service{cfg: cfg, algo: algo, eng: eng, g: g, chunk: g.Cfg.SchedulingInterval}
 	if s.chunk <= 0 {
@@ -252,6 +272,9 @@ func (s *Service) Submit(req wire.SubmitRequest) (wire.SubmitResponse, error) {
 		s.rejected++
 		return wire.SubmitResponse{}, ErrOverloaded
 	}
+	if err := validateSLARequest(req, s.g.PricingEnabled()); err != nil {
+		return wire.SubmitResponse{}, err
+	}
 	id := len(s.g.Workflows)
 	w, err := s.buildWorkflow(req, id)
 	if err != nil {
@@ -265,6 +288,16 @@ func (s *Service) Submit(req wire.SubmitRequest) (wire.SubmitResponse, error) {
 	if err != nil {
 		return wire.SubmitResponse{}, err
 	}
+	if req.DeadlineSeconds != nil || req.Budget != nil {
+		var sla grid.SLA
+		if req.DeadlineSeconds != nil {
+			sla.Deadline = wf.SubmittedAt + *req.DeadlineSeconds
+		}
+		if req.Budget != nil {
+			sla.Budget = *req.Budget
+		}
+		s.g.SetWorkflowSLA(wf, sla)
+	}
 	s.admitted++
 	return wire.SubmitResponse{
 		ID:          wf.Seq,
@@ -272,7 +305,27 @@ func (s *Service) Submit(req wire.SubmitRequest) (wire.SubmitResponse, error) {
 		Home:        home,
 		SubmittedAt: wf.SubmittedAt,
 		Tasks:       realTaskCount(w),
+		Deadline:    wf.SLA.Deadline,
+		Budget:      wf.SLA.Budget,
 	}, nil
+}
+
+// validateSLARequest rejects malformed SLA fields before any state moves:
+// non-positive bounds are always a mistake, and a budget without pricing
+// could never be debited against.
+func validateSLARequest(req wire.SubmitRequest, priced bool) error {
+	if req.DeadlineSeconds != nil && *req.DeadlineSeconds <= 0 {
+		return fmt.Errorf("service: deadline_seconds must be positive, got %v", *req.DeadlineSeconds)
+	}
+	if req.Budget != nil {
+		if *req.Budget <= 0 {
+			return fmt.Errorf("service: budget must be positive, got %v", *req.Budget)
+		}
+		if !priced {
+			return fmt.Errorf("service: budget needs pricing: run the daemon with -price RATE[:SPREAD]")
+		}
+	}
+	return nil
 }
 
 // buildWorkflow resolves a submission body into a DAG.
@@ -375,6 +428,15 @@ func (s *Service) Status(id int) (wire.WorkflowStatus, error) {
 		st.ACTSeconds = wf.CompletedAt - wf.SubmittedAt
 	} else {
 		st.ACTSeconds = now - wf.SubmittedAt
+	}
+	if wf.SLA.Enabled() || s.g.PricingEnabled() {
+		st.SLA = &wire.WorkflowSLA{
+			Deadline:       wf.SLA.Deadline,
+			Budget:         wf.SLA.Budget,
+			Spend:          wf.Spend,
+			DeadlineMissed: wf.DeadlineMissed,
+			BudgetExceeded: wf.SLA.Budget > 0 && wf.Spend > wf.SLA.Budget,
+		}
 	}
 	for _, t := range wf.Tasks {
 		task := t.Task()

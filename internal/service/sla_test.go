@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/economy"
+)
+
+func f64(v float64) *float64 { return &v }
+
+// TestSubmitWithSLA drives a priced daemon through a full contract round
+// trip: the submit response echoes the resolved deadline and budget, the
+// status report carries the economic block, and spend accrues as tasks
+// settle.
+func TestSubmitWithSLA(t *testing.T) {
+	s := newTiny(t, func(c *Config) { c.Price = economy.PriceSpec{BaseRate: 1, Spread: 0.25} })
+	resp, err := s.Submit(SubmitRequest{
+		Name:            "sla-wf",
+		DeadlineSeconds: f64(48 * 3600),
+		Budget:          f64(1e12), // loose: the workflow must not bust it
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if resp.Deadline != resp.SubmittedAt+48*3600 {
+		t.Fatalf("deadline %v, want submit+48h (%v)", resp.Deadline, resp.SubmittedAt+48*3600)
+	}
+	if resp.Budget != 1e12 {
+		t.Fatalf("budget %v, want 1e12", resp.Budget)
+	}
+	if _, err := s.AdvanceTo(24 * 3600); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	st, err := s.Status(resp.ID)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.State != "completed" {
+		t.Fatalf("state %q, want completed", st.State)
+	}
+	if st.SLA == nil {
+		t.Fatal("completed contract workflow has no SLA block")
+	}
+	if st.SLA.Spend <= 0 {
+		t.Fatalf("spend %v, want > 0 on a priced grid", st.SLA.Spend)
+	}
+	if st.SLA.DeadlineMissed {
+		t.Fatal("48h deadline missed by a workflow that finished within 24h")
+	}
+	if st.SLA.BudgetExceeded {
+		t.Fatalf("budget 1e12 exceeded with spend %v", st.SLA.Spend)
+	}
+	snap := s.Snapshot()
+	if snap.Snapshot.SLA == nil {
+		t.Fatal("metrics snapshot of an economy-active daemon has no sla block")
+	}
+	if snap.Snapshot.SLA.TotalSpend != st.SLA.Spend {
+		t.Fatalf("snapshot spend %v != workflow spend %v", snap.Snapshot.SLA.TotalSpend, st.SLA.Spend)
+	}
+}
+
+// TestSubmitSLAValidation covers the request-level error paths: bad
+// bounds, and budgets on an unpriced daemon.
+func TestSubmitSLAValidation(t *testing.T) {
+	unpriced := newTiny(t, nil)
+	if _, err := unpriced.Submit(SubmitRequest{Budget: f64(10)}); err == nil || !strings.Contains(err.Error(), "pricing") {
+		t.Fatalf("budget on an unpriced daemon: err %v, want pricing error", err)
+	}
+	if _, err := unpriced.Submit(SubmitRequest{DeadlineSeconds: f64(-1)}); err == nil || !strings.Contains(err.Error(), "deadline_seconds") {
+		t.Fatalf("negative deadline: err %v, want deadline error", err)
+	}
+	priced := newTiny(t, func(c *Config) { c.Price = economy.PriceSpec{BaseRate: 1} })
+	if _, err := priced.Submit(SubmitRequest{Budget: f64(0)}); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("zero budget: err %v, want budget error", err)
+	}
+	// A plain submission on a priced daemon is fine and gets an SLA block
+	// (spend is tracked even without a contract).
+	resp, err := priced.Submit(SubmitRequest{})
+	if err != nil {
+		t.Fatalf("plain submit on priced daemon: %v", err)
+	}
+	st, err := priced.Status(resp.ID)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.SLA == nil {
+		t.Fatal("priced daemon status has no SLA block")
+	}
+	if st.SLA.Deadline != 0 || st.SLA.Budget != 0 {
+		t.Fatalf("contract-free workflow has deadline %v budget %v", st.SLA.Deadline, st.SLA.Budget)
+	}
+}
+
+// TestStatusSLAOmittedWhenInactive pins the digest-stability contract: on
+// an unpriced, contract-free daemon the status body must not mention SLA
+// at all (the omitempty pointer keeps pre-economy bodies byte-identical).
+func TestStatusSLAOmittedWhenInactive(t *testing.T) {
+	s := newTiny(t, nil)
+	if _, err := s.Submit(SubmitRequest{}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st, err := s.Status(0)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "sla") {
+		t.Fatalf("inactive economy leaked into status JSON: %s", b)
+	}
+}
+
+// TestPromSLACounters checks the Prometheus exposition always carries the
+// economic series — zero on an inactive daemon, live values once contracts
+// and prices exist.
+func TestPromSLACounters(t *testing.T) {
+	s := newTiny(t, func(c *Config) { c.Price = economy.PriceSpec{BaseRate: 1} })
+	h := Handler(s)
+	scrape := func() string {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		return rec.Body.String()
+	}
+	body := scrape()
+	for _, name := range []string{
+		"p2pgrid_deadline_misses_total",
+		"p2pgrid_budget_violations_total",
+		"p2pgrid_sla_fallbacks_total",
+		"p2pgrid_spend_total",
+	} {
+		if !strings.Contains(body, name+" 0") {
+			t.Errorf("fresh scrape missing zero series %s:\n%s", name, body)
+		}
+	}
+	if _, err := s.Submit(SubmitRequest{DeadlineSeconds: f64(3600)}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := s.AdvanceTo(24 * 3600); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	body = scrape()
+	if !strings.Contains(body, "p2pgrid_spend_total") || strings.Contains(body, "p2pgrid_spend_total 0\n") {
+		t.Errorf("spend counter did not move after a priced completion:\n%s", body)
+	}
+}
+
+// TestPacedSoak is the wall-clock soak harness: a -pace daemon must carry
+// admitted workflows from submission to completion on its own, within a
+// wall-clock latency bound, with nobody driving the clock.
+func TestPacedSoak(t *testing.T) {
+	// 200k virtual seconds per wall second: a tiny-scale workflow (hours
+	// of virtual time) resolves in well under a wall second per tick
+	// budget.
+	s := newTiny(t, func(c *Config) { c.Pace = 200000 })
+	rep, err := RunPacedSoak(s, PacedSoakConfig{
+		N:            3,
+		IntervalWall: 20 * time.Millisecond,
+		Seed:         11,
+		Timeout:      30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("RunPacedSoak: %v", err)
+	}
+	if rep.Admitted != 3 || rep.Completed != 3 {
+		t.Fatalf("admitted %d completed %d failed %d, want 3/3/0", rep.Admitted, rep.Completed, rep.Failed)
+	}
+	const bound = 25 * time.Second
+	if rep.MaxLatency <= 0 || rep.MaxLatency > bound {
+		t.Fatalf("max admission-to-completion wall latency %v outside (0, %v]", rep.MaxLatency, bound)
+	}
+	for i, l := range rep.Latencies {
+		if l <= 0 {
+			t.Errorf("workflow %d: non-positive latency %v", i, l)
+		}
+	}
+}
+
+// TestPacedSoakNeedsWallClock pins the mode split: the paced soak refuses
+// virtual-clock services, mirroring RunSoak's refusal of paced ones.
+func TestPacedSoakNeedsWallClock(t *testing.T) {
+	s := newTiny(t, nil)
+	if _, err := RunPacedSoak(s, PacedSoakConfig{N: 1}); err == nil || !strings.Contains(err.Error(), "wall clock") {
+		t.Fatalf("paced soak on a virtual clock: err %v, want wall-clock error", err)
+	}
+}

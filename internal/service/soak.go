@@ -5,7 +5,9 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"time"
 
+	"repro/internal/grid"
 	"repro/internal/stats"
 	"repro/internal/workload/arrival"
 )
@@ -89,6 +91,133 @@ func RunSoak(s *Service, cfg SoakConfig) (SoakReport, error) {
 		return rep, err
 	}
 	rep.Digest = digest
+	return rep, nil
+}
+
+// PacedSoakConfig drives RunPacedSoak: the wall-clock counterpart of
+// RunSoak, aimed at a -pace daemon whose clock advances on its own. Where
+// the virtual soak asserts byte-identity, the paced soak asserts liveness:
+// submissions admitted through the public surface must complete within a
+// wall-clock bound without anyone calling AdvanceTo.
+type PacedSoakConfig struct {
+	// N is the number of workflows to submit.
+	N int
+	// IntervalWall spaces submissions in wall time (0: back to back).
+	IntervalWall time.Duration
+	// Seed drives the generated workflows.
+	Seed int64
+	// Timeout bounds the whole soak in wall time (default 30 s): if any
+	// admitted workflow is still unfinished when it expires, the soak
+	// fails.
+	Timeout time.Duration
+	// Poll is the status-poll period (default 10 ms).
+	Poll time.Duration
+}
+
+// PacedSoakReport summarizes a paced soak: admission counts and the wall
+// admission-to-completion latency of every admitted workflow.
+type PacedSoakReport struct {
+	Submitted int
+	Admitted  int
+	Rejected  int
+	Completed int
+	Failed    int
+	// Latencies has one wall-clock admission-to-completion duration per
+	// admitted workflow, in submission order.
+	Latencies []time.Duration
+	// MaxLatency is the largest entry of Latencies (0 when none).
+	MaxLatency time.Duration
+}
+
+// RunPacedSoak submits cfg.N generated workflows to a wall-clock (-pace)
+// service and polls their status until every admitted workflow resolves,
+// measuring end-to-end wall latency through the same public surface HTTP
+// requests use. Wall-clock services only — on a virtual clock nothing
+// would ever finish without explicit advances, and RunSoak covers that
+// mode.
+func RunPacedSoak(s *Service, cfg PacedSoakConfig) (PacedSoakReport, error) {
+	if s.cfg.Pace <= 0 {
+		return PacedSoakReport{}, fmt.Errorf("service: paced soak needs a wall clock (-pace > 0); use RunSoak for virtual-clock services")
+	}
+	if cfg.N <= 0 {
+		return PacedSoakReport{}, fmt.Errorf("service: paced soak needs N > 0")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 10 * time.Millisecond
+	}
+	deadline := time.Now().Add(cfg.Timeout)
+	rep := PacedSoakReport{}
+	type inflight struct {
+		id        int
+		admitted  time.Time
+		resolved  bool
+		latency   time.Duration
+		completed bool
+	}
+	var flights []*inflight
+	for i := 0; i < cfg.N; i++ {
+		if i > 0 && cfg.IntervalWall > 0 {
+			time.Sleep(cfg.IntervalWall)
+		}
+		rep.Submitted++
+		resp, err := s.Submit(SubmitRequest{
+			Name: fmt.Sprintf("paced/%d", i),
+			Gen:  &GenRequest{Seed: stats.ChainSeed(cfg.Seed, 0x50AC, uint64(i))},
+		})
+		switch err {
+		case nil:
+			rep.Admitted++
+			flights = append(flights, &inflight{id: resp.ID, admitted: time.Now()})
+		case ErrOverloaded:
+			rep.Rejected++
+		default:
+			return rep, err
+		}
+	}
+	for {
+		pending := 0
+		for _, f := range flights {
+			if f.resolved {
+				continue
+			}
+			st, err := s.Status(f.id)
+			if err != nil {
+				return rep, err
+			}
+			switch st.State {
+			case grid.WorkflowCompleted.String():
+				f.resolved, f.completed = true, true
+				f.latency = time.Since(f.admitted)
+			case grid.WorkflowFailed.String():
+				f.resolved = true
+				f.latency = time.Since(f.admitted)
+			default:
+				pending++
+			}
+		}
+		if pending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return rep, fmt.Errorf("service: paced soak timed out after %v with %d of %d workflows unfinished",
+				cfg.Timeout, pending, rep.Admitted)
+		}
+		time.Sleep(cfg.Poll)
+	}
+	for _, f := range flights {
+		rep.Latencies = append(rep.Latencies, f.latency)
+		if f.latency > rep.MaxLatency {
+			rep.MaxLatency = f.latency
+		}
+		if f.completed {
+			rep.Completed++
+		} else {
+			rep.Failed++
+		}
+	}
 	return rep, nil
 }
 

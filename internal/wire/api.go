@@ -29,6 +29,14 @@ type SubmitRequest struct {
 	// Home pins the submission to a node id (default: a deterministic
 	// rotation over alive nodes).
 	Home *int `json:"home,omitempty"`
+	// DeadlineSeconds attaches an SLA deadline this many virtual seconds
+	// after the submission instant (> 0). The DBC algorithms schedule
+	// against it; everything else is merely measured against it.
+	DeadlineSeconds *float64 `json:"deadline_seconds,omitempty"`
+	// Budget attaches a currency budget (> 0). Needs the daemon to run
+	// with pricing on (-price), or the submission is rejected: budgets are
+	// denominated in the pricing model's currency.
+	Budget *float64 `json:"budget,omitempty"`
 }
 
 // GenRequest parameterizes a generated workflow.
@@ -42,13 +50,17 @@ type TraceRequest struct {
 	Procs          int     `json:"procs"`
 }
 
-// SubmitResponse acknowledges an admitted workflow.
+// SubmitResponse acknowledges an admitted workflow. Deadline and Budget
+// echo the resolved SLA (absolute virtual deadline instant, currency
+// budget); both are omitted for plain best-effort submissions.
 type SubmitResponse struct {
 	ID          int     `json:"id"`
 	Name        string  `json:"name"`
 	Home        int     `json:"home"`
 	SubmittedAt float64 `json:"submitted_at"`
 	Tasks       int     `json:"tasks"`
+	Deadline    float64 `json:"deadline,omitempty"`
+	Budget      float64 `json:"budget,omitempty"`
 }
 
 // WorkflowStatus is the body of GET /v1/workflows/{id}.
@@ -62,10 +74,26 @@ type WorkflowStatus struct {
 	// Placed counts tasks phase 1 has dispatched to a node; Done counts
 	// finished tasks; ACTSeconds is the completion time so far (running
 	// workflows) or final (completed ones).
-	Placed     int          `json:"placed"`
-	Done       int          `json:"done"`
-	ACTSeconds float64      `json:"act_seconds"`
-	Tasks      []TaskStatus `json:"tasks,omitempty"`
+	Placed     int     `json:"placed"`
+	Done       int     `json:"done"`
+	ACTSeconds float64 `json:"act_seconds"`
+	// SLA reports the workflow's economic outcome; nil (omitted) when the
+	// workflow carries no contract and the daemon runs unpriced, keeping
+	// pre-economy status bodies (and soak digests) byte-identical.
+	SLA   *WorkflowSLA `json:"sla,omitempty"`
+	Tasks []TaskStatus `json:"tasks,omitempty"`
+}
+
+// WorkflowSLA is the economic block of WorkflowStatus: the contract
+// (absolute deadline instant, currency budget), the money spent so far,
+// and the outcome flags. DeadlineMissed is stamped at workflow completion;
+// BudgetExceeded goes true the moment settled spend passes the budget.
+type WorkflowSLA struct {
+	Deadline       float64 `json:"deadline,omitempty"`
+	Budget         float64 `json:"budget,omitempty"`
+	Spend          float64 `json:"spend,omitempty"`
+	DeadlineMissed bool    `json:"deadline_missed,omitempty"`
+	BudgetExceeded bool    `json:"budget_exceeded,omitempty"`
 }
 
 // TaskStatus is one real (non-virtual) task inside WorkflowStatus.

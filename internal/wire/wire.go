@@ -74,6 +74,7 @@ type SweepCell struct {
 	Churn      float64 `json:"churn"`
 	CCR        string  `json:"ccr,omitempty"`
 	Arrival    string  `json:"arrival,omitempty"`
+	SLA        string  `json:"sla,omitempty"`
 	Algo       string  `json:"algo"`
 	// Reps is the cell's own replication count when it differs from the
 	// sweep's top-level reps — the ragged output of per-cell adaptive
