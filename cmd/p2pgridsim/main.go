@@ -119,6 +119,8 @@ import (
 	"repro/internal/economy"
 	"repro/internal/experiments"
 	"repro/internal/experiments/executor"
+	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/workload/arrival"
 	"repro/internal/workload/loadspec"
 	"repro/internal/workload/traces"
@@ -167,6 +169,13 @@ type options struct {
 	serve       string  // run the scheduler daemon on this address instead of an experiment
 	pace        float64 // -serve wall-clock pacing (virtual s per wall s; 0 = virtual clock)
 	maxInFlight int     // -serve admission bound on unfinished workflows
+
+	traceOut  string // write the single run's Chrome trace-event JSON here
+	gantt     bool   // print an ASCII Gantt chart after -experiment single
+	obs       bool   // collect per-cell latency histograms in the sweep JSON
+	logLevel  string // structured log level for -serve/-worker/-coordinate
+	logFormat string // structured log format (text|json)
+	pprofOn   bool   // expose /debug/pprof on the -serve daemon
 
 	stdout, stderr io.Writer
 }
@@ -241,6 +250,12 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		arts    = fs.String("artifacts", "", "directory for CSV/DAT/gnuplot artifacts (series experiments, sweep)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		tout    = fs.String("trace-out", "", "write the run's span timeline as Chrome trace-event JSON to this file (-experiment single; load it in Perfetto or chrome://tracing)")
+		gantt   = fs.Bool("gantt", false, "print an ASCII Gantt chart of per-node activity after -experiment single")
+		obsF    = fs.Bool("obs", false, "collect virtual-time latency histograms per sweep cell and embed distribution summaries in the sweep JSON (plain single-host sweeps; not -shard/-merge/-coordinate/-precision/-cache)")
+		logLvl  = fs.String("log-level", "", "structured log level for -serve/-worker/-coordinate: debug|info|warn|error (default info)")
+		logFmt  = fs.String("log-format", "", "structured log format for -serve/-worker/-coordinate: text|json (default text)")
+		pprofF  = fs.Bool("pprof", false, "expose /debug/pprof profiling handlers on the -serve daemon (off: those paths 404)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -275,10 +290,13 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		// Worker mode reads everything (spec, scale, reps, TTL) from the
 		// work directory; an experiment flag alongside -worker would be
 		// silently discarded, so reject the combination loudly.
-		allowed := map[string]bool{"worker": true, "sleep-per-job": true, "cache": true}
+		allowed := map[string]bool{
+			"worker": true, "sleep-per-job": true, "cache": true,
+			"log-level": true, "log-format": true,
+		}
 		for _, f := range setFlags {
 			if !allowed[f] {
-				fmt.Fprintf(stderr, "p2pgridsim: -%s does not combine with -worker (workers take their entire configuration from the work directory; only -cache and -sleep-per-job apply)\n", f)
+				fmt.Fprintf(stderr, "p2pgridsim: -%s does not combine with -worker (workers take their entire configuration from the work directory; only -cache, -sleep-per-job and -log-level/-log-format apply)\n", f)
 				return 2
 			}
 		}
@@ -302,11 +320,12 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		allowed := map[string]bool{
 			"serve": true, "pace": true, "max-inflight": true,
 			"scale": true, "algo": true, "seed": true, "shards": true,
-			"price": true,
+			"price":     true,
+			"log-level": true, "log-format": true, "pprof": true,
 		}
 		for _, f := range setFlags {
 			if !allowed[f] {
-				fmt.Fprintf(stderr, "p2pgridsim: -%s does not combine with -serve (the daemon takes -scale, -algo, -seed, -shards, -pace, -max-inflight, -price; workloads arrive over the HTTP API)\n", f)
+				fmt.Fprintf(stderr, "p2pgridsim: -%s does not combine with -serve (the daemon takes -scale, -algo, -seed, -shards, -pace, -max-inflight, -price, -log-level, -log-format, -pprof; workloads arrive over the HTTP API)\n", f)
 				return 2
 			}
 		}
@@ -332,6 +351,29 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if *reps < 1 {
 		fmt.Fprintf(stderr, "p2pgridsim: -reps must be at least 1, got %d\n", *reps)
+		return 2
+	}
+	if (*tout != "" || *gantt) && (*name != "single" || *serve != "" || *work != "") {
+		fmt.Fprintln(stderr, "p2pgridsim: -trace-out and -gantt only apply to -experiment single (the daemon serves spans via GET /v1/workflows/{id}/trace)")
+		return 2
+	}
+	if *obsF && *name != "sweep" {
+		fmt.Fprintln(stderr, "p2pgridsim: -obs only applies to -experiment sweep")
+		return 2
+	}
+	if *logLvl != "" || *logFmt != "" {
+		if *serve == "" && *work == "" && *coord == "" {
+			fmt.Fprintln(stderr, "p2pgridsim: -log-level and -log-format only apply to -serve, -worker and -coordinate")
+			return 2
+		}
+		// Validate eagerly so a typo fails before any work starts.
+		if _, err := obs.NewLogger(io.Discard, *logLvl, *logFmt); err != nil {
+			fmt.Fprintln(stderr, "p2pgridsim:", err)
+			return 2
+		}
+	}
+	if *pprofF && *serve == "" {
+		fmt.Fprintln(stderr, "p2pgridsim: -pprof only applies to -serve")
 		return 2
 	}
 
@@ -371,6 +413,12 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		serve:       *serve,
 		pace:        *pace,
 		maxInFlight: *maxInf,
+		traceOut:    *tout,
+		gantt:       *gantt,
+		obs:         *obsF,
+		logLevel:    *logLvl,
+		logFormat:   *logFmt,
+		pprofOn:     *pprofF,
 		stdout:      stdout,
 		stderr:      stderr,
 	}
@@ -511,6 +559,14 @@ func dispatch(o options, name string) error {
 			return err
 		}
 		setting.Shards = o.shards
+		var tb *trace.Buffer
+		if o.traceOut != "" || o.gantt {
+			// Ring buffer: a small-scale run emits a few hundred thousand
+			// lifecycle events at most; if a paper-scale run overflows the
+			// ring, the oldest spans drop and the export simply starts later.
+			tb = trace.NewBuffer(1 << 18)
+			setting.Tracer = tb
+		}
 		res, err := experiments.SingleRunWith(setting, o.algo)
 		if err != nil {
 			return err
@@ -527,6 +583,20 @@ func dispatch(o options, name string) error {
 				sla.DeadlineMisses, sla.DeadlineWorkflows,
 				sla.BudgetViolations, sla.BudgetWorkflows,
 				sla.Fallbacks, sla.TotalSpend, sla.MeanSpend)
+		}
+		if o.gantt {
+			fmt.Fprintln(stdout, tb.Gantt(0, o.scale.HorizonHours*3600, 100))
+		}
+		if o.traceOut != "" {
+			doc := obs.BuildChromeTrace(tb.Events())
+			data, err := doc.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(o.traceOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(o.stderr, "wrote %s (%d trace events; load it in Perfetto or chrome://tracing)\n", o.traceOut, len(doc.TraceEvents))
 		}
 	case "fig3":
 		fmt.Fprintln(stdout, experiments.Fig3Report())
@@ -691,6 +761,12 @@ func runSweep(o options) error {
 			return fmt.Errorf("-coordinate does not combine with -precision (work units are fixed-replication cells)")
 		}
 	}
+	if o.obs && (o.shard != "" || o.coordinate != "" || o.precision > 0 || o.cacheDir != "") {
+		// Shard partials, the cell cache and the work directory all carry
+		// schemas that predate distribution blocks; restoring from them
+		// would yield partial summaries, so keep -obs to the plain path.
+		return fmt.Errorf("-obs only applies to plain single-host sweeps (not -shard, -coordinate, -precision or -cache)")
+	}
 	spec, err := sweepSpecFromAxes(o.axes, o.scale, o.seed, o.reps, o.maxLF)
 	if err != nil {
 		return err
@@ -731,6 +807,7 @@ func runSweep(o options) error {
 	}
 	opts := experiments.RunOptions{
 		Shards: o.shards,
+		Obs:    o.obs,
 		Progress: func(done, total int) {
 			if done == total || done*10/total > (done-1)*10/total {
 				fmt.Fprintf(o.stderr, "sweep: %d/%d runs (%d%%)\n", done, total, done*100/total)
@@ -766,11 +843,20 @@ func runSweep(o options) error {
 		return writeOutput(o, data)
 	}
 	if o.coordinate != "" {
-		res, stats, err := experiments.CoordinateSweep(o.coordinate, spec, o.leaseTTL, experiments.WorkerOptions{
+		wopts := experiments.WorkerOptions{
 			Cache:       opts.Cache,
 			SleepPerJob: o.sleepPerJob,
 			Log:         o.stderr,
-		})
+			Status:      o.stderr, // live straggler reports while waiting on other workers
+		}
+		if o.logLevel != "" || o.logFormat != "" {
+			logger, err := obs.NewLogger(o.stderr, o.logLevel, o.logFormat)
+			if err != nil {
+				return err
+			}
+			wopts.Logger = logger
+		}
+		res, stats, err := experiments.CoordinateSweep(o.coordinate, spec, o.leaseTTL, wopts)
 		if err != nil {
 			return err
 		}
@@ -822,6 +908,13 @@ func runWorker(o options) error {
 	var wopts experiments.WorkerOptions
 	wopts.SleepPerJob = o.sleepPerJob
 	wopts.Log = o.stderr
+	if o.logLevel != "" || o.logFormat != "" {
+		logger, err := obs.NewLogger(o.stderr, o.logLevel, o.logFormat)
+		if err != nil {
+			return err
+		}
+		wopts.Logger = logger
+	}
 	if o.cacheDir != "" {
 		if err := os.MkdirAll(o.cacheDir, 0o755); err != nil {
 			return err

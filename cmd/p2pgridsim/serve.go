@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/economy"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/wire"
 )
@@ -27,6 +29,10 @@ func runServe(o options) error {
 	if err != nil {
 		return err
 	}
+	logger, err := obs.NewLogger(o.stderr, o.logLevel, o.logFormat)
+	if err != nil {
+		return err
+	}
 	svc, err := service.New(service.Config{
 		Scale:       o.scale,
 		Algo:        o.algo,
@@ -35,6 +41,7 @@ func runServe(o options) error {
 		MaxInFlight: o.maxInFlight,
 		Pace:        o.pace,
 		Price:       price,
+		Log:         logger,
 	})
 	if err != nil {
 		return err
@@ -45,7 +52,21 @@ func runServe(o options) error {
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	srv := &http.Server{Handler: service.Handler(svc)}
+	handler := service.Handler(svc)
+	if o.pprofOn {
+		// Explicit mounts on an outer mux, not net/http/pprof's package
+		// init on http.DefaultServeMux: with -pprof off the daemon must
+		// 404 these paths, not quietly expose them.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
 	fmt.Fprintf(o.stderr, "p2pgridsim: serving %s on %s (%s clock, %s scale, %s, max %d in flight)\n",
 		wire.APIV1, ln.Addr(), svc.Clock(), o.scale.Name, o.algo, o.maxInFlight)
 

@@ -56,6 +56,7 @@ func (s *DBCPhase1) Schedule(g *grid.Grid, home *grid.Node, now float64) {
 	}
 	s.candBuf = AppendCandidates(g, home, s.candBuf)
 	cands := s.candBuf
+	g.ObservePhase1Candidates(len(cands))
 	if len(cands) == 0 {
 		return
 	}

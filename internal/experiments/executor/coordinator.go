@@ -31,6 +31,7 @@ import (
 //	DIR/leases/          one lease file per in-flight unit (lease.go)
 //	DIR/results/         one result file per completed unit
 //	DIR/steals/          one marker per successful steal (observability)
+//	DIR/heartbeats/      one progress record per worker (heartbeat.go)
 //
 // Results are written first-wins with atomic renames; the coordinator
 // assumes unit results are deterministic (every worker computes identical
@@ -77,7 +78,7 @@ func InitWorkDir(dir string, units int, ttl time.Duration, meta json.RawMessage)
 	if ttl <= 0 {
 		ttl = DefaultLeaseTTL
 	}
-	for _, sub := range []string{"", "leases", "results", "steals"} {
+	for _, sub := range []string{"", "leases", "results", "steals", "heartbeats"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, err
 		}
@@ -335,6 +336,15 @@ type DrainStats struct {
 // error aborts the drain (the claimed lease is released so another worker
 // can pick the unit up immediately).
 func (c *Coordinator) Drain(owner string, run func(unit int, l *Lease) ([]byte, error)) (DrainStats, error) {
+	return c.DrainWithStatus(owner, run, nil)
+}
+
+// DrainWithStatus is Drain with a live status hook: onIdle receives a
+// fresh Status snapshot on every idle poll — the moments when every
+// remaining unit is leased to somebody else, which is exactly when
+// stragglers are the thing to watch. The hook runs on the drain
+// goroutine, so a slow hook slows only this worker's polling.
+func (c *Coordinator) DrainWithStatus(owner string, run func(unit int, l *Lease) ([]byte, error), onIdle func(WorkStatus)) (DrainStats, error) {
 	var st DrainStats
 	poll := c.TTL / 4
 	if poll < 50*time.Millisecond {
@@ -351,6 +361,9 @@ func (c *Coordinator) Drain(owner string, run func(unit int, l *Lease) ([]byte, 
 		if !ok {
 			if c.Done() == c.Units {
 				return st, nil
+			}
+			if onIdle != nil {
+				onIdle(c.Status())
 			}
 			time.Sleep(poll)
 			continue

@@ -1,0 +1,178 @@
+package executor
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the heartbeat ledger of the work-stealing coordinator: one
+// advisory progress file per worker under DIR/heartbeats/, rewritten
+// atomically (temp + rename, like leases) after every replication the
+// worker finishes. Leases answer "is the owner alive?" — their mtime is
+// the liveness signal that gates stealing — while heartbeats answer "what
+// is it doing and how far along is it?", which is what a coordinator
+// waiting on stragglers wants to print. The ledger is strictly
+// observational: nothing in the claim/steal/complete protocol reads it,
+// a missing or stale heartbeat changes no scheduling decision, and every
+// write is best-effort.
+
+// Heartbeat is one worker's published progress record: the unit it holds
+// and how many of the unit's replications it has finished.
+type Heartbeat struct {
+	Owner string `json:"owner"`
+	Unit  int    `json:"unit"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// HeartbeatRecord pairs a published heartbeat with its age, derived from
+// the ledger file's mtime — the same signal leases use, so "heartbeat age"
+// and "lease age" are directly comparable in a straggler report.
+type HeartbeatRecord struct {
+	Heartbeat
+	Age time.Duration
+}
+
+func (c *Coordinator) heartbeatDir() string { return filepath.Join(c.Dir, "heartbeats") }
+
+// heartbeatFile maps an owner label to its ledger filename. Owners are
+// advisory host.pid strings; path separators are flattened so a hostile
+// or odd hostname cannot escape the ledger directory.
+func heartbeatFile(owner string) string {
+	owner = strings.Map(func(r rune) rune {
+		if r == '/' || r == '\\' || r == 0 {
+			return '_'
+		}
+		return r
+	}, owner)
+	return owner + ".json"
+}
+
+// PublishHeartbeat writes (or atomically replaces) the owner's ledger
+// entry. It creates the heartbeats/ directory on demand, so work
+// directories initialized by binaries that predate the ledger still
+// accept heartbeats from newer workers.
+func (c *Coordinator) PublishHeartbeat(hb Heartbeat) error {
+	if hb.Owner == "" {
+		return fmt.Errorf("executor: heartbeat needs an owner")
+	}
+	if err := os.MkdirAll(c.heartbeatDir(), 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(hb)
+	if err != nil {
+		return fmt.Errorf("executor: heartbeat encode: %w", err)
+	}
+	path := filepath.Join(c.heartbeatDir(), heartbeatFile(hb.Owner))
+	tmp, err := os.CreateTemp(c.heartbeatDir(), ".hb-tmp-")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Heartbeats reads every ledger entry, sorted by owner. Torn or foreign
+// files are skipped — the ledger is advisory, so the only failure mode is
+// a shorter report.
+func (c *Coordinator) Heartbeats() []HeartbeatRecord {
+	entries, err := os.ReadDir(c.heartbeatDir())
+	if err != nil {
+		return nil
+	}
+	var out []HeartbeatRecord
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(c.heartbeatDir(), e.Name()))
+		if err != nil {
+			continue
+		}
+		var hb Heartbeat
+		if err := json.Unmarshal(data, &hb); err != nil || hb.Owner == "" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, HeartbeatRecord{Heartbeat: hb, Age: time.Since(info.ModTime())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
+	return out
+}
+
+// LeaseStatus describes one in-flight lease: the unit, its advisory owner
+// label, and the time since the owner's last renewal. Age beyond the work
+// directory's TTL means the unit is about to be stolen.
+type LeaseStatus struct {
+	Unit  int
+	Owner string
+	Age   time.Duration
+}
+
+// InFlight lists the directory's current leases in unit order, including
+// expired ones (they are precisely the stragglers a report should flag).
+func (c *Coordinator) InFlight() []LeaseStatus {
+	entries, err := os.ReadDir(filepath.Join(c.Dir, "leases"))
+	if err != nil {
+		return nil
+	}
+	var out []LeaseStatus
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "unit-") || !strings.HasSuffix(name, ".lease") {
+			continue
+		}
+		unit, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "unit-"), ".lease"))
+		if err != nil {
+			continue
+		}
+		info, ok := readLeaseFile(filepath.Join(c.Dir, "leases", name))
+		if !ok {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, LeaseStatus{Unit: unit, Owner: info.Owner, Age: time.Since(fi.ModTime())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Unit < out[j].Unit })
+	return out
+}
+
+// WorkStatus is one live snapshot of a draining work directory: overall
+// progress plus the in-flight leases and the heartbeat ledger.
+type WorkStatus struct {
+	Done       int
+	Units      int
+	InFlight   []LeaseStatus
+	Heartbeats []HeartbeatRecord
+}
+
+// Status takes a live snapshot. Purely observational reads; safe to call
+// from any process at any time.
+func (c *Coordinator) Status() WorkStatus {
+	return WorkStatus{
+		Done:       c.Done(),
+		Units:      c.Units,
+		InFlight:   c.InFlight(),
+		Heartbeats: c.Heartbeats(),
+	}
+}

@@ -1,0 +1,106 @@
+package executor
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestHeartbeatPublishAndRead(t *testing.T) {
+	c := testWorkDir(t, 4, time.Hour)
+	if err := c.PublishHeartbeat(Heartbeat{Owner: "w1", Unit: 2, Done: 1, Total: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PublishHeartbeat(Heartbeat{Owner: "w0", Unit: 0, Done: 3, Total: 5}); err != nil {
+		t.Fatal(err)
+	}
+	hbs := c.Heartbeats()
+	if len(hbs) != 2 {
+		t.Fatalf("%d heartbeats, want 2", len(hbs))
+	}
+	if hbs[0].Owner != "w0" || hbs[1].Owner != "w1" {
+		t.Fatalf("heartbeats not sorted by owner: %+v", hbs)
+	}
+	if hbs[1].Unit != 2 || hbs[1].Done != 1 || hbs[1].Total != 5 {
+		t.Fatalf("heartbeat content: %+v", hbs[1])
+	}
+	if hbs[0].Age < 0 || hbs[0].Age > time.Minute {
+		t.Fatalf("implausible heartbeat age %v", hbs[0].Age)
+	}
+	// Republishing overwrites, never accumulates.
+	if err := c.PublishHeartbeat(Heartbeat{Owner: "w1", Unit: 2, Done: 4, Total: 5}); err != nil {
+		t.Fatal(err)
+	}
+	hbs = c.Heartbeats()
+	if len(hbs) != 2 || hbs[1].Done != 4 {
+		t.Fatalf("republish: %+v", hbs)
+	}
+}
+
+func TestHeartbeatValidatesAndSanitizes(t *testing.T) {
+	c := testWorkDir(t, 1, time.Hour)
+	if err := c.PublishHeartbeat(Heartbeat{Owner: ""}); err == nil {
+		t.Fatal("empty owner accepted")
+	}
+	// A path-separator owner must not escape the ledger directory.
+	if err := c.PublishHeartbeat(Heartbeat{Owner: "../evil/owner", Unit: 0}); err != nil {
+		t.Fatal(err)
+	}
+	hbs := c.Heartbeats()
+	if len(hbs) != 1 || hbs[0].Owner != "../evil/owner" {
+		t.Fatalf("sanitized heartbeat lost its logical owner: %+v", hbs)
+	}
+	if _, err := os.Stat(filepath.Join(c.Dir, "evil")); !os.IsNotExist(err) {
+		t.Fatal("owner path separators escaped the heartbeat directory")
+	}
+}
+
+func TestHeartbeatLedgerToleratesPreLedgerDirsAndTornFiles(t *testing.T) {
+	c := testWorkDir(t, 2, time.Hour)
+	// A work directory created before the ledger existed has no
+	// heartbeats/ subdirectory; publishing must create it on demand and
+	// reading must return empty, not error.
+	if err := os.RemoveAll(c.heartbeatDir()); err != nil {
+		t.Fatal(err)
+	}
+	if hbs := c.Heartbeats(); len(hbs) != 0 {
+		t.Fatalf("missing ledger dir read as %+v", hbs)
+	}
+	if err := c.PublishHeartbeat(Heartbeat{Owner: "late", Unit: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A torn or foreign file in the ledger is skipped, not fatal.
+	if err := os.WriteFile(filepath.Join(c.heartbeatDir(), "torn.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hbs := c.Heartbeats()
+	if len(hbs) != 1 || hbs[0].Owner != "late" {
+		t.Fatalf("ledger with torn file: %+v", hbs)
+	}
+}
+
+func TestStatusJoinsLeasesAndHeartbeats(t *testing.T) {
+	c := testWorkDir(t, 3, time.Hour)
+	unit, lease, _, ok, err := c.Claim("holder")
+	if err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	defer lease.Release()
+	if err := c.PublishHeartbeat(Heartbeat{Owner: "holder", Unit: unit, Done: 1, Total: 4}); err != nil {
+		t.Fatal(err)
+	}
+	ws := c.Status()
+	if ws.Done != 0 || ws.Units != 3 {
+		t.Fatalf("status counts: %+v", ws)
+	}
+	if len(ws.InFlight) != 1 || ws.InFlight[0].Unit != unit || ws.InFlight[0].Owner != "holder" {
+		t.Fatalf("in-flight: %+v", ws.InFlight)
+	}
+	if ws.InFlight[0].Age < 0 {
+		t.Fatalf("negative lease age: %+v", ws.InFlight[0])
+	}
+	if len(ws.Heartbeats) != 1 || ws.Heartbeats[0].Unit != unit {
+		t.Fatalf("heartbeats: %+v", ws.Heartbeats)
+	}
+}

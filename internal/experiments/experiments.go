@@ -17,9 +17,11 @@ import (
 	"repro/internal/grid"
 	"repro/internal/heuristics"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/internal/workload/arrival"
 	"repro/internal/workload/traces"
@@ -102,6 +104,16 @@ type Setting struct {
 	// detail - every shard count yields bit-identical results - so it is
 	// excluded from serialized artifacts and cache identities.
 	Shards int `json:"-"`
+
+	// Tracer, when non-nil, receives the run's lifecycle event stream
+	// (dispatches, transfers, executions, completions) — the feed behind
+	// -trace-out span export and the ASCII Gantt. Obs, when non-nil,
+	// collects the virtual-time latency histograms. Both are pure
+	// observation: they never feed back into simulation state, force the
+	// engine onto its serial event lane (the grid does this itself), and
+	// are excluded from serialized artifacts and cache identities.
+	Tracer trace.Recorder   `json:"-"`
+	Obs    *obs.GridMetrics `json:"-"`
 }
 
 // NewSetting builds the default Table I setting at the given scale: the
@@ -177,6 +189,8 @@ func Run(setting Setting, algo grid.Algorithm) (Result, error) {
 		UseOracleAverages:  setting.OracleAverages,
 		RescheduleFailed:   setting.RescheduleFailed,
 		HarshChurn:         setting.Harsh,
+		Tracer:             setting.Tracer,
+		Obs:                setting.Obs,
 	}, algo)
 	if err != nil {
 		return Result{}, fmt.Errorf("experiments: grid: %w", err)

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCoordinatorStragglerReport pins the consumer side of the heartbeat
+// ledger: a coordinator that goes idle while a slow worker holds the last
+// cell prints a live straggler report — overall progress with an ETA, and
+// the in-flight unit annotated with its lease age and the slow worker's
+// heartbeat progress.
+func TestCoordinatorStragglerReport(t *testing.T) {
+	spec := microSpec([]string{"DSMF", "min-min"}, 2, 7)
+	dir := t.TempDir()
+	// TTL 10s keeps the fast worker's idle poll short (TTL/4 = 2.5s is
+	// clamped to 2s) while staying far above the slow worker's per-rep
+	// renewal cadence, so the slow unit is never stolen.
+	c, _, err := InitSweepWork(dir, spec, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := RunSweepWorker(dir, WorkerOptions{Owner: "slowpoke", SleepPerJob: 400 * time.Millisecond}); err != nil {
+			t.Errorf("slow worker: %v", err)
+		}
+	}()
+
+	// Let the slow worker claim its first unit (and publish the claim-time
+	// heartbeat) before the fast coordinator enters the directory.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(c.InFlight()) == 0 || len(c.Heartbeats()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow worker never claimed a unit")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var status bytes.Buffer
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	if _, err := RunSweepWorker(dir, WorkerOptions{Owner: "fast", Status: &status, Logger: logger}); err != nil {
+		t.Fatalf("fast worker: %v", err)
+	}
+	wg.Wait()
+
+	out := status.String()
+	// The fast worker finished the free cell quickly and then idled on the
+	// slow worker's cell: the report must show progress, an ETA (known,
+	// because at least one unit completed since the drain began), the
+	// lease, and the joined heartbeat with replication progress.
+	if !strings.Contains(out, "units done, eta ") {
+		t.Fatalf("no progress/eta line in straggler report:\n%s", out)
+	}
+	if strings.Contains(out, "eta unknown") {
+		t.Fatalf("eta should be extrapolable after the fast worker's own completion:\n%s", out)
+	}
+	if !strings.Contains(out, "leased by slowpoke (lease age ") {
+		t.Fatalf("no in-flight lease line:\n%s", out)
+	}
+	if !strings.Contains(out, "heartbeat ") || !strings.Contains(out, ", rep ") {
+		t.Fatalf("no heartbeat join in straggler report:\n%s", out)
+	}
+	// The structured log saw the fast worker's own lifecycle.
+	logs := logBuf.String()
+	if !strings.Contains(logs, "cell claimed") || !strings.Contains(logs, "cell finished") {
+		t.Fatalf("structured log missing lifecycle events:\n%s", logs)
+	}
+
+	// The directory still drains to a complete, mergeable result.
+	if _, err := MergeSweepWork(dir); err != nil {
+		t.Fatalf("merge after straggler drain: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/experiments/executor"
 	"repro/internal/heuristics"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/wire"
 )
@@ -64,6 +65,17 @@ type RunOptions struct {
 	// artifacts are bit-identical across shard counts, so Shards is not
 	// part of any cache key or spec hash.
 	Shards int
+
+	// Obs collects the virtual-time latency histograms of every
+	// replication and attaches the merged distribution block to each
+	// finalized cell (Cell.Obs, replication-order merge, so the summary
+	// is deterministic). Off by default: with Obs false every run skips
+	// observation entirely and the sweep artifact is byte-identical to
+	// pre-observability output. Cache-restored replications carry no
+	// observations (the cell cache schema predates them), and the
+	// adaptive drivers ignore Obs like they ignore RetainRuns, so the
+	// flag is for plain single-host sweeps.
+	Obs bool
 }
 
 // sweepPlan is a normalized, validated spec with its expansion
@@ -199,9 +211,10 @@ type pairNet struct {
 // cellState tracks one cell mid-flight.
 type cellState struct {
 	acc       *metrics.CellAccumulator
-	runs      []Result // populated only under RetainRuns
-	cachedLen int      // replication count of the cache entry we loaded
-	final     *Cell    // set on finalization
+	runs      []Result           // populated only under RetainRuns
+	obs       []*obs.GridMetrics // per-replication metrics, only under Obs
+	cachedLen int                // replication count of the cache entry we loaded
+	final     *Cell              // set on finalization
 }
 
 // sweepState is one streaming execution in progress.
@@ -238,6 +251,9 @@ func runMatrix(plan *sweepPlan, opts RunOptions, lo, hi int) (*sweepState, error
 		cs.acc = metrics.NewCellAccumulator(reps)
 		if opts.RetainRuns {
 			cs.runs = make([]Result, reps)
+		}
+		if opts.Obs {
+			cs.obs = make([]*obs.GridMetrics, reps)
 		}
 		if opts.Cache == nil || c < cellLo || c >= cellHi {
 			continue
@@ -306,7 +322,7 @@ func runMatrix(plan *sweepPlan, opts RunOptions, lo, hi int) (*sweepState, error
 // sequence behind both the fixed-matrix runner (runJob) and the per-cell
 // adaptive driver; the full Result is returned alongside the reduced
 // record for callers that retain runs.
-func executeSweepJob(sc Scenario, algo string, rep int, seed int64, reschedule bool, shards int, pn *pairNet) (metrics.RunStats, Result, error) {
+func executeSweepJob(sc Scenario, algo string, rep int, seed int64, reschedule bool, shards int, observe bool, pn *pairNet) (metrics.RunStats, Result, error) {
 	pn.once.Do(func() {
 		pn.net, pn.err = topology.Generate(topoConfig(sc.Scale.Nodes, seed))
 	})
@@ -320,6 +336,12 @@ func executeSweepJob(sc Scenario, algo string, rep int, seed int64, reschedule b
 	}
 	setting := sc.setting(seed, pn.net, reschedule)
 	setting.Shards = shards
+	if observe {
+		// The collected metrics travel back on the returned Result's
+		// Setting (Run copies the setting verbatim), so no extra return
+		// threads through the executor plumbing.
+		setting.Obs = obs.NewGridMetrics()
+	}
 	res, err := Run(setting, a)
 	if err != nil {
 		return metrics.RunStats{}, Result{}, err
@@ -335,7 +357,7 @@ func (st *sweepState) runJob(id int) error {
 	st.mu.Lock()
 	pn := st.pairs[pk]
 	st.mu.Unlock()
-	sts, res, err := executeSweepJob(j.Scenario, j.Algo, j.Rep, j.Seed, st.plan.spec.Reschedule, st.opts.Shards, pn)
+	sts, res, err := executeSweepJob(j.Scenario, j.Algo, j.Rep, j.Seed, st.plan.spec.Reschedule, st.opts.Shards, st.opts.Obs, pn)
 	if err != nil {
 		return err
 	}
@@ -348,6 +370,9 @@ func (st *sweepState) runJob(id int) error {
 	}
 	if st.opts.RetainRuns {
 		cs.runs[j.Rep] = res
+	}
+	if st.opts.Obs {
+		cs.obs[j.Rep] = res.Setting.Obs
 	}
 	st.done++
 	if st.opts.Progress != nil {
@@ -386,6 +411,19 @@ func (st *sweepState) finalizeCellLocked(c int) (toStore *Cell) {
 		Stats:    cs.acc.Stats(),
 		Runs:     cs.runs,
 		Agg:      cs.acc.Aggregate(),
+	}
+	if st.opts.Obs {
+		// Merge in replication order — not completion order — so the
+		// float sums (and therefore the artifact bytes) are deterministic.
+		merged := obs.NewGridMetrics()
+		for _, gm := range cs.obs {
+			if err := merged.Merge(gm); err != nil {
+				// Unreachable: every GridMetrics here came from the
+				// standard constructor, so layouts always match.
+				panic(fmt.Sprintf("experiments: cell %d obs merge: %v", c, err))
+			}
+		}
+		cell.Obs = merged.Summary()
 	}
 	cs.final = cell
 	if st.opts.Observer != nil {
@@ -884,7 +922,7 @@ func RunAdaptiveCells(spec SweepSpec, precision float64, maxReps int, opts RunOp
 				mu.Lock()
 				pn := pairs[pk]
 				mu.Unlock()
-				sts, _, err := executeSweepJob(sc, algos[j.cell%len(algos)], j.rep, j.seed, spec.Reschedule, opts.Shards, pn)
+				sts, _, err := executeSweepJob(sc, algos[j.cell%len(algos)], j.rep, j.seed, spec.Reschedule, opts.Shards, false, pn)
 				if err != nil {
 					return err
 				}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/heuristics"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/wire"
@@ -379,6 +380,12 @@ type Cell struct {
 	Runs []Result
 
 	Agg metrics.RunAggregate
+
+	// Obs is the merged virtual-time distribution block of the cell's
+	// replications, nil unless the sweep ran with RunOptions.Obs. Pure
+	// observation: it rides the artifact as an omitempty field and never
+	// participates in cache keys or spec hashes.
+	Obs *obs.Summary
 }
 
 // SweepResult is a completed sweep: cells in scenario-major, algorithm-minor
@@ -554,6 +561,7 @@ func (r *SweepResult) JSON() ([]byte, error) {
 			Reps:       cellReps,
 			Seeds:      c.Seeds,
 			Aggregate:  c.Agg,
+			Obs:        c.Obs,
 		})
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments/executor"
@@ -102,6 +104,21 @@ type WorkerOptions struct {
 
 	// Log, when non-nil, receives per-unit progress lines.
 	Log io.Writer
+
+	// Logger, when non-nil, additionally receives structured per-unit
+	// lifecycle events (claims and publishes) — the -log-level /
+	// -log-format surface of worker and coordinate modes. Logging is
+	// observation only: it never touches the claim/steal protocol.
+	Logger *slog.Logger
+
+	// Status, when non-nil, receives a live straggler report on every
+	// idle poll — the stretches where every remaining cell is leased to
+	// some other worker: overall progress with an ETA extrapolated from
+	// this drain's own completion rate, plus one line per in-flight unit
+	// joining its lease age with the owner's last heartbeat. This is the
+	// consumer side of the heartbeat ledger; `-coordinate` wires it to
+	// stderr.
+	Status io.Writer
 }
 
 func (o WorkerOptions) owner() string {
@@ -124,6 +141,7 @@ type unitExecutor struct {
 	inner executor.Executor
 	sleep time.Duration
 	lease *executor.Lease
+	beat  func() // per-replication heartbeat publish, nil to skip
 }
 
 func (u unitExecutor) Execute(ids []int, run func(id int) error) error {
@@ -141,6 +159,9 @@ func (u unitExecutor) Execute(ids []int, run func(id int) error) error {
 		// Best-effort heartbeat: a failed renewal just means the unit may
 		// be stolen, which the completion protocol already tolerates.
 		_ = u.lease.Renew()
+		if u.beat != nil {
+			u.beat()
+		}
 		return nil
 	})
 }
@@ -155,19 +176,75 @@ func RunSweepWorker(dir string, opts WorkerOptions) (executor.DrainStats, error)
 		return executor.DrainStats{}, err
 	}
 	owner := opts.owner()
-	return c.Drain(owner, func(unit int, l *executor.Lease) ([]byte, error) {
+	var onIdle func(executor.WorkStatus)
+	if opts.Status != nil {
+		rep := &statusReporter{w: opts.Status, start: time.Now(), base: c.Done()}
+		onIdle = rep.report
+	}
+	return c.DrainWithStatus(owner, func(unit int, l *executor.Lease) ([]byte, error) {
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log, "worker %s: cell %d/%d\n", owner, unit, c.Units)
 		}
+		if opts.Logger != nil {
+			opts.Logger.Info("cell claimed", "owner", owner, "unit", unit, "units", c.Units, "reps", spec.Reps)
+		}
+		// Heartbeat ledger: one record at claim time (so a straggler
+		// report can name the unit before the first replication lands),
+		// then one after every replication. All best-effort — the ledger
+		// is observational and must never fail a unit.
+		var done int64
+		publish := func(d int64) {
+			_ = c.PublishHeartbeat(executor.Heartbeat{Owner: owner, Unit: unit, Done: int(d), Total: spec.Reps})
+		}
+		publish(0)
 		part, err := RunCellUnit(spec, unit, RunOptions{
-			Executor: unitExecutor{inner: opts.Executor, sleep: opts.SleepPerJob, lease: l},
-			Cache:    opts.Cache,
+			Executor: unitExecutor{
+				inner: opts.Executor, sleep: opts.SleepPerJob, lease: l,
+				beat: func() { publish(atomic.AddInt64(&done, 1)) },
+			},
+			Cache: opts.Cache,
 		})
 		if err != nil {
 			return nil, err
 		}
+		if opts.Logger != nil {
+			opts.Logger.Info("cell finished", "owner", owner, "unit", unit)
+		}
 		return part.JSON()
-	})
+	}, onIdle)
+}
+
+// statusReporter renders live straggler reports for RunSweepWorker's idle
+// polls. ETA extrapolates from the completions observed since this drain
+// began (across every participating worker — Done counts published
+// results, whoever published them), so it needs no coordination beyond
+// the directory itself.
+type statusReporter struct {
+	w     io.Writer
+	start time.Time
+	base  int // published results when the drain began
+}
+
+func (r *statusReporter) report(ws executor.WorkStatus) {
+	eta := "unknown"
+	if d := ws.Done - r.base; d > 0 {
+		remaining := time.Duration(ws.Units-ws.Done) * time.Since(r.start) / time.Duration(d)
+		eta = remaining.Round(time.Second).String()
+	}
+	fmt.Fprintf(r.w, "coordinate: %d/%d units done, eta %s\n", ws.Done, ws.Units, eta)
+	hbs := make(map[string]executor.HeartbeatRecord, len(ws.Heartbeats))
+	for _, hb := range ws.Heartbeats {
+		hbs[hb.Owner] = hb
+	}
+	for _, lf := range ws.InFlight {
+		line := fmt.Sprintf("  unit %d leased by %s (lease age %s", lf.Unit, lf.Owner, lf.Age.Round(time.Millisecond))
+		if hb, ok := hbs[lf.Owner]; ok && hb.Unit == lf.Unit {
+			line += fmt.Sprintf(", heartbeat %s ago, rep %d/%d", hb.Age.Round(time.Millisecond), hb.Done, hb.Total)
+		} else {
+			line += ", no heartbeat"
+		}
+		fmt.Fprintf(r.w, "%s)\n", line)
+	}
 }
 
 // MergeSweepWork reassembles a fully drained work directory into the

@@ -508,6 +508,23 @@ func (p *Protocol) MeanRecordAge(node int) float64 {
 	return sum / float64(n)
 }
 
+// RecordAge returns the staleness (seconds since minting) of viewer's
+// cached record about origin, ok=false when viewer holds no fresh record
+// (never received one, or it expired). This is the per-decision
+// counterpart of MeanRecordAge: the scheduler's information age about
+// one specific node, sampled by the observability layer at dispatch.
+func (p *Protocol) RecordAge(viewer, origin int) (age float64, ok bool) {
+	i, ok := findOrigin(p.cache[viewer], origin)
+	if !ok {
+		return 0, false
+	}
+	age = p.engine.Now() - p.cache[viewer][i].Timestamp
+	if age > p.expirySeconds() {
+		return 0, false
+	}
+	return age, true
+}
+
 // AddLoadHint bumps the scheduler's cached record of target after it
 // dispatched deltaMI of work there (Algorithm 1 line 15: "Update p_r's
 // state record in RSS(p_s)"), so one scheduling round does not flood a

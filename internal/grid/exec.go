@@ -39,6 +39,7 @@ func (g *Grid) Dispatch(t *TaskInstance, to int, rpm, ms float64) bool {
 	node.TotalLoadMI += task.Load
 	g.commitCost(t, to)
 	g.emit(traceDispatch, to, nil, t)
+	g.observeDispatch(t, to)
 
 	gen := t.gen
 	t.pendingInputs = 0
@@ -104,6 +105,7 @@ func (g *Grid) startInputTransfer(t *TaskInstance, src int, sizeMb float64, gen 
 		node := &g.Nodes[t.Node]
 		node.ready = append(node.ready, t)
 		g.emit(traceReady, t.Node, nil, t)
+		g.observeReady(t, at)
 		g.maybeRun(node, at)
 	})
 }
@@ -125,6 +127,7 @@ func (g *Grid) maybeRun(node *Node, now float64) {
 	t.StartedAt = now
 	node.Running = t
 	g.emit(traceExecStart, node.ID, nil, t)
+	g.observeExecStart(t, now)
 	gen := t.gen
 	dur := t.Task().Load / node.Capacity
 	g.nodeAfter(node.ID, dur, func(at float64) { g.taskFinished(t, gen, at) })
@@ -151,6 +154,7 @@ func (g *Grid) taskFinished(t *TaskInstance, gen int, now float64) {
 	t.NodeInc = node.Incarnation
 	t.FinishedAt = now
 	g.emit(traceExecEnd, node.ID, nil, t)
+	g.observeExecEnd(t, now)
 	// Completion propagation touches the workflow and its other tasks -
 	// global state - so it crosses back to the global lane; CPU handoff to
 	// the next ready task is node-local and stays in the window.
@@ -182,6 +186,7 @@ func (g *Grid) onTaskDone(t *TaskInstance, now float64) {
 		}
 		g.CompletedCount++
 		g.emit(traceWorkflowDone, -1, wf, nil)
+		g.observeWorkflowDone(wf, now)
 		return
 	}
 	for _, e := range wf.W.Successors(t.ID) {

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"repro/internal/gossip"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -112,6 +113,14 @@ type Config struct {
 	// executions, failures, churn) for debugging and visualization. See
 	// internal/trace for buffered recorders and Gantt rendering.
 	Tracer trace.Recorder
+
+	// Obs, when non-nil, receives virtual-time latency observations
+	// (queue waits, exec and transfer times, workflow completion,
+	// gossip staleness at dispatch, DBC candidate counts) into its
+	// histogram families. Like Tracer, a nil Obs costs one nil check
+	// per hook, and a non-nil one pins events to the serial lane so
+	// the order-sensitive float sums are deterministic.
+	Obs *obs.GridMetrics
 
 	// HarshChurn selects the maximal-loss churn semantics: a departing node
 	// destroys its whole ready set AND the outputs of tasks it completed
@@ -250,7 +259,7 @@ func New(engine sim.Host, cfg Config, algo Algorithm) (*Grid, error) {
 		algo:   algo,
 		rng:    stats.NewRand(cfg.Seed, 0xE5),
 	}
-	g.serialEvents = algo.Planner != nil || cfg.Tracer != nil
+	g.serialEvents = algo.Planner != nil || cfg.Tracer != nil || cfg.Obs != nil
 	if cfg.UseOracleBandwidth {
 		g.estimator = topology.BandwidthOracle{Net: net}
 	} else {
@@ -405,7 +414,7 @@ func (g *Grid) SetAlgorithm(a Algorithm) error {
 		return err
 	}
 	g.algo = a
-	g.serialEvents = a.Planner != nil || g.Cfg.Tracer != nil
+	g.serialEvents = a.Planner != nil || g.Cfg.Tracer != nil || g.Cfg.Obs != nil
 	return nil
 }
 

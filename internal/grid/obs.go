@@ -1,0 +1,65 @@
+package grid
+
+// Observation hooks for the obs layer. Like emit (trace.go), every call
+// site funnels through one of these so disabled observability costs a
+// single nil check and zero allocations. All observations read state the
+// simulation already maintains (task/workflow timestamps, gossip record
+// ages); nothing here feeds back into scheduling, which is what keeps
+// results byte-identical with observability on or off.
+
+// observeDispatch samples the age of the scheduler's cached gossip
+// record for the chosen node at the moment of dispatch — the staleness
+// of the information the placement decision was made on. Self-dispatch
+// has no cached record (a node is not in its own RSS) and is skipped.
+func (g *Grid) observeDispatch(t *TaskInstance, to int) {
+	if g.Cfg.Obs == nil {
+		return
+	}
+	if age, ok := g.Gossip.RecordAge(t.WF.Home, to); ok {
+		g.Cfg.Obs.GossipStaleness.Observe(age)
+	}
+}
+
+// observeReady records the input-streaming time of a task whose last
+// input just landed: dispatch to data-complete.
+func (g *Grid) observeReady(t *TaskInstance, at float64) {
+	if g.Cfg.Obs == nil {
+		return
+	}
+	g.Cfg.Obs.TransferTime.Observe(at - t.DispatchedAt)
+}
+
+// observeExecStart records the task's queue wait: data-complete to CPU.
+func (g *Grid) observeExecStart(t *TaskInstance, now float64) {
+	if g.Cfg.Obs == nil {
+		return
+	}
+	g.Cfg.Obs.QueueWait.Observe(now - t.ReadyAt)
+}
+
+// observeExecEnd records the task's pure execution time.
+func (g *Grid) observeExecEnd(t *TaskInstance, now float64) {
+	if g.Cfg.Obs == nil {
+		return
+	}
+	g.Cfg.Obs.ExecTime.Observe(now - t.StartedAt)
+}
+
+// observeWorkflowDone records the workflow's admission-to-completion
+// latency.
+func (g *Grid) observeWorkflowDone(wf *WorkflowInstance, now float64) {
+	if g.Cfg.Obs == nil {
+		return
+	}
+	g.Cfg.Obs.WorkflowCompletion.Observe(now - wf.SubmittedAt)
+}
+
+// ObservePhase1Candidates records a constrained scheduler's candidate-set
+// size for one scheduling decision. Exported because the DBC schedulers
+// live in internal/core.
+func (g *Grid) ObservePhase1Candidates(n int) {
+	if g.Cfg.Obs == nil {
+		return
+	}
+	g.Cfg.Obs.Phase1Candidates.Observe(float64(n))
+}

@@ -1,0 +1,61 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// TestObserveHooksZeroAllocWhenDisabled pins the zero-cost contract: with
+// no metrics sink and no tracer configured, every observation hook on the
+// hot path is a nil check and nothing else. A regression here would tax
+// every batch run and sweep replication for a feature they did not enable.
+func TestObserveHooksZeroAllocWhenDisabled(t *testing.T) {
+	g := &Grid{} // Cfg.Obs == nil, Cfg.Tracer == nil
+	wf := &WorkflowInstance{}
+	task := &TaskInstance{WF: wf}
+	allocs := testing.AllocsPerRun(1000, func() {
+		g.observeDispatch(task, 0)
+		g.observeReady(task, 1)
+		g.observeExecStart(task, 2)
+		g.observeExecEnd(task, 3)
+		g.observeWorkflowDone(wf, 4)
+		g.ObservePhase1Candidates(5)
+		g.emit(trace.KindDispatch, 0, wf, task)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observation hooks allocate %v times per call batch, want 0", allocs)
+	}
+}
+
+// TestObserveHooksRecordWhenEnabled is the positive counterpart: the same
+// hooks feed the matching histogram families when a sink is configured.
+func TestObserveHooksRecordWhenEnabled(t *testing.T) {
+	m := obs.NewGridMetrics()
+	g := &Grid{}
+	g.Cfg.Obs = m
+	wf := &WorkflowInstance{SubmittedAt: 10}
+	task := &TaskInstance{WF: wf, DispatchedAt: 12, ReadyAt: 15, StartedAt: 16}
+	g.observeReady(task, 15)
+	g.observeExecStart(task, 16)
+	g.observeExecEnd(task, 20)
+	g.observeWorkflowDone(wf, 30)
+	g.ObservePhase1Candidates(7)
+	checks := []struct {
+		name string
+		h    *obs.Histogram
+		sum  float64
+	}{
+		{"transfer", m.TransferTime, 3},
+		{"queue wait", m.QueueWait, 1},
+		{"exec", m.ExecTime, 4},
+		{"workflow completion", m.WorkflowCompletion, 20},
+		{"phase1 candidates", m.Phase1Candidates, 7},
+	}
+	for _, c := range checks {
+		if c.h.Count() != 1 || c.h.Sum() != c.sum {
+			t.Errorf("%s: count=%d sum=%v, want 1 / %v", c.name, c.h.Count(), c.h.Sum(), c.sum)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerLevels(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("shown")
+	out := b.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Fatalf("level filtering broken:\n%s", out)
+	}
+}
+
+func TestNewLoggerJSONFormat(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("event", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(b.String())), &rec); err != nil {
+		t.Fatalf("json log line is not JSON: %v\n%s", err, b.String())
+	}
+	if rec["msg"] != "event" || rec["k"] != "v" {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+func TestNewLoggerDefaults(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden") // default level is info
+	log.Info("shown")
+	if strings.Contains(b.String(), "hidden") || !strings.Contains(b.String(), "shown") {
+		t.Fatalf("defaults broken:\n%s", b.String())
+	}
+}
+
+func TestNewLoggerErrors(t *testing.T) {
+	if _, err := NewLogger(nil, "loud", "text"); err == nil || !strings.Contains(err.Error(), "unknown log level") {
+		t.Fatalf("bad level: err = %v", err)
+	}
+	if _, err := NewLogger(nil, "info", "xml"); err == nil || !strings.Contains(err.Error(), "unknown log format") {
+		t.Fatalf("bad format: err = %v", err)
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	// Must not panic and must be enabled for nothing.
+	log := NopLogger()
+	log.Error("dropped")
+	if log.Enabled(nil, 100) {
+		t.Fatal("NopLogger should be disabled at any sane level")
+	}
+}

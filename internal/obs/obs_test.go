@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 10, 11, 1000, -3} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	if got := h.Count(); got != 7 {
+		t.Fatalf("count = %d, want 7", got)
+	}
+	if got, want := h.Sum(), 0.5+1+5+10+11+1000-3; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// Buckets: <=1 gets {0.5, 1, -3}, <=10 gets {5, 10}, <=100 gets {11},
+	// +Inf gets {1000}.
+	want := []uint64{3, 2, 1, 1}
+	for i, c := range h.Counts() {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", h.Counts(), want)
+		}
+	}
+}
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds did not panic")
+		}
+	}()
+	NewHistogram(1, 1)
+}
+
+func TestHistogramCloneIsIndependent(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(0.5)
+	c := h.Clone()
+	h.Observe(1.5)
+	if c.Count() != 1 || h.Count() != 2 {
+		t.Fatalf("clone count %d / original %d, want 1 / 2", c.Count(), h.Count())
+	}
+	var nilH *Histogram
+	if nilH.Clone() != nil {
+		t.Fatal("nil clone should stay nil")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(1, 2), NewHistogram(1, 2)
+	a.Observe(0.5)
+	b.Observe(1.5)
+	b.Observe(3)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 3 || a.Sum() != 5 {
+		t.Fatalf("merged count %d sum %v, want 3 / 5", a.Count(), a.Sum())
+	}
+	if err := a.Merge(NewHistogram(1, 3)); err != nil {
+		t.Fatalf("merging an EMPTY mismatched histogram should be a no-op, got %v", err)
+	}
+	mismatch := NewHistogram(1, 3)
+	mismatch.Observe(1)
+	if err := a.Merge(mismatch); err == nil {
+		t.Fatal("merging mismatched bounds should error")
+	}
+}
+
+func TestHistogramSummaryRoundTrip(t *testing.T) {
+	h := NewHistogram(1, 10)
+	if h.Summary() != nil {
+		t.Fatal("empty histogram should summarize to nil (omitempty contract)")
+	}
+	h.Observe(0.5)
+	h.Observe(5)
+	s := h.Summary()
+	if s.Count != 2 || s.Sum != 5.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramSummary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != s.Count || back.Sum != s.Sum {
+		t.Fatalf("round trip lost data: %+v vs %+v", back, s)
+	}
+}
+
+func TestSummaryQuantile(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(15) // second bucket
+	}
+	s := h.Summary()
+	if q := s.Quantile(0.5); q != 10 {
+		t.Fatalf("p50 = %v, want 10 (boundary of first bucket)", q)
+	}
+	if q := s.Quantile(1); q != 20 {
+		t.Fatalf("p100 = %v, want 20", q)
+	}
+	if got := s.Mean(); got != 10 {
+		t.Fatalf("mean = %v, want 10", got)
+	}
+	// +Inf bucket clamps to its lower bound.
+	h2 := NewHistogram(10)
+	h2.Observe(1e9)
+	if q := h2.Summary().Quantile(0.99); q != 10 {
+		t.Fatalf("+Inf quantile = %v, want clamp to 10", q)
+	}
+}
+
+func TestGridMetricsSummaryOmitsEmpty(t *testing.T) {
+	m := NewGridMetrics()
+	if m.Summary() != nil {
+		t.Fatal("empty GridMetrics should summarize to nil")
+	}
+	m.ExecTime.Observe(42)
+	s := m.Summary()
+	if s == nil || s.ExecSeconds == nil {
+		t.Fatalf("summary = %+v, want exec family present", s)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "queue_wait") {
+		t.Fatalf("empty families must be omitted from JSON: %s", data)
+	}
+	if !strings.Contains(string(data), "exec_seconds") {
+		t.Fatalf("observed family missing from JSON: %s", data)
+	}
+}
+
+func TestGridMetricsMergeDeterministic(t *testing.T) {
+	mk := func(vals ...float64) *GridMetrics {
+		m := NewGridMetrics()
+		for _, v := range vals {
+			m.QueueWait.Observe(v)
+		}
+		return m
+	}
+	a := NewGridMetrics()
+	for _, m := range []*GridMetrics{mk(1, 2), mk(3), mk(4, 5, 6)} {
+		if err := a.Merge(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := NewGridMetrics()
+	for _, m := range []*GridMetrics{mk(1, 2), mk(3), mk(4, 5, 6)} {
+		if err := b.Merge(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aj, _ := json.Marshal(a.Summary())
+	bj, _ := json.Marshal(b.Summary())
+	if string(aj) != string(bj) {
+		t.Fatalf("same merge order produced different summaries:\n%s\n%s", aj, bj)
+	}
+}

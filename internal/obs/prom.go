@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ContentType is the Content-Type of the text exposition format this
+// writer produces.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// ExpositionWriter renders metric families in the Prometheus text
+// exposition format (hand-rolled: the contract is stable enough not to
+// warrant a client library, and the image bakes in no new dependencies).
+// Every family gets exactly one # HELP and one # TYPE line before its
+// samples; re-registering a family name is an error, so a surface built
+// on this writer cannot emit duplicate or untyped series.
+type ExpositionWriter struct {
+	w    io.Writer
+	seen map[string]bool
+	err  error
+}
+
+// NewExpositionWriter wraps w.
+func NewExpositionWriter(w io.Writer) *ExpositionWriter {
+	return &ExpositionWriter{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first error encountered (a duplicate family or a write
+// failure); once set, further emissions are dropped.
+func (e *ExpositionWriter) Err() error { return e.err }
+
+func (e *ExpositionWriter) header(name, help, typ string) bool {
+	if e.err != nil {
+		return false
+	}
+	if e.seen[name] {
+		e.err = fmt.Errorf("obs: duplicate metric family %q", name)
+		return false
+	}
+	e.seen[name] = true
+	_, err := fmt.Fprintf(e.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	if err != nil {
+		e.err = err
+		return false
+	}
+	return true
+}
+
+func (e *ExpositionWriter) sample(name string, v float64) {
+	if e.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(e.w, "%s %s\n", name, formatFloat(v)); err != nil {
+		e.err = err
+	}
+}
+
+// Counter emits one counter family with a single sample.
+func (e *ExpositionWriter) Counter(name, help string, v float64) {
+	if e.header(name, help, "counter") {
+		e.sample(name, v)
+	}
+}
+
+// Gauge emits one gauge family with a single sample.
+func (e *ExpositionWriter) Gauge(name, help string, v float64) {
+	if e.header(name, help, "gauge") {
+		e.sample(name, v)
+	}
+}
+
+// Histogram emits one histogram family: cumulative _bucket series ending
+// at le="+Inf", then _sum and _count. A nil or empty histogram still
+// emits the full series set (all zeros), so a scrape target's series
+// never appear mid-run.
+func (e *ExpositionWriter) Histogram(name, help string, h *Histogram) {
+	if !e.header(name, help, "histogram") {
+		return
+	}
+	var cum uint64
+	if h != nil {
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			e.bucket(name, formatFloat(b), cum)
+		}
+		cum += h.counts[len(h.bounds)]
+	}
+	e.bucket(name, "+Inf", cum)
+	if h != nil {
+		e.sample(name+"_sum", h.sum)
+	} else {
+		e.sample(name+"_sum", 0)
+	}
+	e.sample(name+"_count", float64(cum))
+}
+
+func (e *ExpositionWriter) bucket(name, le string, cum uint64) {
+	if e.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(e.w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+		e.err = err
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// GridHistograms emits the standard grid histogram families under the
+// given prefix (the daemon uses "p2pgrid_"). m may be nil: every family
+// still appears, empty.
+func (e *ExpositionWriter) GridHistograms(prefix string, m *GridMetrics) {
+	var wc, qw, ex, tr, gs, ca *Histogram
+	if m != nil {
+		wc, qw, ex, tr, gs, ca = m.WorkflowCompletion, m.QueueWait, m.ExecTime, m.TransferTime, m.GossipStaleness, m.Phase1Candidates
+	}
+	e.Histogram(prefix+"workflow_completion_seconds", "Admission-to-completion latency per workflow (virtual seconds).", wc)
+	e.Histogram(prefix+"task_queue_wait_seconds", "Per-task wait from data-complete to CPU start (virtual seconds).", qw)
+	e.Histogram(prefix+"task_exec_seconds", "Per-task pure execution time (virtual seconds).", ex)
+	e.Histogram(prefix+"task_transfer_seconds", "Per-task dispatch-to-data-complete input streaming time (virtual seconds).", tr)
+	e.Histogram(prefix+"gossip_staleness_seconds", "Age of the scheduler's cached state record for the chosen node at dispatch (virtual seconds).", gs)
+	e.Histogram(prefix+"dbc_phase1_candidates", "DBC phase-1 candidate-set size per scheduling decision.", ca)
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpositionCounterGauge(t *testing.T) {
+	var b strings.Builder
+	e := NewExpositionWriter(&b)
+	e.Counter("x_total", "A counter.", 3)
+	e.Gauge("y", "A gauge.", 1.5)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP x_total A counter.\n# TYPE x_total counter\nx_total 3\n" +
+		"# HELP y A gauge.\n# TYPE y gauge\ny 1.5\n"
+	if b.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestExpositionRejectsDuplicateFamily(t *testing.T) {
+	var b strings.Builder
+	e := NewExpositionWriter(&b)
+	e.Counter("x", "First.", 1)
+	e.Gauge("x", "Second, same name.", 2)
+	if err := e.Err(); err == nil || !strings.Contains(err.Error(), "duplicate metric family") {
+		t.Fatalf("err = %v, want duplicate-family error", err)
+	}
+	if strings.Contains(b.String(), "Second") {
+		t.Fatal("duplicate family leaked output")
+	}
+}
+
+func TestExpositionHistogram(t *testing.T) {
+	h := NewHistogram(1, 10)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+	var b strings.Builder
+	e := NewExpositionWriter(&b)
+	e.Histogram("lat_seconds", "Latency.", h)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="1"} 1`,
+		`lat_seconds_bucket{le="10"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 105.5",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionNilHistogramEmitsZeroSeries(t *testing.T) {
+	var b strings.Builder
+	e := NewExpositionWriter(&b)
+	e.Histogram("empty_seconds", "Never observed.", nil)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`empty_seconds_bucket{le="+Inf"} 0`,
+		"empty_seconds_sum 0",
+		"empty_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestGridHistogramsFamilies(t *testing.T) {
+	m := NewGridMetrics()
+	m.WorkflowCompletion.Observe(1200)
+	var b strings.Builder
+	e := NewExpositionWriter(&b)
+	e.GridHistograms("p2pgrid_", m)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, fam := range []string{
+		"p2pgrid_workflow_completion_seconds",
+		"p2pgrid_task_queue_wait_seconds",
+		"p2pgrid_task_exec_seconds",
+		"p2pgrid_task_transfer_seconds",
+		"p2pgrid_gossip_staleness_seconds",
+		"p2pgrid_dbc_phase1_candidates",
+	} {
+		if !strings.Contains(out, "# TYPE "+fam+" histogram") {
+			t.Fatalf("family %s missing TYPE line in:\n%s", fam, out)
+		}
+		if !strings.Contains(out, fam+`_bucket{le="+Inf"}`) {
+			t.Fatalf("family %s missing +Inf bucket", fam)
+		}
+	}
+	// Emitting the same families twice must trip the duplicate guard.
+	e.GridHistograms("p2pgrid_", m)
+	if e.Err() == nil {
+		t.Fatal("second GridHistograms emission should error on duplicates")
+	}
+}

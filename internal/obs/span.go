@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// This file converts the internal/trace event stream into per-workflow /
+// per-task spans and renders them as Chrome trace-event JSON (the
+// "traceEvents" array format), loadable directly in Perfetto or
+// chrome://tracing. The mapping:
+//
+//	process 0              one thread per workflow, spanning
+//	                       submit → workflow-done/failed
+//	process node+1         thread 0: exec spans (exec-start → exec-end)
+//	                       thread 1: transfer spans (dispatch → ready)
+//	                       instants: task failures, hand-backs, churn
+//
+// Virtual seconds map to trace microseconds, so one sim second reads as
+// one millisecond-scale unit in the viewer at default zoom.
+
+// TraceEvent is one Chrome trace-event object. Ts and Dur are in
+// microseconds per the format; Ph is the phase ("X" complete span, "i"
+// instant, "M" metadata).
+type TraceEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Ph    string            `json:"ph"`
+	Ts    float64           `json:"ts"`
+	Dur   float64           `json:"dur"`
+	Pid   int               `json:"pid"`
+	Tid   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace-event JSON document.
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// JSON marshals the trace.
+func (c *ChromeTrace) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(c, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("obs: chrome trace encode: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+const micros = 1e6 // virtual seconds → trace microseconds
+
+const (
+	pidWorkflows = 0 // workflow lanes live in process 0
+	tidExec      = 0 // node-process thread for exec spans
+	tidTransfer  = 1 // node-process thread for transfer spans
+)
+
+// BuildChromeTrace converts an event stream (as recorded by a
+// trace.Buffer) into spans. Open spans whose start fell out of a bounded
+// ring buffer, or that never closed before the snapshot, are dropped —
+// the export is a view, not an accounting surface.
+func BuildChromeTrace(events []trace.Event) *ChromeTrace {
+	type open struct {
+		at   float64
+		node int
+	}
+	taskKey := func(e trace.Event) string { return e.Workflow + "\x00" + e.Task }
+	transfers := make(map[string]open) // dispatch seen, ready pending
+	execs := make(map[string]open)     // exec-start seen, exec-end pending
+	submits := make(map[string]open)   // submit seen, workflow-done pending
+	wfTid := make(map[string]int)      // workflow name → thread in process 0
+	nodes := make(map[int]bool)        // node processes referenced
+
+	tr := &ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: []TraceEvent{}}
+	span := func(name, cat string, pid, tid int, from, to float64, args map[string]string) {
+		tr.TraceEvents = append(tr.TraceEvents, TraceEvent{
+			Name: name, Cat: cat, Ph: "X",
+			Ts: from * micros, Dur: (to - from) * micros,
+			Pid: pid, Tid: tid, Args: args,
+		})
+	}
+	instant := func(name, cat string, pid, tid int, at float64) {
+		tr.TraceEvents = append(tr.TraceEvents, TraceEvent{
+			Name: name, Cat: cat, Ph: "i", Ts: at * micros,
+			Pid: pid, Tid: tid, Scope: "t",
+		})
+	}
+	node := func(id int) int { nodes[id] = true; return id + 1 }
+
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindSubmit:
+			if _, ok := wfTid[e.Workflow]; !ok {
+				wfTid[e.Workflow] = len(wfTid)
+			}
+			submits[e.Workflow] = open{at: e.Time, node: e.Node}
+		case trace.KindWorkflowDone, trace.KindWorkflowFailed:
+			if s, ok := submits[e.Workflow]; ok {
+				cat := "workflow"
+				if e.Kind == trace.KindWorkflowFailed {
+					cat = "workflow-failed"
+				}
+				span(e.Workflow, cat, pidWorkflows, wfTid[e.Workflow], s.at, e.Time,
+					map[string]string{"home": fmt.Sprint(s.node)})
+				delete(submits, e.Workflow)
+			}
+		case trace.KindDispatch:
+			transfers[taskKey(e)] = open{at: e.Time, node: e.Node}
+		case trace.KindReady:
+			if s, ok := transfers[taskKey(e)]; ok && s.node == e.Node {
+				span(e.Workflow+"/"+e.Task, "transfer", node(e.Node), tidTransfer, s.at, e.Time, nil)
+				delete(transfers, taskKey(e))
+			}
+		case trace.KindExecStart:
+			execs[taskKey(e)] = open{at: e.Time, node: e.Node}
+		case trace.KindExecEnd:
+			if s, ok := execs[taskKey(e)]; ok && s.node == e.Node {
+				span(e.Workflow+"/"+e.Task, "exec", node(e.Node), tidExec, s.at, e.Time, nil)
+				delete(execs, taskKey(e))
+			}
+		case trace.KindTaskFailed:
+			instant("fail "+e.Workflow+"/"+e.Task, "churn", node(e.Node), tidExec, e.Time)
+			delete(transfers, taskKey(e))
+			delete(execs, taskKey(e))
+		case trace.KindHandBack:
+			instant("handback "+e.Workflow+"/"+e.Task, "churn", node(e.Node), tidExec, e.Time)
+		case trace.KindNodeDown:
+			instant("node down", "churn", node(e.Node), tidExec, e.Time)
+		case trace.KindNodeUp:
+			instant("node up", "churn", node(e.Node), tidExec, e.Time)
+		}
+	}
+
+	// Metadata names the processes and workflow threads so the viewer
+	// shows lanes, not bare pids. Emitted after the spans (order is free
+	// in the format) but deterministically: workflows by tid, nodes by id.
+	meta := func(name string, pid, tid int, arg string) {
+		tr.TraceEvents = append(tr.TraceEvents, TraceEvent{
+			Name: name, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]string{"name": arg},
+		})
+	}
+	meta("process_name", pidWorkflows, 0, "workflows")
+	byTid := make([]string, len(wfTid))
+	for name, tid := range wfTid {
+		byTid[tid] = name
+	}
+	for tid, name := range byTid {
+		meta("thread_name", pidWorkflows, tid, name)
+	}
+	ids := make([]int, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		meta("process_name", id+1, 0, fmt.Sprintf("node %d", id))
+		meta("thread_name", id+1, tidExec, "exec")
+		meta("thread_name", id+1, tidTransfer, "transfer")
+	}
+	return tr
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func sampleEvents() []trace.Event {
+	return []trace.Event{
+		{Time: 0, Kind: trace.KindSubmit, Node: 3, Workflow: "wf0"},
+		{Time: 1, Kind: trace.KindDispatch, Node: 5, Workflow: "wf0", Task: "t0"},
+		{Time: 4, Kind: trace.KindReady, Node: 5, Workflow: "wf0", Task: "t0"},
+		{Time: 4, Kind: trace.KindExecStart, Node: 5, Workflow: "wf0", Task: "t0"},
+		{Time: 9, Kind: trace.KindExecEnd, Node: 5, Workflow: "wf0", Task: "t0"},
+		{Time: 9.5, Kind: trace.KindNodeDown, Node: 7},
+		{Time: 10, Kind: trace.KindWorkflowDone, Node: 3, Workflow: "wf0"},
+	}
+}
+
+func TestBuildChromeTraceSpans(t *testing.T) {
+	tr := BuildChromeTrace(sampleEvents())
+	var wf, exec, transfer, instants, metas int
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "X":
+			if e.Dur < 0 {
+				t.Fatalf("negative span duration: %+v", e)
+			}
+			switch e.Cat {
+			case "workflow":
+				wf++
+				if e.Pid != pidWorkflows || e.Dur != 10*micros {
+					t.Fatalf("workflow span: %+v", e)
+				}
+			case "exec":
+				exec++
+				if e.Pid != 6 || e.Tid != tidExec || e.Dur != 5*micros {
+					t.Fatalf("exec span: %+v", e)
+				}
+			case "transfer":
+				transfer++
+				if e.Pid != 6 || e.Tid != tidTransfer || e.Dur != 3*micros {
+					t.Fatalf("transfer span: %+v", e)
+				}
+			}
+		case "i":
+			instants++
+		case "M":
+			metas++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if wf != 1 || exec != 1 || transfer != 1 || instants != 1 {
+		t.Fatalf("spans: wf=%d exec=%d transfer=%d instants=%d, want 1 each", wf, exec, transfer, instants)
+	}
+	if metas == 0 {
+		t.Fatal("no metadata events emitted")
+	}
+}
+
+func TestBuildChromeTraceDropsOpenSpans(t *testing.T) {
+	// An exec-start with no exec-end (ring overflow or mid-run snapshot)
+	// must not produce a span, and an exec-end whose start landed on a
+	// different node (steal + re-dispatch) must not pair across nodes.
+	tr := BuildChromeTrace([]trace.Event{
+		{Time: 1, Kind: trace.KindExecStart, Node: 2, Workflow: "wf0", Task: "t0"},
+		{Time: 5, Kind: trace.KindExecEnd, Node: 4, Workflow: "wf0", Task: "t0"},
+	})
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "X" {
+			t.Fatalf("unpaired events produced a span: %+v", e)
+		}
+	}
+}
+
+func TestChromeTraceJSONStructure(t *testing.T) {
+	data, err := BuildChromeTrace(sampleEvents()).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("unexpected document: unit=%q events=%d", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" && e.Ph != "i" && e.Ph != "M" {
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+}
+
+func TestBuildChromeTraceDeterministic(t *testing.T) {
+	a, _ := BuildChromeTrace(sampleEvents()).JSON()
+	b, _ := BuildChromeTrace(sampleEvents()).JSON()
+	if string(a) != string(b) {
+		t.Fatal("same events produced different trace JSON")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Handler wraps a Service in the /v1 HTTP API. It is a pure codec: every
@@ -19,6 +21,7 @@ import (
 //	POST /v1/workflows            submit one workflow (wire.SubmitRequest)
 //	POST /v1/workflows/replay     schedule an arrival process (wire.ReplayRequest)
 //	GET  /v1/workflows/{id}       workflow status
+//	GET  /v1/workflows/{id}/trace workflow span timeline (Chrome trace-event JSON)
 //	GET  /v1/nodes/{id}/next-task node queue preview
 //	GET  /v1/metrics              snapshot (+ ?format=prometheus)
 //	GET  /metrics                 Prometheus text format (scrape alias)
@@ -67,6 +70,26 @@ func Handler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
+	mux.HandleFunc("GET /v1/workflows/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad workflow id %q", r.PathValue("id")), 0)
+			return
+		}
+		tr, err := s.WorkflowTrace(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error(), 0)
+			return
+		}
+		data, err := tr.JSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error(), 0)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data) //nolint:errcheck
+	})
 	mux.HandleFunc("GET /v1/nodes/{id}/next-task", func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.Atoi(r.PathValue("id"))
 		if err != nil {
@@ -83,13 +106,13 @@ func Handler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		m := s.Snapshot()
 		if r.URL.Query().Get("format") == "prometheus" {
-			writeProm(w, m)
+			writeProm(w, m, s.ObsSnapshot())
 			return
 		}
 		writeJSON(w, http.StatusOK, m)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeProm(w, s.Snapshot())
+		writeProm(w, s.Snapshot(), s.ObsSnapshot())
 	})
 	mux.HandleFunc("POST /v1/clock/advance", func(w http.ResponseWriter, r *http.Request) {
 		var req AdvanceRequest
@@ -167,31 +190,26 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // writeProm renders the snapshot in the Prometheus text exposition format
+// through the obs exposition writer, which guarantees every family one
+// # HELP and one # TYPE line and rejects duplicate registration
 // (hand-rolled: the contract is stable enough not to warrant a client
 // library, and the image bakes in no new dependencies).
-func writeProm(w http.ResponseWriter, m MetricsResponse) {
+func writeProm(w http.ResponseWriter, m MetricsResponse, gm *obs.GridMetrics) {
 	var b strings.Builder
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
-			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
-	}
-	counter := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %s\n",
-			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
-	}
-	gauge("p2pgrid_now_seconds", "Current virtual time in seconds.", m.NowSeconds)
-	counter("p2pgrid_workflows_completed_total", "Workflows completed.", float64(m.Snapshot.Completed))
-	counter("p2pgrid_workflows_failed_total", "Workflows failed.", float64(m.Snapshot.Failed))
-	counter("p2pgrid_submissions_admitted_total", "Submissions admitted.", float64(m.Admitted))
-	counter("p2pgrid_submissions_rejected_total", "Submissions shed by admission control.", float64(m.Rejected))
-	counter("p2pgrid_submissions_dropped_total", "Arrivals dropped at dead home nodes.", float64(m.Dropped))
-	gauge("p2pgrid_workflows_in_flight", "Admitted workflows not yet finished.", float64(m.InFlight))
-	gauge("p2pgrid_workflows_in_flight_max", "Admission bound on in-flight workflows.", float64(m.MaxInFlight))
-	gauge("p2pgrid_replay_pending", "Replay arrivals scheduled but not yet due.", float64(m.Pending))
-	gauge("p2pgrid_act_seconds", "Average completion time of finished workflows.", m.Snapshot.ACT)
-	gauge("p2pgrid_ae", "Application efficiency.", m.Snapshot.AE)
-	gauge("p2pgrid_nodes_alive", "Alive nodes.", float64(m.Snapshot.AliveNodes))
-	gauge("p2pgrid_draining", "1 while a drain is in progress.", boolTo01(m.Draining))
+	e := obs.NewExpositionWriter(&b)
+	e.Gauge("p2pgrid_now_seconds", "Current virtual time in seconds.", m.NowSeconds)
+	e.Counter("p2pgrid_workflows_completed_total", "Workflows completed.", float64(m.Snapshot.Completed))
+	e.Counter("p2pgrid_workflows_failed_total", "Workflows failed.", float64(m.Snapshot.Failed))
+	e.Counter("p2pgrid_submissions_admitted_total", "Submissions admitted.", float64(m.Admitted))
+	e.Counter("p2pgrid_submissions_rejected_total", "Submissions shed by admission control.", float64(m.Rejected))
+	e.Counter("p2pgrid_submissions_dropped_total", "Arrivals dropped at dead home nodes.", float64(m.Dropped))
+	e.Gauge("p2pgrid_workflows_in_flight", "Admitted workflows not yet finished.", float64(m.InFlight))
+	e.Gauge("p2pgrid_workflows_in_flight_max", "Admission bound on in-flight workflows.", float64(m.MaxInFlight))
+	e.Gauge("p2pgrid_replay_pending", "Replay arrivals scheduled but not yet due.", float64(m.Pending))
+	e.Gauge("p2pgrid_act_seconds", "Average completion time of finished workflows.", m.Snapshot.ACT)
+	e.Gauge("p2pgrid_ae", "Application efficiency.", m.Snapshot.AE)
+	e.Gauge("p2pgrid_nodes_alive", "Alive nodes.", float64(m.Snapshot.AliveNodes))
+	e.Gauge("p2pgrid_draining", "1 while a drain is in progress.", boolTo01(m.Draining))
 	// Economic series: always exposed (zero on an unpriced, contract-free
 	// daemon) so dashboards and alerts never see a metric appear mid-run.
 	var misses, violations, fallbacks, spend float64
@@ -201,11 +219,18 @@ func writeProm(w http.ResponseWriter, m MetricsResponse) {
 		fallbacks = float64(sla.Fallbacks)
 		spend = sla.TotalSpend
 	}
-	counter("p2pgrid_deadline_misses_total", "Completed workflows that missed their SLA deadline.", misses)
-	counter("p2pgrid_budget_violations_total", "Completed workflows whose spend exceeded their SLA budget.", violations)
-	counter("p2pgrid_sla_fallbacks_total", "Constrained dispatches degraded to best-effort (no feasible node).", fallbacks)
-	counter("p2pgrid_spend_total", "Total settled spend across all workflows.", spend)
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e.Counter("p2pgrid_deadline_misses_total", "Completed workflows that missed their SLA deadline.", misses)
+	e.Counter("p2pgrid_budget_violations_total", "Completed workflows whose spend exceeded their SLA budget.", violations)
+	e.Counter("p2pgrid_sla_fallbacks_total", "Constrained dispatches degraded to best-effort (no feasible node).", fallbacks)
+	e.Counter("p2pgrid_spend_total", "Total settled spend across all workflows.", spend)
+	// Histogram families: always exposed too, empty until observations
+	// land, for the same never-appear-mid-run reason.
+	e.GridHistograms("p2pgrid_", gm)
+	if err := e.Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte(b.String())) //nolint:errcheck
 }

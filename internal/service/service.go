@@ -22,6 +22,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
@@ -32,8 +33,10 @@ import (
 	"repro/internal/grid"
 	"repro/internal/heuristics"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/internal/workload"
 	"repro/internal/workload/loadspec"
@@ -102,7 +105,16 @@ type Config struct {
 	// carrying budgets are then rejected, since budgets are denominated in
 	// the pricing model's currency.
 	Price economy.PriceSpec
+	// Log receives structured daemon events (admissions, replays, drains).
+	// Nil discards them. Logging never touches simulation state, so two
+	// daemons differing only in Log stay byte-identical.
+	Log *slog.Logger
 }
+
+// traceBufferCap bounds the daemon's always-on event ring: ~500 Table-I
+// workflows of span history. Older events fall off the ring; a workflow
+// trace fetched after that shows its surviving suffix.
+const traceBufferCap = 1 << 16
 
 func (c Config) withDefaults() Config {
 	if c.Scale.Nodes == 0 {
@@ -127,10 +139,13 @@ func (c Config) withDefaults() Config {
 type Service struct {
 	cfg  Config
 	algo grid.Algorithm
+	log  *slog.Logger
 
-	mu  sync.Mutex
-	eng sim.Driver
-	g   *grid.Grid
+	mu       sync.Mutex
+	eng      sim.Driver
+	g        *grid.Grid
+	obs      *obs.GridMetrics // always-on histogram families (under mu)
+	traceBuf *trace.Buffer    // always-on bounded event ring (under mu)
 
 	// Counters mutated under mu (replay arrival callbacks run inside
 	// RunUntil, which is itself always called under mu).
@@ -169,7 +184,14 @@ func New(cfg Config) (*Service, error) {
 	} else {
 		eng = sim.NewEngine()
 	}
-	g, err := grid.New(eng, grid.Config{Net: net, Seed: cfg.Seed}, algo)
+	// The daemon's observability is always on: histogram families for
+	// /metrics and a bounded event ring for per-workflow trace export.
+	// Observation reads simulation state but never feeds back into it, so
+	// status bodies, snapshots and soak digests stay byte-identical to an
+	// unobserved daemon (pinned by TestSoakDigestUnchangedByObservability).
+	gm := obs.NewGridMetrics()
+	tb := trace.NewBuffer(traceBufferCap)
+	g, err := grid.New(eng, grid.Config{Net: net, Seed: cfg.Seed, Obs: gm, Tracer: tb}, algo)
 	if err != nil {
 		return nil, fmt.Errorf("service: grid: %w", err)
 	}
@@ -187,7 +209,11 @@ func New(cfg Config) (*Service, error) {
 			return nil, fmt.Errorf("service: %w", err)
 		}
 	}
-	s := &Service{cfg: cfg, algo: algo, eng: eng, g: g, chunk: g.Cfg.SchedulingInterval}
+	logger := cfg.Log
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	s := &Service{cfg: cfg, algo: algo, log: logger, eng: eng, g: g, obs: gm, traceBuf: tb, chunk: g.Cfg.SchedulingInterval}
 	if s.chunk <= 0 {
 		s.chunk = 900
 	}
@@ -197,6 +223,10 @@ func New(cfg Config) (*Service, error) {
 		s.pacerDone = make(chan struct{})
 		go s.pace()
 	}
+	s.log.Info("service started",
+		"scale", cfg.Scale.Name, "nodes", len(g.Nodes), "algo", cfg.Algo,
+		"seed", cfg.Seed, "shards", cfg.Shards, "clock", s.Clock(),
+		"max_in_flight", cfg.MaxInFlight, "priced", g.PricingEnabled())
 	return s, nil
 }
 
@@ -270,6 +300,7 @@ func (s *Service) Submit(req wire.SubmitRequest) (wire.SubmitResponse, error) {
 	}
 	if s.inFlightLocked() >= s.cfg.MaxInFlight {
 		s.rejected++
+		s.log.Warn("submission shed", "in_flight", s.inFlightLocked(), "max_in_flight", s.cfg.MaxInFlight)
 		return wire.SubmitResponse{}, ErrOverloaded
 	}
 	if err := validateSLARequest(req, s.g.PricingEnabled()); err != nil {
@@ -299,6 +330,9 @@ func (s *Service) Submit(req wire.SubmitRequest) (wire.SubmitResponse, error) {
 		s.g.SetWorkflowSLA(wf, sla)
 	}
 	s.admitted++
+	s.log.Debug("workflow admitted",
+		"id", wf.Seq, "name", w.Name, "home", home,
+		"tasks", realTaskCount(w), "t", wf.SubmittedAt)
 	return wire.SubmitResponse{
 		ID:          wf.Seq,
 		Name:        w.Name,
@@ -602,6 +636,8 @@ func (s *Service) Replay(req wire.ReplayRequest) (wire.ReplayResponse, error) {
 	}
 	fire(0)
 	first, last := subs[0].SubmitAt, subs[len(subs)-1].SubmitAt
+	s.log.Info("replay scheduled",
+		"arrivals", len(subs), "first_at", now+first, "last_at", now+last)
 	return wire.ReplayResponse{
 		Scheduled:   len(subs),
 		FirstAt:     now + first,
@@ -683,7 +719,9 @@ func (s *Service) Drain() (wire.MetricsResponse, error) {
 	}
 	s.draining = true
 	deadline := s.eng.Now() + s.cfg.DrainHorizonSeconds
+	inFlight := s.inFlightLocked()
 	s.mu.Unlock()
+	s.log.Info("drain started", "in_flight", inFlight)
 	for {
 		s.mu.Lock()
 		done := s.inFlightLocked() == 0 && s.pending == 0
@@ -707,7 +745,32 @@ func (s *Service) Drain() (wire.MetricsResponse, error) {
 	s.eng.Stop()
 	s.closed = true
 	s.mu.Unlock()
+	s.log.Info("drain finished",
+		"t", snap.NowSeconds, "completed", snap.Snapshot.Completed, "failed", snap.Snapshot.Failed)
 	return snap, nil
+}
+
+// ObsSnapshot returns an independent copy of the daemon's histogram
+// families, safe to render outside the service lock.
+func (s *Service) ObsSnapshot() *obs.GridMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obs.Clone()
+}
+
+// WorkflowTrace exports one workflow's span timeline as a Chrome
+// trace-event document (Perfetto-loadable). The daemon's event ring is
+// bounded, so a long-finished workflow's early events may have fallen
+// off; the export shows whatever survives.
+func (s *Service) WorkflowTrace(id int) (*obs.ChromeTrace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.g.Workflows) {
+		return nil, fmt.Errorf("service: unknown workflow %d", id)
+	}
+	name := s.g.Workflows[id].W.Name
+	events := s.traceBuf.Filter(func(e trace.Event) bool { return e.Workflow == name })
+	return obs.BuildChromeTrace(events), nil
 }
 
 func (s *Service) inFlight() int {

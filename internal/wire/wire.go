@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Schema-version constants for every envelope in the repository. Bump a
@@ -83,6 +84,11 @@ type SweepCell struct {
 	Reps      int                  `json:"reps,omitempty"`
 	Seeds     []int64              `json:"seeds"`
 	Aggregate metrics.RunAggregate `json:"aggregate"`
+	// Obs is the cell's merged virtual-time distribution block, present
+	// only when the sweep ran with observability on. Appended after every
+	// pre-observability field with omitempty, so artifacts produced with
+	// observability off stay byte-identical to older binaries' output.
+	Obs *obs.Summary `json:"obs,omitempty"`
 }
 
 // Shard is a mergeable partial sweep result: the per-replication stats of
