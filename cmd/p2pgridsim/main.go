@@ -156,6 +156,8 @@ type options struct {
 	arrival    string  // arrival process (batch|poisson:R|mmpp:R[:B]|diurnal:R[:P]|trace)
 	tracePath  string  // SWF trace file ("sample" = the bundled demo trace)
 	traceScale float64 // submit-time multiplier compressing/stretching the trace
+	model      string  // fitted workload-model artifact (wfgen -fit output)
+	synth      int     // -model synthesis job count (0 = the model's fitted count)
 
 	sla   string // SLA contract spec (none|deadline:F|budget:F|both:DF:BF)
 	price string // pricing model (none|RATE[:SPREAD])
@@ -199,13 +201,18 @@ func (o options) economySetup() (economy.SLASpec, economy.PriceSpec, error) {
 	return sla, price, nil
 }
 
-// arrivalSetup resolves the -arrival/-trace flags into the pieces
+// arrivalSetup resolves the -arrival/-trace/-model flags into the pieces
 // experiments consume: a parsed arrival spec and/or a loaded trace.
 // "-trace sample" (or "-arrival trace" alone) selects the bundled demo
-// trace, anything else is an SWF file path. The resolution rules and error
-// vocabulary live in loadspec, shared with wfgen and the service API.
+// trace, anything else is an SWF file path; -model synthesizes a trace
+// from a fitted workload model (wfgen -fit) under the run seed. The
+// resolution rules and error vocabulary live in loadspec, shared with
+// wfgen and the service API.
 func (o options) arrivalSetup() (arrival.Spec, *traces.Trace, error) {
-	sp, err := loadspec.Resolve(o.arrival, o.tracePath, o.traceScale)
+	sp, err := loadspec.ResolveOptions(loadspec.Options{
+		Arrival: o.arrival, Trace: o.tracePath, TraceScale: o.traceScale,
+		Model: o.model, Synth: o.synth, Seed: o.seed,
+	})
 	if err != nil {
 		return arrival.Spec{}, nil, err
 	}
@@ -240,6 +247,8 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		priceF  = fs.String("price", "", "pricing model for single/sweep cells and -serve: none|RATE[:SPREAD] (capacity-proportional per-MI rates, ±SPREAD jitter)")
 		trc     = fs.String("trace", "", "SWF/GWF trace file for trace replay (\"sample\" = the bundled demo trace)")
 		trscale = fs.Float64("trace-scale", 1, "multiply trace submit times by this factor (compress a multi-day trace into the horizon)")
+		modelF  = fs.String("model", "", "synthesize the workload from this fitted model artifact (wfgen -fit output); replaces -arrival/-trace")
+		synthF  = fs.Int("synth", 0, "number of jobs to synthesize from -model (0 = the model's fitted count)")
 		cgc     = fs.Bool("cache-gc", false, "garbage-collect the -cache directory (needs -cache-budget and/or -cache-days) and exit")
 		cbudget = fs.Int64("cache-budget", 0, "cache GC size budget in MB, oldest-access entries dropped first (0 = no size bound)")
 		cdays   = fs.Float64("cache-days", 0, "cache GC max entry age in days (0 = no age bound)")
@@ -404,6 +413,8 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		arrival:     *arr,
 		tracePath:   *trc,
 		traceScale:  *trscale,
+		model:       *modelF,
+		synth:       *synthF,
 		sla:         *slaF,
 		price:       *priceF,
 		cacheGC:     *cgc,
@@ -443,9 +454,10 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if o.arrival != "" || o.tracePath != "" || (o.traceScale != 0 && o.traceScale != 1) {
-		// Validate eagerly: a malformed spec or unreadable trace must fail
-		// even when the selected experiment would never consume it.
+	if o.arrival != "" || o.tracePath != "" || (o.traceScale != 0 && o.traceScale != 1) || o.model != "" || o.synth != 0 {
+		// Validate eagerly: a malformed spec, unreadable trace or bad
+		// model must fail even when the selected experiment would never
+		// consume it.
 		if _, _, err := o.arrivalSetup(); err != nil {
 			fmt.Fprintln(stderr, "p2pgridsim:", err)
 			return 2
@@ -453,7 +465,7 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		switch o.experiment {
 		case "single", "sweep", "arrival":
 		default:
-			fmt.Fprintf(stderr, "p2pgridsim: -arrival/-trace only apply to single, sweep and arrival; %q runs the batch workload\n", o.experiment)
+			fmt.Fprintf(stderr, "p2pgridsim: -arrival/-trace/-model only apply to single, sweep and arrival; %q runs the batch workload\n", o.experiment)
 		}
 	}
 	if o.sla != "" || o.price != "" {
@@ -771,7 +783,7 @@ func runSweep(o options) error {
 	if err != nil {
 		return err
 	}
-	if o.arrival != "" || o.tracePath != "" {
+	if o.arrival != "" || o.tracePath != "" || o.model != "" {
 		aspec, tr, err := o.arrivalSetup()
 		if err != nil {
 			return err

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload/mining"
+)
+
+// TestFitEmitsDeterministicArtifact: two -fit runs over the same trace
+// print byte-identical model JSON (the PR's acceptance criterion), the
+// artifact decodes cleanly, and its embedded goodness of fit puts the
+// synthesized interarrival mean and CV within 10% of the source.
+func TestFitEmitsDeterministicArtifact(t *testing.T) {
+	code, first, stderr := runWfgen("-fit", "sample")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "gof:") {
+		t.Fatalf("no goodness-of-fit report on stderr:\n%s", stderr)
+	}
+	code, second, _ := runWfgen("-fit", "sample")
+	if code != 0 {
+		t.Fatal("second fit failed")
+	}
+	if first != second {
+		t.Fatalf("two fits of the same trace differ:\n%s\n---\n%s", first, second)
+	}
+	m, err := mining.Decode([]byte(first))
+	if err != nil {
+		t.Fatalf("emitted artifact does not decode: %v", err)
+	}
+	if m.GoF.MeanErr > 0.10 || m.GoF.CVErr > 0.10 {
+		t.Fatalf("synthesized moments off by mean %v / cv %v, want <= 10%%", m.GoF.MeanErr, m.GoF.CVErr)
+	}
+}
+
+// TestFitTraceScaleIgnored pins the trace-scale ordering rule: fitting is
+// always on unscaled times, so -trace-scale must not change the artifact
+// (it warns instead), while -model -trace-scale compresses the
+// synthesized schedule.
+func TestFitTraceScaleIgnored(t *testing.T) {
+	_, plain, _ := runWfgen("-fit", "sample")
+	code, scaled, stderr := runWfgen("-fit", "sample", "-trace-scale", "0.5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if plain != scaled {
+		t.Fatal("-trace-scale changed the fitted artifact; fits must be on unscaled times")
+	}
+	if !strings.Contains(stderr, "ignored at fit time") {
+		t.Fatalf("no ignored -trace-scale warning:\n%s", stderr)
+	}
+
+	model := writeModel(t)
+	_, full, _ := runWfgen("-format", "schedule", "-model", model, "-count", "10")
+	code, half, stderr := runWfgen("-format", "schedule", "-model", model, "-count", "10", "-trace-scale", "0.5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	lastSubmit := func(out string) string {
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		return strings.Fields(lines[len(lines)-1])[0]
+	}
+	fullLast, halfLast := lastSubmit(full), lastSubmit(half)
+	if fullLast == halfLast {
+		t.Fatalf("-trace-scale 0.5 left the synthesized schedule unchanged (last submit %s)", fullLast)
+	}
+}
+
+// TestModelSchedule: -model drives -format schedule through the trace
+// machinery, the count defaults to the model's fitted job count, and
+// -count rescales the synthesis.
+func TestModelSchedule(t *testing.T) {
+	model := writeModel(t)
+	code, stdout, stderr := runWfgen("-format", "schedule", "-model", model)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "42 workflows") {
+		t.Fatalf("default count is not the model's 42 jobs:\n%s", stdout)
+	}
+	code, stdout, stderr = runWfgen("-format", "schedule", "-model", model, "-count", "100")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "100 workflows") {
+		t.Fatalf("-count 100 did not rescale the synthesis:\n%s", stdout)
+	}
+	// Deterministic: same model, same seed, same schedule.
+	_, again, _ := runWfgen("-format", "schedule", "-model", model, "-count", "100")
+	if stdout != again {
+		t.Fatal("two identical -model runs printed different schedules")
+	}
+}
+
+// TestModelFlagRules: the -fit / -model combination rules exit non-zero
+// with a message.
+func TestModelFlagRules(t *testing.T) {
+	model := writeModel(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"fit with model", []string{"-fit", "sample", "-model", model}},
+		{"fit with arrival", []string{"-fit", "sample", "-arrival", "poisson:10"}},
+		{"fit with trace", []string{"-fit", "sample", "-trace", "sample"}},
+		{"model with explicit arrival", []string{"-format", "schedule", "-model", model, "-arrival", "poisson:10"}},
+		{"model with trace", []string{"-format", "schedule", "-model", model, "-trace", "sample"}},
+		{"missing model file", []string{"-format", "schedule", "-model", "/nonexistent-dir/m.json"}},
+		{"fit missing trace file", []string{"-fit", "/nonexistent-dir/t.swf"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runWfgen(tc.args...)
+			if code == 0 {
+				t.Fatalf("args %v exited 0", tc.args)
+			}
+			if stderr == "" {
+				t.Fatalf("args %v failed silently", tc.args)
+			}
+		})
+	}
+}
+
+// writeModel fits the bundled sample trace and writes the artifact to a
+// temp file, returning its path.
+func writeModel(t *testing.T) string {
+	t.Helper()
+	code, artifact, stderr := runWfgen("-fit", "sample")
+	if code != 0 {
+		t.Fatalf("fit failed (exit %d):\n%s", code, stderr)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, []byte(artifact), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}

@@ -2,8 +2,12 @@
 // or the structured scientific families, emitting Graphviz DOT or JSON plus
 // an analysis summary (task/edge counts, expected finish time, critical
 // path) — or, with -format schedule, an arrival schedule pairing each
-// workflow with its virtual submit time under an arrival process or a
-// replayed SWF/GWA grid trace.
+// workflow with its virtual submit time under an arrival process, a
+// replayed SWF/GWA grid trace, or a fitted workload model.
+//
+// Workload mining: -fit FILE fits a generative model to a trace and prints
+// the versioned model artifact to stdout (goodness-of-fit report on
+// stderr); -model FILE synthesizes a schedule from such an artifact.
 //
 // Usage:
 //
@@ -11,6 +15,8 @@
 //	      [-scale N] [-count N] [-seed N] [-format dot|json|summary|schedule]
 //	      [-mips M] [-bw B]
 //	      [-arrival batch|poisson:R|mmpp:R[:B]|diurnal:R[:P]|trace] [-trace FILE]
+//	      [-model FILE]
+//	wfgen -fit FILE
 //
 // Examples:
 //
@@ -18,6 +24,8 @@
 //	wfgen -family random -count 5 -format summary
 //	wfgen -count 20 -format schedule -arrival poisson:120
 //	wfgen -format schedule -arrival trace -trace sample
+//	wfgen -fit sample > model.json
+//	wfgen -format schedule -model model.json -count 100
 package main
 
 import (
@@ -30,6 +38,8 @@ import (
 	"repro/internal/dag"
 	"repro/internal/stats"
 	"repro/internal/workload/loadspec"
+	"repro/internal/workload/mining"
+	"repro/internal/workload/traces"
 )
 
 func main() {
@@ -52,6 +62,8 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		arr     = fs.String("arrival", "poisson:60", "arrival process for -format schedule (batch|poisson:R|mmpp:R[:B]|diurnal:R[:P]|trace; rates in workflows/hour)")
 		trcPath = fs.String("trace", "", "SWF/GWF trace for -arrival trace (\"sample\" = the bundled demo trace)")
 		trscale = fs.Float64("trace-scale", 1, "multiply trace submit times by this factor")
+		fit     = fs.String("fit", "", "fit a workload model to this SWF/GWF trace (\"sample\" = bundled demo) and print the artifact")
+		model   = fs.String("model", "", "synthesize the -format schedule workload from this fitted model artifact")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -69,20 +81,71 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 			arrivalSet = true
 		}
 	})
-	if (arrivalSet || *trcPath != "") && *format != "schedule" {
+	if *fit != "" {
+		// Fit mode emits the model artifact and nothing else; the
+		// workload-source flags would contradict it.
+		if *model != "" || arrivalSet || *trcPath != "" {
+			fmt.Fprintln(stderr, "wfgen: -fit combines with none of -model, -arrival, -trace")
+			return 2
+		}
+		if *trscale != 1 {
+			// The trace-scale rule: fit on unscaled times; scale at
+			// synthesis (-model ... -trace-scale). See docs/workloads.md.
+			fmt.Fprintln(stderr, "wfgen: -trace-scale is ignored at fit time (fit on unscaled times, scale at synthesis)")
+		}
+		if err := runFit(*fit, stdout, stderr); err != nil {
+			fmt.Fprintln(stderr, "wfgen:", err)
+			return 1
+		}
+		return 0
+	}
+	if (arrivalSet || *trcPath != "" || *model != "") && *format != "schedule" {
 		// Validation below still runs (a typo must fail), but the flags
 		// have no effect outside the schedule format — say so.
-		fmt.Fprintf(stderr, "wfgen: -arrival/-trace only affect -format schedule; %q ignores them\n", *format)
+		fmt.Fprintf(stderr, "wfgen: -arrival/-trace/-model only affect -format schedule; %q ignores them\n", *format)
+	}
+	arrival := *arr
+	if *model != "" && !arrivalSet {
+		// The -arrival default must not collide with -model; only an
+		// explicit -arrival is a real conflict (loadspec rejects it).
+		arrival = ""
 	}
 	if err := run(genOptions{
 		family: *family, scale: *scale, count: *count, countSet: countSet,
 		seed: *seed, format: *format, mips: *mips, bw: *bw,
-		arrival: *arr, tracePath: *trcPath, traceScale: *trscale,
+		arrival: arrival, tracePath: *trcPath, traceScale: *trscale,
+		model: *model,
 	}, stdout); err != nil {
 		fmt.Fprintln(stderr, "wfgen:", err)
 		return 1
 	}
 	return 0
+}
+
+// runFit loads a trace ("sample" = the bundled demo), fits the workload
+// model, prints the artifact to stdout and the human-readable
+// goodness-of-fit report to stderr.
+func runFit(path string, stdout, stderr io.Writer) error {
+	var tr *traces.Trace
+	var err error
+	if path == "sample" {
+		tr = traces.Sample()
+	} else if tr, err = traces.Load(path); err != nil {
+		return err
+	}
+	m, err := mining.Fit(tr)
+	if err != nil {
+		return err
+	}
+	data, err := mining.Encode(m)
+	if err != nil {
+		return err
+	}
+	if _, err := stdout.Write(data); err != nil {
+		return err
+	}
+	fmt.Fprintln(stderr, mining.Report(m))
+	return nil
 }
 
 type genOptions struct {
@@ -96,6 +159,7 @@ type genOptions struct {
 	arrival    string
 	tracePath  string
 	traceScale float64
+	model      string
 }
 
 func run(o genOptions, stdout io.Writer) error {
@@ -113,7 +177,15 @@ func run(o genOptions, stdout io.Writer) error {
 	// must fail for every format, not only for -format schedule. The
 	// resolution rules and error vocabulary live in loadspec, shared with
 	// p2pgridsim and the service API.
-	sp, err := loadspec.Resolve(o.arrival, o.tracePath, o.traceScale)
+	synth := 0
+	if o.model != "" && o.countSet {
+		o.countSet = false // the synthesized length IS the count below
+		synth = o.count
+	}
+	sp, err := loadspec.ResolveOptions(loadspec.Options{
+		Arrival: o.arrival, Trace: o.tracePath, TraceScale: o.traceScale,
+		Model: o.model, Synth: synth, Seed: o.seed,
+	})
 	if err != nil {
 		return err
 	}

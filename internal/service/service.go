@@ -595,13 +595,18 @@ func (s *Service) advance(t float64) (float64, error) {
 // their due instant: overload sheds them, a dead home drops them — both
 // counted, both deterministic.
 func (s *Service) Replay(req wire.ReplayRequest) (wire.ReplayResponse, error) {
-	sp, err := loadspec.Resolve(req.Arrival, req.Trace, req.TraceScale)
-	if err != nil {
-		return wire.ReplayResponse{}, err
-	}
+	// Seed resolution precedes spec resolution: model synthesis consumes
+	// the seed inside ResolveOptions.
 	seed := req.Seed
 	if seed == 0 {
 		seed = s.cfg.Seed
+	}
+	sp, err := loadspec.ResolveOptions(loadspec.Options{
+		Arrival: req.Arrival, Trace: req.Trace, TraceScale: req.TraceScale,
+		Model: req.Model, Synth: req.Synth, Seed: seed,
+	})
+	if err != nil {
+		return wire.ReplayResponse{}, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -12,6 +14,8 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/workload/arrival"
+	"repro/internal/workload/mining"
+	"repro/internal/workload/traces"
 )
 
 func newTiny(t *testing.T, mut func(*Config)) *Service {
@@ -203,6 +207,50 @@ func TestReplayTraceSample(t *testing.T) {
 	m := s.Snapshot()
 	if m.Admitted != rr.Scheduled {
 		t.Fatalf("admitted %d of %d trace arrivals", m.Admitted, rr.Scheduled)
+	}
+}
+
+// TestReplayModel schedules a replay synthesized from a fitted workload
+// model: deterministic for equal (model, synth, seed), exclusive with the
+// arrival/trace fields, and counted like any other replay.
+func TestReplayModel(t *testing.T) {
+	m, err := mining.Fit(traces.Sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := mining.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() ReplayResponse {
+		s := newTiny(t, nil)
+		defer s.Close()
+		rr, err := s.Replay(ReplayRequest{Model: path, Synth: 25, Seed: 11})
+		if err != nil {
+			t.Fatalf("Replay(model): %v", err)
+		}
+		return rr
+	}
+	ra, rb := run(), run()
+	if ra != rb {
+		t.Fatalf("model replay acks differ: %+v vs %+v", ra, rb)
+	}
+	if ra.Scheduled != 25 || ra.SpanSeconds <= 0 {
+		t.Fatalf("unexpected model replay ack %+v", ra)
+	}
+
+	s := newTiny(t, nil)
+	defer s.Close()
+	if _, err := s.Replay(ReplayRequest{Model: path, Arrival: "poisson:60"}); err == nil {
+		t.Fatal("model + arrival accepted")
+	}
+	if _, err := s.Replay(ReplayRequest{Synth: 10}); err == nil {
+		t.Fatal("synth without model accepted")
 	}
 }
 

@@ -175,6 +175,13 @@ type ReplayRequest struct {
 	// Seed drives the arrival process and the generated workflows
 	// (default: the service seed).
 	Seed int64 `json:"seed,omitempty"`
+	// Model names a fitted workload-model artifact (wfgen -fit output) on
+	// the server's filesystem; the replay schedule is synthesized from it.
+	// Mutually exclusive with Arrival and Trace.
+	Model string `json:"model,omitempty"`
+	// Synth is the synthesis job count when Model is set (0 = the model's
+	// fitted count).
+	Synth int `json:"synth,omitempty"`
 }
 
 // ReplayResponse acknowledges a scheduled replay.

@@ -1,0 +1,104 @@
+package wire
+
+// This file is the fitted-workload-model artifact: the JSON envelope
+// `wfgen -fit` emits and `-model` (both CLIs and the service replay
+// endpoint) consumes. The numbers inside are produced by
+// internal/workload/mining; like every other envelope here the struct is
+// pure data, field order is part of the byte-identity contract, and the
+// math lives at the producer.
+
+// Model is a generative workload model fitted to an SWF/GWA trace
+// (schema ModelV1). It captures the trace's arrival structure (rate,
+// dispersion, burstiness, diurnality), its job-size marginal, and the
+// interarrival-size coupling — enough to synthesize a statistically
+// faithful workload at any scale. All values are rounded to 9 significant
+// digits at fit time so the artifact is byte-identical across runs and
+// platforms.
+type Model struct {
+	Schema string `json:"schema"`
+	// Source names the fitted trace (the parser's trace name).
+	Source string `json:"source"`
+	// Jobs is the number of usable jobs the fit saw; it is the default
+	// synthesis count when the consumer does not ask for another scale.
+	Jobs int `json:"jobs"`
+	// SpanSeconds is the submit-time extent of the fitted trace.
+	SpanSeconds float64 `json:"span_seconds"`
+	// Skipped counts trace records the parser dropped (SWF -1 sentinels).
+	Skipped int `json:"skipped,omitempty"`
+
+	Arrival ModelArrival `json:"arrival"`
+	Size    ModelSize    `json:"size"`
+
+	// Correlation is the normal-scores (Gaussian-copula) correlation
+	// between each interarrival gap and the size of the job that follows
+	// it, clamped to [-0.95, 0.95]. 0 means independent.
+	Correlation float64 `json:"correlation,omitempty"`
+
+	// GoF is the fit's self-assessment against the source trace,
+	// computed by synthesizing a same-size workload from this very
+	// artifact (after rounding) under a fixed seed.
+	GoF ModelGoF `json:"gof"`
+}
+
+// ModelArrival is the fitted arrival process. Kind selects the catalog
+// process the synthesizer modulates (poisson | mmpp | diurnal); the other
+// fields record every estimator's output whether or not its kind was
+// selected, so the artifact documents the full fit.
+type ModelArrival struct {
+	// Kind is the selected catalog process: poisson, mmpp or diurnal.
+	Kind string `json:"kind"`
+	// RatePerHour is the maximum-likelihood mean arrival rate.
+	RatePerHour float64 `json:"rate_per_hour"`
+	// CV is the interarrival coefficient of variation (1 = Poisson,
+	// < 1 = regular/hypo-exponential, > 1 = bursty/over-dispersed). The
+	// synthesizer reproduces it through a two-moment gamma renewal fit.
+	CV float64 `json:"cv"`
+	// Burst and DwellHours are the 2-state MMPP segmentation fit: the
+	// burst-to-calm rate ratio and the mean state dwell time. Present
+	// whenever the segmentation found at least one burst episode.
+	Burst      float64 `json:"burst,omitempty"`
+	DwellHours float64 `json:"dwell_hours,omitempty"`
+	// Episodes counts the burst episodes the segmentation found.
+	Episodes int `json:"episodes,omitempty"`
+	// PeriodHours, Amplitude and PeakHour are the harmonic-regression
+	// diurnal fit over hourly arrival counts: the (fixed) period, the
+	// relative first-harmonic amplitude and the phase expressed as the
+	// peak hour. Present when the trace spans at least one period.
+	PeriodHours float64 `json:"period_hours,omitempty"`
+	Amplitude   float64 `json:"amplitude,omitempty"`
+	PeakHour    float64 `json:"peak_hour,omitempty"`
+}
+
+// ModelSize is the job-size marginal: a log-moment (lognormal) fit over
+// each job's total work runtime x procs (the quantity the trace-replay
+// scaling rule maps onto DAG load), plus the empirical processor-count
+// histogram.
+type ModelSize struct {
+	// LogMeanCPUSeconds and LogStdCPUSeconds are the mean and standard
+	// deviation of ln(runtime x procs).
+	LogMeanCPUSeconds float64 `json:"log_mean_cpu_seconds"`
+	LogStdCPUSeconds  float64 `json:"log_std_cpu_seconds"`
+	// Procs is the empirical processor-count distribution, ascending.
+	Procs []ProcsBin `json:"procs"`
+}
+
+// ProcsBin is one processor-count bucket of the empirical distribution.
+type ProcsBin struct {
+	Procs int `json:"procs"`
+	Count int `json:"count"`
+}
+
+// ModelGoF reports goodness of fit: the artifact's own synthesis compared
+// against the source trace it was fitted to.
+type ModelGoF struct {
+	// MeanErr and CVErr are relative errors of the synthesized
+	// interarrival mean and coefficient of variation.
+	MeanErr float64 `json:"interarrival_mean_err"`
+	CVErr   float64 `json:"interarrival_cv_err"`
+	// KS is the two-sample Kolmogorov-Smirnov distance between the
+	// synthesized and source interarrival distributions.
+	KS float64 `json:"ks_distance"`
+	// SizeLogMeanErr is the relative error of the synthesized mean
+	// log job size.
+	SizeLogMeanErr float64 `json:"size_log_mean_err"`
+}

@@ -43,6 +43,9 @@ const (
 	// APIV1 is the service-mode HTTP API generation (api.go types and the
 	// /v1/ URL prefix).
 	APIV1 = "p2pgridsim/api/v1"
+	// ModelV1 is the fitted workload-model artifact (Model, model.go):
+	// the output of `wfgen -fit`, consumed by `-model` everywhere.
+	ModelV1 = "p2pgridsim/model/v1"
 )
 
 // Expect checks a decoded envelope's schema tag against the expected

@@ -65,6 +65,11 @@ func TestRoundTrip(t *testing.T) {
 	roundTrip(t, MetricsResponse{Schema: APIV1, Clock: "virtual", NowSeconds: 60,
 		Admitted: 5, Rejected: 1, InFlight: 4, MaxInFlight: 64})
 	roundTrip(t, ReplayRequest{Arrival: "trace", Trace: "sample", Count: 42})
+	roundTrip(t, ReplayRequest{Model: "model.json", Synth: 100, Seed: 7})
+	roundTrip(t, Model{Schema: ModelV1, Source: "t.swf", Jobs: 3, SpanSeconds: 60,
+		Arrival: ModelArrival{Kind: "mmpp", RatePerHour: 12, CV: 1.4, Burst: 6, DwellHours: 0.5, Episodes: 3},
+		Size:    ModelSize{LogMeanCPUSeconds: 7, LogStdCPUSeconds: 1.2, Procs: []ProcsBin{{Procs: 1, Count: 2}, {Procs: 4, Count: 1}}},
+		GoF:     ModelGoF{MeanErr: 0.01, CVErr: 0.02, KS: 0.1, SizeLogMeanErr: 0.03}})
 	roundTrip(t, ErrorResponse{Error: "overloaded", RetryAfterSeconds: 900})
 }
 
@@ -88,6 +93,21 @@ func TestArtifactFieldOrder(t *testing.T) {
 	want = `{"schema":"p2pgridsim/sweep/v1","seed":1,"reps":0,"algorithms":null,"cells":null}`
 	if string(data) != want {
 		t.Fatalf("sweep encoding drifted:\n got %s\nwant %s", data, want)
+	}
+	data, err = json.Marshal(Model{
+		Schema: ModelV1, Source: "s", Jobs: 2, SpanSeconds: 10,
+		Arrival: ModelArrival{Kind: "poisson", RatePerHour: 1, CV: 0.5},
+		Size:    ModelSize{Procs: []ProcsBin{{Procs: 1, Count: 2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"schema":"p2pgridsim/model/v1","source":"s","jobs":2,"span_seconds":10,` +
+		`"arrival":{"kind":"poisson","rate_per_hour":1,"cv":0.5},` +
+		`"size":{"log_mean_cpu_seconds":0,"log_std_cpu_seconds":0,"procs":[{"procs":1,"count":2}]},` +
+		`"gof":{"interarrival_mean_err":0,"interarrival_cv_err":0,"ks_distance":0,"size_log_mean_err":0}}`
+	if string(data) != want {
+		t.Fatalf("model encoding drifted:\n got %s\nwant %s", data, want)
 	}
 }
 

@@ -1,0 +1,30 @@
+package arrival_test
+
+import (
+	"fmt"
+
+	"repro/internal/workload/arrival"
+)
+
+// ExampleParse parses the CLI form of an arrival spec and materializes a
+// deterministic schedule from it.
+func ExampleParse() {
+	spec, err := arrival.Parse("mmpp:60:4")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(spec.String(), "burst", spec.Burst)
+
+	times, err := spec.Schedule(3, 42)
+	if err != nil {
+		panic(err)
+	}
+	for i, t := range times {
+		fmt.Printf("workflow %d submits at %.1f s\n", i, t)
+	}
+	// Output:
+	// mmpp:60/h burst 4
+	// workflow 0 submits at 75.6 s
+	// workflow 1 submits at 470.0 s
+	// workflow 2 submits at 472.2 s
+}

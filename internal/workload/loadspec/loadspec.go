@@ -1,17 +1,24 @@
 // Package loadspec resolves user-facing workload specifications — the
-// -arrival / -trace / -trace-scale triplet shared by cmd/p2pgridsim,
-// cmd/wfgen and the service API's replay endpoint — into the parsed pieces
-// the workload packages consume. Every entry point routes through Resolve,
-// so a malformed spec produces the same error text whether it arrived as a
-// CLI flag or an HTTP request field, and the combination rules (-trace
-// only pairs with trace replay, -trace-scale needs a trace) are enforced
-// once instead of per front end.
+// -arrival / -trace / -trace-scale / -model / -synth flag set shared by
+// cmd/p2pgridsim, cmd/wfgen and the service API's replay endpoint — into
+// the parsed pieces the workload packages consume. Every entry point
+// routes through ResolveOptions, so a malformed spec produces the same
+// error text whether it arrived as a CLI flag or an HTTP request field,
+// and the combination rules (-trace only pairs with trace replay,
+// -trace-scale needs a trace or model, -model excludes -arrival/-trace,
+// -synth needs -model) are enforced once instead of per front end.
+//
+// A fitted model (-model, see internal/workload/mining) resolves into a
+// synthesized trace, so downstream it flows through the exact machinery
+// trace replay uses; -trace-scale applies after synthesis, per the rule
+// "fit on unscaled times, synthesize, then scale" (docs/workloads.md).
 package loadspec
 
 import (
 	"fmt"
 
 	"repro/internal/workload/arrival"
+	"repro/internal/workload/mining"
 	"repro/internal/workload/traces"
 )
 
@@ -25,18 +32,61 @@ type Spec struct {
 	Trace *traces.Trace
 }
 
-// Resolve parses and validates an arrival/trace specification.
-//
-//   - arrivalSpec is an arrival.Parse expression ("" = none): batch,
-//     poisson:RATE, mmpp:RATE[:BURST], diurnal:RATE[:PERIODH], trace.
-//   - tracePath names an SWF/GWA trace file, "sample" selecting the
-//     bundled demo trace. A trace alone (no arrival spec) selects trace
-//     replay; combined with any arrival kind other than trace it is an
-//     error. "trace" with no path defaults to the sample trace.
-//   - traceScale multiplies trace submit times (compressing a multi-day
-//     trace into a shorter horizon); 0 and 1 mean unscaled.
+// Options is the full workload-source flag set a front end can offer.
+type Options struct {
+	// Arrival is an arrival.Parse expression ("" = none): batch,
+	// poisson:RATE, mmpp:RATE[:BURST], diurnal:RATE[:PERIODH], trace.
+	Arrival string
+	// Trace names an SWF/GWA trace file, "sample" selecting the bundled
+	// demo trace. A trace alone (no arrival spec) selects trace replay;
+	// combined with any arrival kind other than trace it is an error.
+	// "trace" with no path defaults to the sample trace.
+	Trace string
+	// TraceScale multiplies trace submit times (compressing a multi-day
+	// trace into a shorter horizon); 0 and 1 mean unscaled. For models it
+	// applies to the synthesized schedule, never to the fit.
+	TraceScale float64
+	// Model names a fitted model artifact (wfgen -fit output). Mutually
+	// exclusive with Arrival and Trace: the model is the workload source.
+	Model string
+	// Synth is the synthesis job count when Model is set; 0 means the
+	// model's own fitted job count. Requires Model.
+	Synth int
+	// Seed drives model synthesis (ignored otherwise).
+	Seed int64
+}
+
+// Resolve parses and validates an arrival/trace specification — the
+// pre-model entry point, equivalent to ResolveOptions with no Model.
 func Resolve(arrivalSpec, tracePath string, traceScale float64) (Spec, error) {
+	return ResolveOptions(Options{Arrival: arrivalSpec, Trace: tracePath, TraceScale: traceScale})
+}
+
+// ResolveOptions parses and validates a workload specification (see the
+// Options fields for the combination rules).
+func ResolveOptions(o Options) (Spec, error) {
 	var out Spec
+	if o.Model != "" {
+		if o.Arrival != "" || o.Trace != "" {
+			return Spec{}, fmt.Errorf("-model is the workload source; it combines with neither -arrival nor -trace")
+		}
+		m, err := mining.Load(o.Model)
+		if err != nil {
+			return Spec{}, err
+		}
+		n := o.Synth
+		if n == 0 {
+			n = m.Jobs
+		}
+		jobs, err := mining.Synthesize(m, n, o.Seed)
+		if err != nil {
+			return Spec{}, err
+		}
+		out.Trace = &traces.Trace{Name: fmt.Sprintf("model:%s:n%d", m.Source, n), Jobs: jobs}
+	} else if o.Synth != 0 {
+		return Spec{}, fmt.Errorf("-synth needs -model")
+	}
+	arrivalSpec, tracePath, traceScale := o.Arrival, o.Trace, o.TraceScale
 	if arrivalSpec != "" {
 		spec, err := arrival.Parse(arrivalSpec)
 		if err != nil {
@@ -65,7 +115,7 @@ func Resolve(arrivalSpec, tracePath string, traceScale float64) (Spec, error) {
 			return Spec{}, fmt.Errorf("-trace-scale must be positive, got %v", traceScale)
 		}
 		if out.Trace == nil {
-			return Spec{}, fmt.Errorf("-trace-scale needs a trace (-trace FILE or -arrival trace)")
+			return Spec{}, fmt.Errorf("-trace-scale needs a trace (-trace FILE, -arrival trace or -model FILE)")
 		}
 		out.Trace = out.Trace.Scale(traceScale)
 	}

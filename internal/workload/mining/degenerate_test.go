@@ -1,0 +1,126 @@
+package mining
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/workload/traces"
+)
+
+// TestFitDegenerate is the degenerate-trace table: every pathological
+// input either fits cleanly or fails with the named error — never a
+// panic, never a garbage model.
+func TestFitDegenerate(t *testing.T) {
+	cases := []struct {
+		name    string
+		jobs    []traces.Job
+		wantErr error
+		check   func(t *testing.T, cv float64)
+	}{
+		{
+			name:    "empty trace",
+			jobs:    nil,
+			wantErr: ErrTooFewJobs,
+		},
+		{
+			name:    "single job",
+			jobs:    []traces.Job{{ID: 1, Submit: 0, Runtime: 60, Procs: 1}},
+			wantErr: ErrTooFewJobs,
+		},
+		{
+			name: "constant interarrivals",
+			jobs: []traces.Job{
+				{ID: 1, Submit: 0, Runtime: 60, Procs: 1},
+				{ID: 2, Submit: 100, Runtime: 60, Procs: 1},
+				{ID: 3, Submit: 200, Runtime: 60, Procs: 1},
+				{ID: 4, Submit: 300, Runtime: 60, Procs: 1},
+			},
+			check: func(t *testing.T, cv float64) {
+				if cv != 0 {
+					t.Errorf("cv %v, want 0 for a perfectly regular trace", cv)
+				}
+			},
+		},
+		{
+			name: "all jobs at t0",
+			jobs: []traces.Job{
+				{ID: 1, Submit: 50, Runtime: 60, Procs: 1},
+				{ID: 2, Submit: 50, Runtime: 30, Procs: 2},
+				{ID: 3, Submit: 50, Runtime: 90, Procs: 1},
+			},
+			wantErr: ErrZeroSpan,
+		},
+		{
+			name: "out of order timestamps",
+			jobs: []traces.Job{
+				{ID: 1, Submit: 0, Runtime: 60, Procs: 1},
+				{ID: 2, Submit: 500, Runtime: 60, Procs: 1},
+				{ID: 3, Submit: 200, Runtime: 60, Procs: 1},
+			},
+			wantErr: ErrUnsorted,
+		},
+		{
+			name: "non-positive runtime",
+			jobs: []traces.Job{
+				{ID: 1, Submit: 0, Runtime: 0, Procs: 1},
+				{ID: 2, Submit: 100, Runtime: 60, Procs: 1},
+			},
+			wantErr: ErrBadJob,
+		},
+		{
+			name: "non-positive procs",
+			jobs: []traces.Job{
+				{ID: 1, Submit: 0, Runtime: 60, Procs: 0},
+				{ID: 2, Submit: 100, Runtime: 60, Procs: 1},
+			},
+			wantErr: ErrBadJob,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := Fit(&traces.Trace{Name: tc.name, Jobs: tc.jobs})
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("Fit error %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Fit: %v", err)
+			}
+			if tc.check != nil {
+				tc.check(t, m.Arrival.CV)
+			}
+			// A clean fit must also synthesize cleanly at its own size
+			// and at a larger one.
+			for _, n := range []int{len(tc.jobs), 10 * len(tc.jobs)} {
+				if _, err := Synthesize(m, n, 1); err != nil {
+					t.Errorf("Synthesize(n=%d): %v", n, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSynthesizeConstantGaps: a cv=0 model synthesizes exactly regular
+// arrivals at any scale.
+func TestSynthesizeConstantGaps(t *testing.T) {
+	jobs := []traces.Job{
+		{ID: 1, Submit: 0, Runtime: 60, Procs: 1},
+		{ID: 2, Submit: 100, Runtime: 60, Procs: 1},
+		{ID: 3, Submit: 200, Runtime: 60, Procs: 1},
+	}
+	m, err := Fit(&traces.Trace{Name: "regular", Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth, err := Synthesize(m, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(synth); i++ {
+		if got := synth[i].Submit - synth[i-1].Submit; got != 100 {
+			t.Fatalf("gap %d is %v, want exactly 100", i, got)
+		}
+	}
+}

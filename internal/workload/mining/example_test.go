@@ -1,0 +1,28 @@
+package mining_test
+
+import (
+	"fmt"
+
+	"repro/internal/workload/mining"
+	"repro/internal/workload/traces"
+)
+
+// ExampleFit fits the bundled sample trace and synthesizes a workload
+// twice its size from the artifact.
+func ExampleFit() {
+	model, err := mining.Fit(traces.Sample())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %s at %.2f/h, interarrival cv %.2f\n",
+		model.Source, model.Arrival.Kind, model.Arrival.RatePerHour, model.Arrival.CV)
+
+	jobs, err := mining.Synthesize(model, 2*model.Jobs, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("synthesized %d jobs, first at t=%.0f s\n", len(jobs), jobs[0].Submit)
+	// Output:
+	// sample.swf: poisson at 7.94/h, interarrival cv 0.66
+	// synthesized 84 jobs, first at t=0 s
+}

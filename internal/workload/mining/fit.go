@@ -1,0 +1,291 @@
+package mining
+
+// The estimators: Fit turns a parsed trace into a wire.Model artifact.
+// Every estimator is deterministic closed-form arithmetic over the trace;
+// the only randomness anywhere in the package is the synthesizer's seeded
+// stream, and the goodness-of-fit block pins its seed, so a fit is a pure
+// function of the trace bytes.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/wire"
+	"repro/internal/workload/arrival"
+	"repro/internal/workload/traces"
+)
+
+// gofSeed drives the self-assessment synthesis embedded in the artifact.
+// Fixed forever: changing it changes every fitted artifact byte-for-byte.
+const gofSeed = 1
+
+// minBurstRun is the shortest run of below-mean interarrivals the MMPP
+// segmentation counts as a burst episode.
+const minBurstRun = 3
+
+// Fit estimates a generative workload model from a parsed trace. The
+// returned artifact is deterministic (byte-identical JSON for the same
+// trace) and self-describing: it embeds its own goodness-of-fit against
+// the source. Degenerate traces fail with one of the named errors
+// (ErrTooFewJobs, ErrZeroSpan, ErrUnsorted, ErrBadJob).
+func Fit(t *traces.Trace) (*wire.Model, error) {
+	jobs := t.Jobs
+	if len(jobs) < 2 {
+		return nil, fmt.Errorf("%w (%s has %d)", ErrTooFewJobs, t.Name, len(jobs))
+	}
+	for i, j := range jobs {
+		if i > 0 && j.Submit < jobs[i-1].Submit {
+			return nil, fmt.Errorf("%w (%s at job %d: %v after %v)", ErrUnsorted, t.Name, i, j.Submit, jobs[i-1].Submit)
+		}
+		if j.Runtime <= 0 || j.Procs <= 0 {
+			return nil, fmt.Errorf("%w (%s job %d: runtime %v, procs %d)", ErrBadJob, t.Name, i, j.Runtime, j.Procs)
+		}
+	}
+	span := jobs[len(jobs)-1].Submit - jobs[0].Submit
+	if span <= 0 {
+		return nil, fmt.Errorf("%w (%s: %d jobs all at t=%v)", ErrZeroSpan, t.Name, len(jobs), jobs[0].Submit)
+	}
+
+	gaps := make([]float64, len(jobs)-1)
+	for i := range gaps {
+		gaps[i] = jobs[i+1].Submit - jobs[i].Submit
+	}
+	meanGap, cv := meanCV(gaps)
+
+	m := &wire.Model{
+		Schema:      wire.ModelV1,
+		Source:      t.Name,
+		Jobs:        len(jobs),
+		SpanSeconds: round9(span),
+		Skipped:     t.Skipped,
+		Arrival: wire.ModelArrival{
+			Kind:        arrival.KindPoisson,
+			RatePerHour: round9(3600 / meanGap),
+			CV:          round9(cv),
+		},
+	}
+
+	// 2-state MMPP segmentation: maximal runs of below-mean gaps are
+	// burst episodes; the rate ratio between inside and outside prices
+	// the burst multiplier, and the alternation count prices the dwell.
+	if burst, dwell, episodes := fitMMPP(gaps, meanGap, span); episodes > 0 {
+		m.Arrival.Burst = round9(burst)
+		m.Arrival.DwellHours = round9(dwell)
+		m.Arrival.Episodes = episodes
+	}
+
+	// Diurnal first-harmonic regression over hourly arrival counts,
+	// attempted once the trace covers a full period.
+	if span >= 24*3600 {
+		if amp, peak, ok := fitDiurnal(jobs, span); ok {
+			m.Arrival.PeriodHours = 24
+			m.Arrival.Amplitude = round9(amp)
+			m.Arrival.PeakHour = round9(peak)
+		}
+	}
+
+	// Kind selection: diurnality needs two observed periods and a strong
+	// harmonic; over-dispersion with repeated burst episodes reads as
+	// rate switching; everything else is a renewal process around the
+	// Poisson point of the catalog (the recorded CV preserves the
+	// regularity or mild burstiness a plain Poisson would lose).
+	switch {
+	case m.Arrival.Amplitude >= DiurnalMinAmplitude && span >= DiurnalMinSpanHours*3600:
+		m.Arrival.Kind = arrival.KindDiurnal
+	case cv >= MMPPMinCV && m.Arrival.Episodes >= MMPPMinEpisodes:
+		m.Arrival.Kind = arrival.KindMMPP
+	}
+
+	// Job-size marginal: log moments of runtime x procs, plus the
+	// empirical processor-count histogram.
+	logs := make([]float64, len(jobs))
+	for i, j := range jobs {
+		logs[i] = math.Log(j.CPUSeconds())
+	}
+	logMean, logCV := meanCV(logs)
+	logStd := math.Abs(logMean * logCV) // undo meanCV's normalization
+	if logMean == 0 {                   // all sizes 1 CPU-second: ln = 0
+		logStd = 0
+	}
+	m.Size = wire.ModelSize{
+		LogMeanCPUSeconds: round9(logMean),
+		LogStdCPUSeconds:  round9(logStd),
+		Procs:             procsHistogram(jobs),
+	}
+
+	// Gap-size coupling: normal-scores correlation between each gap and
+	// the size of the job it precedes, the Gaussian-copula parameter the
+	// synthesizer reproduces.
+	sizes := make([]float64, len(gaps))
+	for i := range gaps {
+		sizes[i] = jobs[i+1].CPUSeconds()
+	}
+	rho := pearson(normalScores(gaps), normalScores(sizes))
+	m.Correlation = round9(clamp(rho, -0.95, 0.95))
+
+	// Self-assessment from the rounded artifact: what a consumer of this
+	// exact JSON will synthesize, compared against the source.
+	synth, err := Synthesize(m, len(jobs), gofSeed)
+	if err != nil {
+		return nil, fmt.Errorf("mining: self-assessment: %w", err)
+	}
+	m.GoF = assess(gaps, meanGap, cv, logMean, synth)
+	return m, nil
+}
+
+// fitMMPP segments the interarrival sequence into burst episodes (runs of
+// at least minBurstRun below-mean gaps) and prices the 2-state parameters
+// from them. episodes == 0 means no burst structure was found.
+func fitMMPP(gaps []float64, meanGap, span float64) (burst, dwellHours float64, episodes int) {
+	var inBurst, outBurst []float64
+	run := 0
+	flush := func(end int) {
+		if run >= minBurstRun {
+			episodes++
+			for k := end - run; k < end; k++ {
+				inBurst = append(inBurst, gaps[k])
+			}
+		} else {
+			for k := end - run; k < end; k++ {
+				outBurst = append(outBurst, gaps[k])
+			}
+		}
+		run = 0
+	}
+	for i, g := range gaps {
+		if g < meanGap {
+			run++
+			continue
+		}
+		flush(i)
+		outBurst = append(outBurst, g)
+	}
+	flush(len(gaps))
+	if episodes == 0 || len(outBurst) == 0 {
+		return 0, 0, 0
+	}
+	burstMean, _ := meanCV(inBurst)
+	calmMean, _ := meanCV(outBurst)
+	if burstMean <= 0 || calmMean <= burstMean {
+		return 0, 0, 0
+	}
+	// Rate ratio between the states; dwell from the alternation count
+	// (each episode contributes one burst and one calm stretch).
+	burst = calmMean / burstMean
+	dwellHours = span / float64(2*episodes) / 3600
+	return burst, dwellHours, episodes
+}
+
+// fitDiurnal regresses hourly arrival counts on the first 24 h harmonic:
+// counts ~ a0 + a1 cos wt + b1 sin wt. It returns the relative amplitude
+// A/a0 and the peak hour, and ok=false when the regression is degenerate
+// (a0 <= 0 or fewer than 3 hourly bins).
+func fitDiurnal(jobs []traces.Job, span float64) (amplitude, peakHour float64, ok bool) {
+	start := jobs[0].Submit
+	hours := int(math.Ceil(span / 3600))
+	if hours < 3 {
+		return 0, 0, false
+	}
+	counts := make([]float64, hours)
+	for _, j := range jobs {
+		h := int((j.Submit - start) / 3600)
+		if h >= hours {
+			h = hours - 1
+		}
+		counts[h]++
+	}
+	const omega = 2 * math.Pi / 24
+	// Normal equations for least squares over [1, cos wt, sin wt].
+	var s [3][3]float64
+	var r [3]float64
+	for h, c := range counts {
+		t := float64(h) + 0.5
+		x := [3]float64{1, math.Cos(omega * t), math.Sin(omega * t)}
+		for i := 0; i < 3; i++ {
+			r[i] += x[i] * c
+			for j := 0; j < 3; j++ {
+				s[i][j] += x[i] * x[j]
+			}
+		}
+	}
+	a0, a1, b1, ok := solve3(s, r)
+	if !ok || a0 <= 0 {
+		return 0, 0, false
+	}
+	amplitude = math.Hypot(a1, b1) / a0
+	peakHour = math.Mod(math.Atan2(b1, a1)/omega+24, 24)
+	return amplitude, peakHour, true
+}
+
+// solve3 solves the 3x3 system s*x = r by Cramer's rule.
+func solve3(s [3][3]float64, r [3]float64) (x0, x1, x2 float64, ok bool) {
+	det := func(m [3][3]float64) float64 {
+		return m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+			m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+			m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+	}
+	d := det(s)
+	if math.Abs(d) < 1e-9 {
+		return 0, 0, 0, false
+	}
+	col := func(i int) [3][3]float64 {
+		m := s
+		for row := 0; row < 3; row++ {
+			m[row][i] = r[row]
+		}
+		return m
+	}
+	return det(col(0)) / d, det(col(1)) / d, det(col(2)) / d, true
+}
+
+// procsHistogram builds the ascending empirical processor-count bins.
+func procsHistogram(jobs []traces.Job) []wire.ProcsBin {
+	counts := map[int]int{}
+	for _, j := range jobs {
+		counts[j.Procs]++
+	}
+	keys := make([]int, 0, len(counts))
+	for p := range counts {
+		keys = append(keys, p)
+	}
+	sort.Ints(keys)
+	bins := make([]wire.ProcsBin, len(keys))
+	for i, p := range keys {
+		bins[i] = wire.ProcsBin{Procs: p, Count: counts[p]}
+	}
+	return bins
+}
+
+// assess computes the goodness-of-fit block from a synthesis of the
+// rounded artifact against the source trace.
+func assess(srcGaps []float64, srcMean, srcCV, srcLogMean float64, synth []traces.Job) wire.ModelGoF {
+	gaps := make([]float64, len(synth)-1)
+	for i := range gaps {
+		gaps[i] = synth[i+1].Submit - synth[i].Submit
+	}
+	mean, cv := meanCV(gaps)
+	logs := make([]float64, len(synth))
+	for i, j := range synth {
+		logs[i] = math.Log(j.CPUSeconds())
+	}
+	logMean, _ := meanCV(logs)
+	return wire.ModelGoF{
+		MeanErr:        round9(relErr(mean, srcMean)),
+		CVErr:          round9(relErr(cv, srcCV)),
+		KS:             round9(ksDistance(gaps, srcGaps)),
+		SizeLogMeanErr: round9(relErr(logMean, srcLogMean)),
+	}
+}
+
+// relErr is |got-want| / |want|, with a zero-want guard (absolute error).
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}

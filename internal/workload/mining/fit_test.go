@@ -1,0 +1,281 @@
+package mining
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/workload/arrival"
+	"repro/internal/workload/traces"
+)
+
+// TestFitSample pins the fit of the bundled sample trace: the headline
+// parameters and — the PR's acceptance bound — a synthesized workload
+// whose interarrival mean and CV are within 10% of the source.
+func TestFitSample(t *testing.T) {
+	tr := traces.Sample()
+	m, err := Fit(tr)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if m.Jobs != 42 || m.SpanSeconds != 18600 || m.Skipped != 2 {
+		t.Errorf("shape: jobs %d span %v skipped %d, want 42 / 18600 / 2", m.Jobs, m.SpanSeconds, m.Skipped)
+	}
+	if m.Arrival.Kind != arrival.KindPoisson {
+		t.Errorf("kind %q, want poisson (cv %v is under-dispersed)", m.Arrival.Kind, m.Arrival.CV)
+	}
+	if m.Arrival.RatePerHour != 7.93548387 {
+		t.Errorf("rate %v, want 7.93548387", m.Arrival.RatePerHour)
+	}
+	if m.Arrival.CV != 0.66164428 {
+		t.Errorf("cv %v, want 0.66164428", m.Arrival.CV)
+	}
+	if m.Size.LogMeanCPUSeconds != 7.12244326 || m.Size.LogStdCPUSeconds != 1.25992468 {
+		t.Errorf("size moments (%v, %v), want (7.12244326, 1.25992468)",
+			m.Size.LogMeanCPUSeconds, m.Size.LogStdCPUSeconds)
+	}
+	if len(m.Size.Procs) != 4 || m.Size.Procs[0].Procs != 1 || m.Size.Procs[0].Count != 23 {
+		t.Errorf("procs histogram %+v, want 4 ascending bins starting {1, 23}", m.Size.Procs)
+	}
+	// The acceptance bound, as recorded by the artifact's own GoF block.
+	if m.GoF.MeanErr > 0.10 {
+		t.Errorf("synthesized interarrival mean err %v > 10%%", m.GoF.MeanErr)
+	}
+	if m.GoF.CVErr > 0.10 {
+		t.Errorf("synthesized interarrival cv err %v > 10%%", m.GoF.CVErr)
+	}
+	if m.GoF.KS <= 0 || m.GoF.KS >= 1 {
+		t.Errorf("KS distance %v outside (0, 1)", m.GoF.KS)
+	}
+}
+
+// TestFitDeterministic: two independent fits of the same trace must
+// encode to byte-identical artifacts.
+func TestFitDeterministic(t *testing.T) {
+	a, err := Fit(traces.Sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(traces.Sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatalf("two fits of the same trace differ:\n%s\n---\n%s", ea, eb)
+	}
+	// Round-trip through the artifact bytes preserves the model.
+	back, err := Decode(ea)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	eBack, err := Encode(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eBack) {
+		t.Fatal("decode/encode round trip changed the artifact bytes")
+	}
+}
+
+// TestSynthesizeMomentsAtScale checks the two-moment contract away from
+// the fitted size: a 1000-job synthesis must still track the fitted mean
+// and CV within 10%.
+func TestSynthesizeMomentsAtScale(t *testing.T) {
+	m, err := Fit(traces.Sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := Synthesize(m, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1000 {
+		t.Fatalf("got %d jobs, want 1000", len(jobs))
+	}
+	gaps := make([]float64, len(jobs)-1)
+	for i := range gaps {
+		gaps[i] = jobs[i+1].Submit - jobs[i].Submit
+		if gaps[i] < 0 {
+			t.Fatalf("submit times decrease at job %d", i+1)
+		}
+	}
+	mean, cv := meanCV(gaps)
+	wantMean := 3600 / m.Arrival.RatePerHour
+	if e := relErr(mean, wantMean); e > 0.10 {
+		t.Errorf("mean gap %v vs fitted %v: err %v > 10%%", mean, wantMean, e)
+	}
+	if e := relErr(cv, m.Arrival.CV); e > 0.10 {
+		t.Errorf("cv %v vs fitted %v: err %v > 10%%", cv, m.Arrival.CV, e)
+	}
+	// Size marginal: mean log size tracks the fitted log-mean.
+	var logSum float64
+	for _, j := range jobs {
+		logSum += math.Log(j.CPUSeconds())
+	}
+	if e := relErr(logSum/float64(len(jobs)), m.Size.LogMeanCPUSeconds); e > 0.10 {
+		t.Errorf("mean log size err %v > 10%%", e)
+	}
+}
+
+// TestSynthesizeDeterministic: same (model, count, seed) means identical
+// jobs; a different seed means a different schedule.
+func TestSynthesizeDeterministic(t *testing.T) {
+	m, err := Fit(traces.Sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Synthesize(m, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(m, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs across identical syntheses: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := Synthesize(m, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 3 and seed 4 synthesized identical schedules")
+	}
+	if a[0].Submit != 0 {
+		t.Errorf("first job at t=%v, want 0", a[0].Submit)
+	}
+	one, err := Synthesize(m, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Submit != 0 {
+		t.Errorf("n=1 synthesis: %+v, want a single job at t=0", one)
+	}
+}
+
+// TestFitMMPPSelection drives the selector with a hand-built bursty
+// trace: tight bursts separated by long calms push the CV and the episode
+// count past the MMPP thresholds.
+func TestFitMMPPSelection(t *testing.T) {
+	var jobs []traces.Job
+	tm := 0.0
+	id := 1
+	for episode := 0; episode < 5; episode++ {
+		for i := 0; i < 10; i++ { // burst: 10 jobs 5 s apart
+			jobs = append(jobs, traces.Job{ID: id, Submit: tm, Runtime: 60, Procs: 1})
+			id++
+			tm += 5
+		}
+		tm += 3000 // calm
+	}
+	m, err := Fit(&traces.Trace{Name: "bursty", Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Arrival.CV < MMPPMinCV {
+		t.Fatalf("constructed trace cv %v below MMPP threshold %v", m.Arrival.CV, MMPPMinCV)
+	}
+	if m.Arrival.Kind != arrival.KindMMPP {
+		t.Errorf("kind %q, want mmpp (cv %v, episodes %d)", m.Arrival.Kind, m.Arrival.CV, m.Arrival.Episodes)
+	}
+	if m.Arrival.Burst <= 1 {
+		t.Errorf("burst ratio %v, want > 1", m.Arrival.Burst)
+	}
+	// The structured kinds synthesize through the catalog process but
+	// must still hit the fitted mean rate exactly (multiplicative rescale).
+	synth, err := Synthesize(m, 200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := make([]float64, len(synth)-1)
+	for i := range gaps {
+		gaps[i] = synth[i+1].Submit - synth[i].Submit
+	}
+	mean, _ := meanCV(gaps)
+	if e := relErr(mean, 3600/m.Arrival.RatePerHour); e > 1e-9 {
+		t.Errorf("mmpp synthesis mean gap err %v, want exact rescale", e)
+	}
+}
+
+// TestFitDiurnalSelection drives the selector with a 4-day sinusoidal
+// arrival pattern peaking at hour 14.
+func TestFitDiurnalSelection(t *testing.T) {
+	var jobs []traces.Job
+	id := 1
+	for h := 0; h < 96; h++ {
+		hod := float64(h % 24)
+		count := int(math.Round(6 + 5*math.Cos(2*math.Pi*(hod-14)/24)))
+		for i := 0; i < count; i++ {
+			sub := float64(h)*3600 + float64(i)*3600/float64(count)
+			jobs = append(jobs, traces.Job{ID: id, Submit: sub, Runtime: 120, Procs: 2})
+			id++
+		}
+	}
+	m, err := Fit(&traces.Trace{Name: "sine", Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Arrival.Kind != arrival.KindDiurnal {
+		t.Errorf("kind %q, want diurnal (amplitude %v)", m.Arrival.Kind, m.Arrival.Amplitude)
+	}
+	if m.Arrival.PeriodHours != 24 {
+		t.Errorf("period %v, want 24", m.Arrival.PeriodHours)
+	}
+	if math.Abs(m.Arrival.PeakHour-14.5) > 1.5 {
+		t.Errorf("peak hour %v, want ~14.5 (bin centers)", m.Arrival.PeakHour)
+	}
+	if m.Arrival.Amplitude < DiurnalMinAmplitude {
+		t.Errorf("amplitude %v below selection threshold %v", m.Arrival.Amplitude, DiurnalMinAmplitude)
+	}
+}
+
+// TestCatalogSpec checks the catalog projection is a valid normalized spec
+// for each kind.
+func TestCatalogSpec(t *testing.T) {
+	m, err := Fit(traces.Sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := CatalogSpec(m)
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("catalog spec invalid: %v", err)
+	}
+	if spec.Kind != arrival.KindPoisson || spec.RatePerHour != m.Arrival.RatePerHour {
+		t.Errorf("spec %+v, want poisson at the fitted rate", spec)
+	}
+}
+
+// TestDecodeRejects checks schema and shape validation on hostile input.
+func TestDecodeRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad schema":  `{"schema":"p2pgridsim/model/v0"}`,
+		"no rate":     `{"schema":"p2pgridsim/model/v1","jobs":2,"arrival":{"kind":"poisson"},"size":{"procs":[{"procs":1,"count":1}]}}`,
+		"bad kind":    `{"schema":"p2pgridsim/model/v1","jobs":2,"arrival":{"kind":"batch","rate_per_hour":1},"size":{"procs":[{"procs":1,"count":1}]}}`,
+		"no procs":    `{"schema":"p2pgridsim/model/v1","jobs":2,"arrival":{"kind":"poisson","rate_per_hour":1},"size":{"procs":[]}}`,
+		"procs order": `{"schema":"p2pgridsim/model/v1","jobs":2,"arrival":{"kind":"poisson","rate_per_hour":1},"size":{"procs":[{"procs":4,"count":1},{"procs":1,"count":1}]}}`,
+		"not json":    `{`,
+	}
+	for name, data := range cases {
+		if _, err := Decode([]byte(data)); err == nil {
+			t.Errorf("%s: Decode accepted %s", name, data)
+		}
+	}
+}

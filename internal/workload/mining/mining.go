@@ -1,0 +1,189 @@
+// Package mining fits generative workload models to real grid traces and
+// synthesizes statistically faithful workloads at arbitrary scale — the
+// estimator layer between internal/workload/traces (what a trace says)
+// and internal/workload/arrival (what the simulator can generate), in the
+// spirit of Guazzone's grid-workload mining and GridSim's parameterized
+// workload modeling.
+//
+// Fit estimates, from a parsed SWF/GWA trace:
+//
+//   - the mean arrival rate (maximum likelihood over interarrivals) and
+//     the interarrival coefficient of variation (CV),
+//   - 2-state MMPP burst/calm structure via burst-run segmentation of the
+//     interarrival sequence (burst ratio, mean dwell, episode count),
+//   - diurnal structure via first-harmonic regression on hourly arrival
+//     counts (relative amplitude and peak hour over a 24 h period),
+//   - the job-size marginal as a log-moment (lognormal) fit over each
+//     job's total work runtime x procs, plus the empirical
+//     processor-count histogram,
+//   - and the interarrival-size coupling as a Gaussian-copula
+//     (normal-scores) correlation.
+//
+// The result is a versioned, deterministic wire.Model artifact (schema
+// p2pgridsim/model/v1): fitting the same trace twice produces
+// byte-identical JSON, and every consumer of the artifact synthesizes
+// byte-identical workloads from identical (model, count, seed) inputs.
+// Synthesize turns the artifact back into a schedule of traces.Job values
+// — submit times from the selected catalog process (Poisson/MMPP/diurnal,
+// with a two-moment gamma-renewal correction so the synthesized
+// interarrival mean and CV track the source), sizes from the lognormal
+// marginal coupled to the gaps through the fitted copula correlation —
+// which flows through the existing trace-replay machinery everywhere a
+// trace does. Goodness of fit (per-moment relative error and the
+// two-sample KS distance on interarrivals) is computed from the rounded
+// artifact itself and embedded in it.
+//
+// See docs/workloads.md for the fitting method, parameter tables and a
+// worked example on the bundled sample trace.
+package mining
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/wire"
+	"repro/internal/workload/arrival"
+)
+
+// Named fit errors: every degenerate trace fails with one of these (or
+// fits cleanly), so callers can branch on the failure mode.
+var (
+	// ErrTooFewJobs rejects traces with fewer than two usable jobs: one
+	// job has no interarrival structure to fit.
+	ErrTooFewJobs = errors.New("mining: trace has fewer than 2 usable jobs")
+	// ErrZeroSpan rejects traces whose jobs all share one submit time:
+	// an arrival rate over a zero-length window is undefined.
+	ErrZeroSpan = errors.New("mining: trace submit times span zero seconds")
+	// ErrUnsorted rejects hand-built traces with decreasing submit times
+	// (traces.ParseSWF sorts, so parsed traces never trip this).
+	ErrUnsorted = errors.New("mining: trace submit times decrease")
+	// ErrBadJob rejects jobs with non-positive runtime or processor
+	// count (the parser skips these, so parsed traces never trip this).
+	ErrBadJob = errors.New("mining: job has non-positive runtime or procs")
+)
+
+// Selection thresholds of the fitted kind, exported so the docs and the
+// report can cite them.
+const (
+	// MMPPMinCV is the interarrival CV above which over-dispersion is
+	// attributed to rate switching (the MMPP signature) rather than
+	// renewal noise.
+	MMPPMinCV = 1.15
+	// MMPPMinEpisodes is how many distinct burst episodes the
+	// segmentation must find before MMPP is selected.
+	MMPPMinEpisodes = 2
+	// DiurnalMinAmplitude is the relative first-harmonic amplitude above
+	// which the diurnal kind is selected.
+	DiurnalMinAmplitude = 0.4
+	// DiurnalMinSpanHours is the minimum trace span (two full periods)
+	// before the harmonic fit is trusted for selection.
+	DiurnalMinSpanHours = 48
+)
+
+// Encode renders the model as the canonical artifact bytes: indented
+// JSON with a trailing newline, byte-identical for equal models.
+func Encode(m *wire.Model) ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses and validates a model artifact.
+func Decode(data []byte) (*wire.Model, error) {
+	var m wire.Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("mining: model: %w", err)
+	}
+	if err := wire.Expect(m.Schema, wire.ModelV1); err != nil {
+		return nil, err
+	}
+	if err := validate(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Load reads a model artifact from a file.
+func Load(path string) (*wire.Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// validate checks the invariants every consumer relies on.
+func validate(m *wire.Model) error {
+	switch m.Arrival.Kind {
+	case arrival.KindPoisson, arrival.KindMMPP, arrival.KindDiurnal:
+	default:
+		return fmt.Errorf("mining: model arrival kind %q (want poisson|mmpp|diurnal)", m.Arrival.Kind)
+	}
+	if m.Arrival.RatePerHour <= 0 {
+		return fmt.Errorf("mining: model rate %v, want > 0", m.Arrival.RatePerHour)
+	}
+	if m.Arrival.CV < 0 {
+		return fmt.Errorf("mining: model cv %v, want >= 0", m.Arrival.CV)
+	}
+	if m.Jobs < 1 {
+		return fmt.Errorf("mining: model job count %d, want >= 1", m.Jobs)
+	}
+	if len(m.Size.Procs) == 0 {
+		return fmt.Errorf("mining: model has no processor-count distribution")
+	}
+	prev := 0
+	for _, b := range m.Size.Procs {
+		if b.Procs <= prev || b.Count < 1 {
+			return fmt.Errorf("mining: malformed procs bin %+v (want ascending procs, positive counts)", b)
+		}
+		prev = b.Procs
+	}
+	if m.Correlation < -1 || m.Correlation > 1 {
+		return fmt.Errorf("mining: model correlation %v outside [-1, 1]", m.Correlation)
+	}
+	return nil
+}
+
+// CatalogSpec maps the model onto the plain arrival-process catalog: the
+// spec a consumer uses when it wants the fitted process without the
+// synthesizer's moment corrections (for example as a sweep-axis spec).
+// The returned spec is normalized, so equal-behavior fits share one
+// SpecHash identity.
+func CatalogSpec(m *wire.Model) arrival.Spec {
+	spec := arrival.Spec{Kind: m.Arrival.Kind, RatePerHour: m.Arrival.RatePerHour}
+	switch m.Arrival.Kind {
+	case arrival.KindMMPP:
+		spec.Burst = m.Arrival.Burst
+		spec.DwellHours = m.Arrival.DwellHours
+	case arrival.KindDiurnal:
+		spec.PeriodHours = m.Arrival.PeriodHours
+	}
+	return spec.Normalize()
+}
+
+// Report renders the human-readable fit summary printed at fit time.
+func Report(m *wire.Model) string {
+	a := m.Arrival
+	s := fmt.Sprintf("fit %s: %d jobs over %.1f h (%d skipped)\n",
+		m.Source, m.Jobs, m.SpanSeconds/3600, m.Skipped)
+	s += fmt.Sprintf("  arrival: %s %.3g/h, interarrival cv %.3g", a.Kind, a.RatePerHour, a.CV)
+	if a.Burst > 0 {
+		s += fmt.Sprintf("; mmpp burst %.3g, dwell %.3g h (%d episodes)", a.Burst, a.DwellHours, a.Episodes)
+	}
+	if a.Amplitude > 0 {
+		s += fmt.Sprintf("; diurnal amplitude %.3g, peak hour %.3g", a.Amplitude, a.PeakHour)
+	}
+	s += fmt.Sprintf("\n  size: lognormal(mu %.3g, sigma %.3g) over runtime x procs; %d procs buckets; gap-size correlation %.3g\n",
+		m.Size.LogMeanCPUSeconds, m.Size.LogStdCPUSeconds, len(m.Size.Procs), m.Correlation)
+	s += fmt.Sprintf("  gof: interarrival mean err %.1f%%, cv err %.1f%%, KS %.3f, size log-mean err %.1f%%",
+		100*m.GoF.MeanErr, 100*m.GoF.CVErr, m.GoF.KS, 100*m.GoF.SizeLogMeanErr)
+	return s
+}

@@ -1,0 +1,265 @@
+package mining
+
+// Deterministic numeric kernels for the estimators and the synthesizer:
+// the standard-normal quantile, the regularized lower incomplete gamma
+// function and its inverse, rank-based normal scores, and the two-sample
+// Kolmogorov-Smirnov distance. Everything is pure Go floating point (no
+// platform-dependent libm calls beyond math's pure implementations), so
+// fitted artifacts and synthesized schedules are byte-identical across
+// machines.
+
+import (
+	"math"
+	"sort"
+)
+
+// normQuantile is the inverse standard-normal CDF (Acklam's rational
+// approximation, relative error below 1.2e-9 over (0, 1)). Inputs are
+// clamped away from {0, 1}.
+func normQuantile(p float64) float64 {
+	const tiny = 1e-15
+	if p < tiny {
+		p = tiny
+	}
+	if p > 1-tiny {
+		p = 1 - tiny
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// gammaP is the regularized lower incomplete gamma function P(a, x):
+// series expansion for x < a+1, continued fraction (modified Lentz)
+// otherwise — the Numerical Recipes gser/gcf split.
+func gammaP(a, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		// Series: P(a,x) = x^a e^-x / Gamma(a) * sum x^n / (a(a+1)...(a+n)).
+		ap := a
+		sum := 1 / a
+		del := sum
+		for i := 0; i < 500; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-14 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lg)
+	}
+	// Continued fraction for Q(a,x); P = 1 - Q.
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-14 {
+			break
+		}
+	}
+	return 1 - math.Exp(-x+a*math.Log(x)-lg)*h
+}
+
+// gammaQuantile inverts gammaP in x for shape a and probability p (scale
+// 1): a Wilson-Hilferty starting point refined by safeguarded Newton
+// iterations that always stay inside a maintained bracket.
+func gammaQuantile(a, p float64) float64 {
+	const tiny = 1e-15
+	if p < tiny {
+		p = tiny
+	}
+	if p > 1-tiny {
+		p = 1 - tiny
+	}
+	// Bracket [lo, hi] with P(lo) < p < P(hi).
+	lo := 0.0
+	hi := a + 10*math.Sqrt(a) + 10
+	for gammaP(a, hi) < p {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	// Wilson-Hilferty: the cube of a shifted normal approximates a
+	// chi-square, hence a gamma, well for a >= ~0.3.
+	z := normQuantile(p)
+	x := a * math.Pow(1-1/(9*a)+z/(3*math.Sqrt(a)), 3)
+	if x <= lo || x >= hi || math.IsNaN(x) {
+		x = (lo + hi) / 2
+	}
+	lg, _ := math.Lgamma(a)
+	for i := 0; i < 64; i++ {
+		f := gammaP(a, x) - p
+		if f > 0 {
+			hi = x
+		} else {
+			lo = x
+		}
+		if math.Abs(f) < 1e-13 || hi-lo < 1e-13*(1+hi) {
+			break
+		}
+		// Newton step on the gamma density; bisect when it escapes the
+		// bracket or the density underflows.
+		dens := math.Exp((a-1)*math.Log(x) - x - lg)
+		next := x - f/dens
+		if dens < 1e-300 || next <= lo || next >= hi || math.IsNaN(next) {
+			next = (lo + hi) / 2
+		}
+		x = next
+	}
+	return x
+}
+
+// normalScores maps xs to van der Waerden normal scores: rank each value
+// (ties get their average rank), then apply the normal quantile at
+// rank/(n+1). The result is what a Gaussian copula sees.
+func normalScores(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i) + float64(j)) / 2 // 0-based average rank of the tie run
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	out := make([]float64, n)
+	for i, r := range ranks {
+		out[i] = normQuantile((r + 1) / float64(n+1))
+	}
+	return out
+}
+
+// pearson is the sample Pearson correlation of two equal-length vectors;
+// 0 when either side has no variance.
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ksDistance is the two-sample Kolmogorov-Smirnov statistic: the largest
+// gap between the empirical CDFs of a and b. Both inputs are copied and
+// sorted.
+func ksDistance(a, b []float64) float64 {
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var i, j int
+	var d float64
+	for i < len(as) && j < len(bs) {
+		if as[i] <= bs[j] {
+			i++
+		} else {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// meanCV returns the mean and coefficient of variation (population) of xs.
+func meanCV(xs []float64) (mean, cv float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if mean == 0 {
+		return 0, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss/n) / mean
+}
+
+// round9 rounds v to 9 significant decimal digits: the artifact precision
+// that keeps fitted models byte-identical while staying far below any
+// statistical resolution the estimators have.
+func round9(v float64) float64 {
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	exp := math.Ceil(math.Log10(math.Abs(v)))
+	scale := math.Pow(10, 9-exp)
+	return math.Round(v*scale) / scale
+}

@@ -1,0 +1,164 @@
+package mining
+
+// The synthesizer: Synthesize turns a fitted artifact back into a job
+// schedule at any scale. Arrival times come from a two-moment gamma
+// renewal process (poisson kind) or the catalog process rescaled to the
+// fitted mean rate (mmpp/diurnal kinds); job sizes come from the
+// lognormal marginal, coupled to the interarrival gaps through the fitted
+// Gaussian-copula correlation; processor counts are drawn from the
+// empirical histogram. Everything is seeded through stats.SplitSeed
+// streams, so identical (model, count, seed) inputs synthesize
+// byte-identical schedules.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/wire"
+	"repro/internal/workload/arrival"
+	"repro/internal/workload/traces"
+)
+
+// Seed-stream labels for the synthesizer, disjoint from every other
+// label in the repository (see internal/stats).
+const (
+	seedSynthGaps  = 0x6A
+	seedSynthSizes = 0x6B
+	seedSynthProcs = 0x6C
+)
+
+// cvConstant is the CV below which interarrivals are treated as exactly
+// regular (constant gaps) instead of a near-degenerate gamma fit.
+const cvConstant = 0.05
+
+// Synthesize generates n jobs from a fitted model under the given seed.
+// Submit times start at 0 and span roughly n/rate hours; sizes follow the
+// fitted lognormal coupled to the gaps via the model's correlation.
+// Use TraceScale-style rescaling after synthesis, never before (see
+// docs/workloads.md: fit on unscaled times, synthesize, then scale).
+func Synthesize(m *wire.Model, n int, seed int64) ([]traces.Job, error) {
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("mining: synthesis count %d, want >= 1", n)
+	}
+
+	gaps, zGap, err := synthGaps(m, n-1, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	sizeRng := stats.NewRand(seed, seedSynthSizes)
+	procsRng := stats.NewRand(seed, seedSynthProcs)
+	rho := clamp(m.Correlation, -0.95, 0.95)
+	tail := math.Sqrt(1 - rho*rho)
+
+	total := 0
+	for _, b := range m.Size.Procs {
+		total += b.Count
+	}
+
+	jobs := make([]traces.Job, n)
+	t := 0.0
+	for i := range jobs {
+		if i > 0 {
+			t += gaps[i-1]
+		}
+		// Copula: the job's size shares the gap's normal score, mixed
+		// with fresh noise by the fitted correlation. Job 0 has no
+		// preceding gap, so it is pure marginal.
+		z := sizeRng.NormFloat64()
+		if i > 0 {
+			z = rho*zGap[i-1] + tail*z
+		}
+		size := math.Exp(m.Size.LogMeanCPUSeconds + m.Size.LogStdCPUSeconds*z)
+		procs := drawProcs(m.Size.Procs, total, procsRng.Float64())
+		jobs[i] = traces.Job{
+			ID:      i + 1,
+			Submit:  t,
+			Runtime: size / float64(procs),
+			Procs:   procs,
+		}
+	}
+	return jobs, nil
+}
+
+// synthGaps produces the m interarrival gaps and their standard-normal
+// scores (the copula's other half).
+//
+// For the poisson kind the gaps are a two-moment gamma renewal process:
+// shape k = 1/cv^2, scale theta = meanGap * cv^2, sampled by stratified
+// inversion — one quantile per stratum of a shuffled partition of (0,1) —
+// so the realized mean and CV track the fitted moments tightly at every
+// scale, not just asymptotically. CV at or below cvConstant degenerates
+// to constant gaps.
+//
+// For the mmpp and diurnal kinds the catalog process itself generates the
+// schedule (preserving burst and phase structure the gamma renewal cannot
+// express) and the gaps are rescaled multiplicatively to the fitted mean
+// rate; scores are then rank-based.
+func synthGaps(m *wire.Model, count int, seed int64) (gaps, z []float64, err error) {
+	if count == 0 {
+		return nil, nil, nil
+	}
+	meanGap := 3600 / m.Arrival.RatePerHour
+	cv := m.Arrival.CV
+
+	if m.Arrival.Kind == arrival.KindPoisson {
+		gaps = make([]float64, count)
+		z = make([]float64, count)
+		if cv <= cvConstant {
+			for i := range gaps {
+				gaps[i] = meanGap
+			}
+			return gaps, z, nil // scores stay 0: no gap variance to couple to
+		}
+		k := 1 / (cv * cv)
+		theta := meanGap * cv * cv
+		rng := stats.NewRand(seed, seedSynthGaps)
+		perm := rng.Perm(count)
+		for i := range gaps {
+			u := (float64(perm[i]) + rng.Float64()) / float64(count)
+			gaps[i] = gammaQuantile(k, u) * theta
+			z[i] = normQuantile(u)
+		}
+		return gaps, z, nil
+	}
+
+	// Catalog process for the structured kinds, rescaled to the fitted
+	// mean rate. Schedule needs n = count+1 events; the first is dropped
+	// (synthesis starts at t = 0).
+	spec := CatalogSpec(m)
+	times, err := spec.Schedule(count+1, stats.SplitSeed(seed, seedSynthGaps))
+	if err != nil {
+		return nil, nil, fmt.Errorf("mining: synthesis via %s: %w", spec.Kind, err)
+	}
+	gaps = make([]float64, count)
+	sum := 0.0
+	for i := range gaps {
+		gaps[i] = times[i+1] - times[i]
+		sum += gaps[i]
+	}
+	if sum > 0 {
+		scale := meanGap * float64(count) / sum
+		for i := range gaps {
+			gaps[i] *= scale
+		}
+	}
+	return gaps, normalScores(gaps), nil
+}
+
+// drawProcs inverts the empirical processor-count CDF at u.
+func drawProcs(bins []wire.ProcsBin, total int, u float64) int {
+	target := u * float64(total)
+	cum := 0.0
+	for _, b := range bins {
+		cum += float64(b.Count)
+		if target < cum {
+			return b.Procs
+		}
+	}
+	return bins[len(bins)-1].Procs
+}

@@ -1,0 +1,32 @@
+package traces_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload/traces"
+)
+
+// ExampleParseSWF parses a three-record SWF fragment: comments are
+// ignored, the -1 runtime sentinel is skipped (not an error), and submit
+// times are normalized so the first arrival is at offset 0.
+func ExampleParseSWF() {
+	swf := `; fields: job submit wait runtime procs ...
+1 100 -1 300 2
+2 160 -1  -1 4
+3 220 -1 900 1
+`
+	tr, err := traces.ParseSWF("example.swf", strings.NewReader(swf))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d jobs, %d skipped, span %.0f s\n", len(tr.Jobs), tr.Skipped, tr.Span())
+	for _, j := range tr.Jobs {
+		fmt.Printf("job %d at t=%.0f: %.0f s on %d procs (%.0f CPU-seconds)\n",
+			j.ID, j.Submit, j.Runtime, j.Procs, j.CPUSeconds())
+	}
+	// Output:
+	// 2 jobs, 1 skipped, span 120 s
+	// job 1 at t=0: 300 s on 2 procs (600 CPU-seconds)
+	// job 3 at t=120: 900 s on 1 procs (900 CPU-seconds)
+}
